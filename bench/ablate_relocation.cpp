@@ -1,0 +1,108 @@
+// Ablation: PIEglobals pointer fix-up — memory scan vs exact relocation.
+//
+// The paper's implementation scans the data segment for values that look
+// like pointers into the original segments ("which we intend to replace
+// with a more robust method unaffected by false positives", §3.3). This
+// runtime implements both: the scan, and an exact mode driven by GOT
+// layout plus recorded constructor pointer stores. The bench compares
+// startup cost and demonstrates the scan's false-positive hazard: an
+// integer global whose value happens to equal a code address gets
+// silently rewritten by the scan but not by exact relocation.
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/methods.hpp"
+#include "core/privatizer.hpp"
+#include "image/loader.hpp"
+#include "isomalloc/arena.hpp"
+#include "util/timer.hpp"
+
+using namespace apv;
+
+namespace {
+
+void* noop_main(void* arg) { return arg; }
+
+// Constructor: heap table with interior pointers (the fix-up workload),
+// plus an *integer* global set to an address-valued number — the false
+// positive bait. It is written with set<>, not set_ptr, so exact mode has
+// no record of it (correct: it is not a pointer).
+void bait_ctor(img::CtorContext& ctx) {
+  auto* table = static_cast<void**>(ctx.ctor_malloc(64 * sizeof(void*)));
+  ctx.set_ptr("table", table);
+  for (int i = 0; i < 64; ++i) {
+    ctx.write_heap_ptr(table, sizeof(void*) * static_cast<std::size_t>(i),
+                       ctx.func_ptr("mpi_main"));
+  }
+  ctx.set<std::uintptr_t>(
+      "bait", reinterpret_cast<std::uintptr_t>(ctx.instance().code_base()) +
+                  0x180);
+}
+
+img::ProgramImage build_image() {
+  img::ImageBuilder b("fixup_ablation");
+  b.add_global<void*>("table", nullptr);
+  b.add_global<std::uintptr_t>("bait", 0);
+  for (int i = 0; i < 256; ++i) {
+    b.add_global<double>("filler_" + std::to_string(i), 1.0 * i);
+  }
+  b.add_function("mpi_main", &noop_main);
+  b.add_constructor(&bait_ctor);
+  b.set_code_size(std::size_t{3} << 20);
+  b.set_extra_data(std::size_t{1} << 20);  // a meaty scan target
+  return b.build();
+}
+
+void run_mode(const img::ProgramImage& image, const char* mode) {
+  iso::IsoArena arena({.slot_size = std::size_t{32} << 20, .max_slots = 12});
+  img::Loader loader;
+  core::ProcessEnv env;
+  env.image = &image;
+  env.loader = &loader;
+  env.arena = &arena;
+  env.options.set("pie.fixup", mode);
+  core::Privatizer priv(core::Method::PIEglobals, env);
+
+  const std::uintptr_t bait_original =
+      *static_cast<const std::uintptr_t*>(priv.primary().var_addr(
+          image.var_id("bait")));
+
+  const int ranks = 8;
+  const util::WallTimer timer;
+  std::vector<core::RankContext*> rcs;
+  for (int r = 0; r < ranks; ++r) {
+    core::Privatizer::RankParams rp;
+    rp.world_rank = r;
+    rp.body = [](void*) {};
+    rcs.push_back(priv.create_rank(rp));
+  }
+  const double ms = timer.elapsed_s() * 1e3;
+
+  auto& pie = static_cast<core::PieGlobalsMethod&>(priv.method());
+  const auto& stats = pie.fixup_stats();
+  const std::uintptr_t bait_after = *reinterpret_cast<const std::uintptr_t*>(
+      rcs[0]->data_base + image.var(image.var_id("bait")).offset);
+  std::printf("%-6s  %9.3f ms  %10zu words  %6zu rewrites  bait %s\n", mode,
+              ms, stats.words_scanned,
+              stats.got_rewrites + stats.data_rewrites + stats.heap_rewrites,
+              bait_after == bait_original
+                  ? "intact"
+                  : "CORRUPTED (false positive rewrote an integer)");
+  for (auto* rc : rcs) priv.destroy_rank(rc);
+}
+
+}  // namespace
+
+int main() {
+  const img::ProgramImage image = build_image();
+  std::printf("Ablation: PIEglobals fix-up, 8 ranks, 3 MB code + 1 MB data\n\n");
+  std::printf("%-6s %12s %16s %16s\n", "mode", "startup", "scanned",
+              "pointer fixes");
+  run_mode(image, "scan");
+  run_mode(image, "exact");
+  std::printf(
+      "\n(the scan must touch every data word and can corrupt integers that\n"
+      " alias code addresses; exact relocation fixes only true pointers)\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "image/image.hpp"
+
+namespace apv::apps {
+
+/// Parameters of the Jacobi-3D benchmark program (paper §4.3): a 3-D grid,
+/// 1-D slab decomposition along z, 7-point stencil, ghost-plane exchange
+/// each sweep, periodic residual allreduce. Every variable referenced in
+/// the innermost loop (dimensions, coefficient, iteration count) is a
+/// mutable global of the program image, so each method's per-access
+/// privatization cost lands directly on the hot path.
+struct JacobiParams {
+  int nx = 32;
+  int ny = 32;
+  int nz = 64;          ///< global z extent, split across ranks
+  int iters = 20;
+  double alpha = 1.0 / 6.0;
+  int residual_every = 10;
+  /// Emulated machine-code footprint; the paper's standalone Jacobi-3D had
+  /// a ~3 MB PIE code segment.
+  std::size_t code_bytes = std::size_t{3} << 20;
+  /// Tag the hot-loop globals thread_local (required for TLSglobals).
+  bool tag_tls = false;
+};
+
+/// Builds the Jacobi-3D program image. Entry function: "mpi_main",
+/// returning the final residual bit-cast into the pointer (use
+/// jacobi_result to decode).
+img::ProgramImage build_jacobi(const JacobiParams& params);
+
+/// Decodes a rank's entry return value into the residual it computed.
+double jacobi_result(void* entry_ret);
+
+}  // namespace apv::apps

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "image/image.hpp"
+#include "sim/surge.hpp"
+
+namespace apv::apps {
+
+/// The ADCIRC-proxy storm-surge application for the *real* runtime (the
+/// virtual-time variant lives in apv::sim). Each rank owns a block of
+/// coastal cells; per step it computes the wet/dry workload (spinning a
+/// configurable fraction of the modelled cost for fast runs and accounting
+/// the rest via add_load), exchanges halos with neighbours, joins the
+/// global dt allreduce, and periodically calls load_balance — driving real
+/// ULT migrations under PIEglobals.
+struct SurgeAppParams {
+  sim::SurgeConfig surge;
+  int lb_period = 20;  ///< steps between load_balance calls; 0 = off
+  /// LB strategy: one of apv::lb's names; stored in the image as a
+  /// fixed-size char global (strings cannot live in registers).
+  char lb_strategy[16] = "greedyrefine";
+  /// Fraction of the modelled per-step cost that is actually spun on the
+  /// CPU (the rest is added to the LB metric via add_load). Keeps example
+  /// wall time short while preserving the load shape.
+  double real_compute_scale = 0.05;
+  std::size_t code_bytes = std::size_t{14} << 20;  ///< ADCIRC-like code size
+};
+
+/// Builds the program image. Entry "mpi_main" returns the rank's total
+/// modelled work in microseconds, bit-cast into the pointer.
+img::ProgramImage build_surge_app(const SurgeAppParams& params);
+
+/// Decodes a rank's entry return into its total modelled work (us).
+double surge_app_result(void* entry_ret);
+
+}  // namespace apv::apps

@@ -1,0 +1,84 @@
+#include "comm/cluster.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace apv::comm {
+
+using util::ErrorCode;
+using util::require;
+
+Cluster::Cluster(const Config& config)
+    : config_(config), net_(config.options) {
+  require(config.nodes >= 1 && config.pes_per_node >= 1,
+          ErrorCode::InvalidArgument, "cluster needs >= 1 node and PE");
+  const int total = config.nodes * config.pes_per_node;
+  pes_.reserve(total);
+  for (int i = 0; i < total; ++i) {
+    pes_.push_back(std::make_unique<Pe>(i, node_of(i), config.backend));
+  }
+}
+
+Cluster::~Cluster() { stop_and_join(); }
+
+Pe& Cluster::pe(PeId id) {
+  require(id >= 0 && id < num_pes(), ErrorCode::InvalidArgument,
+          "PE id out of range");
+  return *pes_[id];
+}
+
+void Cluster::resize_location_table(int nranks) {
+  require(!started_, ErrorCode::BadState,
+          "location table must be sized before start");
+  require(nranks >= 0, ErrorCode::InvalidArgument, "negative rank count");
+  locations_ = std::make_unique<std::atomic<PeId>[]>(
+      static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) locations_[i].store(kInvalidPe);
+  num_ranks_ = nranks;
+}
+
+void Cluster::set_location(RankId rank, PeId pe) {
+  require(locations_ != nullptr && rank >= 0 && rank < num_ranks_,
+          ErrorCode::InvalidArgument, "rank out of location-table range");
+  locations_[rank].store(pe, std::memory_order_release);
+}
+
+PeId Cluster::location(RankId rank) const {
+  require(locations_ != nullptr && rank >= 0 && rank < num_ranks_,
+          ErrorCode::InvalidArgument, "rank out of location-table range");
+  return locations_[rank].load(std::memory_order_acquire);
+}
+
+void Cluster::send(Message&& msg) {
+  require(msg.dst_pe >= 0 && msg.dst_pe < num_pes(),
+          ErrorCode::InvalidArgument, "message to invalid PE");
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  if (msg.src_pe != kInvalidPe && node_of(msg.src_pe) != node_of(msg.dst_pe)) {
+    internode_.fetch_add(1, std::memory_order_relaxed);
+    net_.pace(msg.size_bytes());
+  }
+  pes_[msg.dst_pe]->post(std::move(msg));
+}
+
+void Cluster::start() {
+  require(!started_, ErrorCode::BadState, "cluster already started");
+  started_ = true;
+  threads_.reserve(pes_.size());
+  for (auto& pe : pes_) {
+    threads_.emplace_back([p = pe.get()] { p->run_loop(); });
+  }
+  APV_INFO("cluster", "started %d node(s) x %d PE(s)", config_.nodes,
+           config_.pes_per_node);
+}
+
+void Cluster::stop_and_join() {
+  if (!started_) return;
+  for (auto& pe : pes_) pe->stop();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  started_ = false;
+}
+
+}  // namespace apv::comm

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "comm/message.hpp"
+#include "comm/netmodel.hpp"
+#include "comm/pe.hpp"
+#include "util/options.hpp"
+
+namespace apv::comm {
+
+/// The emulated machine: `nodes` OS processes × `pes_per_node` PEs each
+/// (paper Figure 1's layout). All nodes live in this OS process; node
+/// boundaries are made real by the per-node Privatizer/Loader state above
+/// this layer and by the NetModel pacing inter-node messages here.
+class Cluster {
+ public:
+  struct Config {
+    int nodes = 1;
+    int pes_per_node = 1;
+    util::Options options;  ///< net.* keys feed the NetModel
+    ult::ContextBackend backend = ult::default_context_backend();
+  };
+
+  explicit Cluster(const Config& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_nodes() const noexcept { return config_.nodes; }
+  int pes_per_node() const noexcept { return config_.pes_per_node; }
+  int num_pes() const noexcept { return static_cast<int>(pes_.size()); }
+
+  Pe& pe(PeId id);
+  NodeId node_of(PeId id) const noexcept {
+    return id / config_.pes_per_node;
+  }
+  PeId first_pe_of(NodeId node) const noexcept {
+    return node * config_.pes_per_node;
+  }
+
+  const NetModel& net() const noexcept { return net_; }
+
+  /// Sizes the authoritative rank-location table. Must be called before
+  /// start(); the upper layer seeds initial placements with set_location.
+  void resize_location_table(int nranks);
+  void set_location(RankId rank, PeId pe);
+  PeId location(RankId rank) const;
+  int num_ranks() const noexcept { return num_ranks_; }
+
+  /// Routes a message to msg.dst_pe: inter-node hops pay the NetModel
+  /// pacing on the calling thread, then the message lands in the
+  /// destination PE's mailbox.
+  void send(Message&& msg);
+
+  /// Launches one OS thread per PE running Pe::run_loop. Dispatchers must
+  /// already be installed on every PE.
+  void start();
+
+  /// Signals every PE to stop and joins all threads. Idempotent.
+  void stop_and_join();
+
+  bool started() const noexcept { return started_; }
+
+  std::uint64_t messages_sent() const noexcept { return sent_.load(); }
+  std::uint64_t internode_messages() const noexcept {
+    return internode_.load();
+  }
+
+ private:
+  Config config_;
+  NetModel net_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+  std::vector<std::thread> threads_;
+  std::unique_ptr<std::atomic<PeId>[]> locations_;
+  int num_ranks_ = 0;
+  bool started_ = false;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> internode_{0};
+};
+
+}  // namespace apv::comm

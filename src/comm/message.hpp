@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apv::comm {
+
+/// Identifies a PE (processing element = one scheduler thread, "core") in
+/// the cluster. PEs are globally numbered across nodes.
+using PeId = int;
+/// Identifies an emulated OS process ("node" in paper Figure 1 terms; in
+/// SMP mode one process spans several PEs).
+using NodeId = int;
+/// A virtual rank number (MPI world rank).
+using RankId = int;
+
+inline constexpr PeId kInvalidPe = -1;
+
+/// Wire message between PEs. The comm layer routes by destination PE only;
+/// the fields after `dst_pe` are interpreted by the layer above (apv::mpi):
+/// point-to-point payloads, collective fragments, migration payloads, and
+/// location-update control traffic all travel as Messages.
+struct Message {
+  /// Coarse class, for dispatch and accounting.
+  enum class Kind : std::uint8_t {
+    UserData,     ///< MPI point-to-point / collective payload
+    Control,      ///< runtime-internal (location updates, LB commands)
+    Migration,    ///< packed rank state
+  };
+
+  Kind kind = Kind::UserData;
+  PeId src_pe = kInvalidPe;
+  PeId dst_pe = kInvalidPe;
+  RankId src_rank = -1;
+  RankId dst_rank = -1;
+  std::int32_t comm_id = 0;   ///< communicator context id
+  std::int32_t tag = 0;
+  std::int32_t opcode = 0;    ///< Control/Migration sub-operation
+  std::uint64_t seq = 0;      ///< per-(src,dst,comm) FIFO sequence number
+  std::vector<std::byte> payload;
+
+  std::size_t size_bytes() const noexcept {
+    return sizeof(Message) + payload.size();
+  }
+};
+
+}  // namespace apv::comm

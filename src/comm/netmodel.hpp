@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/options.hpp"
+
+namespace apv::comm {
+
+/// Cost model for inter-node communication.
+///
+/// Substitution (DESIGN.md §3): the paper measured on Mellanox InfiniBand
+/// between real nodes; this runtime hosts all nodes in one process, where a
+/// queue push is ~100 ns. To give cross-"node" traffic (and migration,
+/// Figure 8) realistic weight, sends pace themselves by latency +
+/// bytes/bandwidth before delivery. Intra-node messages are never paced
+/// (they model shared-memory delivery). Disabled by default so unit tests
+/// run fast; benches enable it.
+class NetModel {
+ public:
+  /// Options consumed: net.enabled (bool, default false),
+  /// net.latency_us (double, default 1.5), net.bandwidth_gb_s (double,
+  /// default 12.0 — roughly EDR InfiniBand payload bandwidth).
+  explicit NetModel(const util::Options& options = {});
+
+  bool enabled() const noexcept { return enabled_; }
+  double latency_us() const noexcept { return latency_us_; }
+  double bandwidth_gb_s() const noexcept { return bandwidth_gb_s_; }
+
+  /// Modelled one-way cost of a message of `bytes`, in microseconds.
+  double cost_us(std::size_t bytes) const noexcept;
+
+  /// Busy-waits for cost_us(bytes) if the model is enabled. Called on the
+  /// sending thread for inter-node messages.
+  void pace(std::size_t bytes) const noexcept;
+
+ private:
+  bool enabled_;
+  double latency_us_;
+  double bandwidth_gb_s_;
+};
+
+}  // namespace apv::comm

@@ -1,0 +1,93 @@
+#include "comm/pe.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace apv::comm {
+
+using util::ErrorCode;
+using util::require;
+
+namespace {
+thread_local Pe* g_current_pe = nullptr;
+}
+
+Pe* Pe::current() noexcept { return g_current_pe; }
+
+Pe::Pe(PeId id, NodeId node, ult::ContextBackend backend)
+    : id_(id), node_(node), sched_(backend) {}
+
+void Pe::set_dispatcher(Dispatcher dispatcher) {
+  require(!running_.load(), ErrorCode::BadState,
+          "cannot change dispatcher while the PE loop runs");
+  dispatcher_ = std::move(dispatcher);
+}
+
+void Pe::set_idle_hook(IdleHook hook) {
+  require(!running_.load(), ErrorCode::BadState,
+          "cannot change idle hook while the PE loop runs");
+  idle_hook_ = std::move(hook);
+}
+
+void Pe::post(Message&& msg) {
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    mailbox_.push_back(std::move(msg));
+  }
+  // Wake the scheduler's idle wait; ready() notification path is reused by
+  // sharing its condition variable via a zero-cost trick: idle_wait also
+  // re-checks the mailbox through the stop predicate we pass in run_loop.
+  sched_.ready_notify();
+}
+
+std::size_t Pe::mailbox_depth() const {
+  std::lock_guard<std::mutex> lock(mail_mutex_);
+  return mailbox_.size();
+}
+
+bool Pe::drain_mailbox() {
+  bool any = false;
+  for (;;) {
+    Message msg;
+    {
+      std::lock_guard<std::mutex> lock(mail_mutex_);
+      if (mailbox_.empty()) break;
+      msg = std::move(mailbox_.front());
+      mailbox_.pop_front();
+    }
+    any = true;
+    ++processed_;
+    if (dispatcher_) dispatcher_(std::move(msg));
+  }
+  return any;
+}
+
+void Pe::run_loop() {
+  require(dispatcher_ != nullptr, ErrorCode::BadState,
+          "PE loop needs a dispatcher");
+  g_current_pe = this;
+  running_.store(true);
+  APV_DEBUG("pe", "PE %d (node %d) loop starting", id_, node_);
+  for (;;) {
+    const bool had_msgs = drain_mailbox();
+    const bool ran = sched_.run_one();
+    if (had_msgs || ran) continue;
+    if (idle_hook_) idle_hook_();
+    if (stop_.load()) {
+      // Exit only when really quiescent: a message may have raced in.
+      std::lock_guard<std::mutex> lock(mail_mutex_);
+      if (mailbox_.empty() && sched_.ready_count() == 0) break;
+      continue;
+    }
+    sched_.idle_wait([this] { return stop_.load() || mailbox_depth() > 0; },
+                     200);
+  }
+  running_.store(false);
+  g_current_pe = nullptr;
+  APV_DEBUG("pe", "PE %d loop exited after %llu messages", id_,
+            static_cast<unsigned long long>(processed_));
+}
+
+void Pe::stop() { stop_.store(true); sched_.ready_notify(); }
+
+}  // namespace apv::comm

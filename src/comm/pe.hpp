@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "comm/message.hpp"
+#include "ult/scheduler.hpp"
+
+namespace apv::comm {
+
+/// One processing element: a scheduler thread with a mailbox.
+///
+/// The PE's loop alternates between draining its mailbox (each message is
+/// handed to the dispatcher installed by the layer above, on this thread)
+/// and running ready ULTs. This "messages wake ranks on their own PE"
+/// discipline is what makes blocking MPI calls race-free: a rank only
+/// suspends and resumes on its resident PE's thread.
+class Pe {
+ public:
+  /// Runs on the PE thread for every received message.
+  using Dispatcher = std::function<void(Message&&)>;
+  /// Runs once per idle loop iteration (progress hook for the upper layer).
+  using IdleHook = std::function<void()>;
+
+  Pe(PeId id, NodeId node,
+     ult::ContextBackend backend = ult::default_context_backend());
+
+  PeId id() const noexcept { return id_; }
+  NodeId node() const noexcept { return node_; }
+  ult::Scheduler& scheduler() noexcept { return sched_; }
+
+  /// Installs the message dispatcher. Must happen before the loop starts.
+  void set_dispatcher(Dispatcher dispatcher);
+  void set_idle_hook(IdleHook hook);
+
+  /// Thread-safe: enqueues a message and wakes the PE if idle.
+  void post(Message&& msg);
+
+  std::size_t mailbox_depth() const;
+
+  /// The PE loop body; Cluster runs this on a dedicated thread. Returns
+  /// when stop() has been called and no work remains.
+  void run_loop();
+
+  /// Requests loop exit once the mailbox and ready queue drain.
+  void stop();
+
+  /// True while run_loop is executing.
+  bool running() const noexcept { return running_.load(); }
+
+  std::uint64_t messages_processed() const noexcept { return processed_; }
+
+  /// The PE whose loop is executing on the calling thread, or nullptr.
+  static Pe* current() noexcept;
+
+ private:
+  bool drain_mailbox();
+
+  PeId id_;
+  NodeId node_;
+  ult::Scheduler sched_;
+  Dispatcher dispatcher_;
+  IdleHook idle_hook_;
+
+  mutable std::mutex mail_mutex_;
+  std::deque<Message> mailbox_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace apv::comm

@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <cctype>
+
+#include "core/methods.hpp"
+#include "util/error.hpp"
+
+namespace apv::core {
+
+using util::ApvError;
+using util::ErrorCode;
+
+const char* method_name(Method method) noexcept {
+  switch (method) {
+    case Method::None: return "none";
+    case Method::TLSglobals: return "tlsglobals";
+    case Method::Swapglobals: return "swapglobals";
+    case Method::PIPglobals: return "pipglobals";
+    case Method::FSglobals: return "fsglobals";
+    case Method::PIEglobals: return "pieglobals";
+  }
+  return "?";
+}
+
+Method method_from_string(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "none" || s == "baseline") return Method::None;
+  if (s == "tlsglobals" || s == "tls") return Method::TLSglobals;
+  if (s == "swapglobals" || s == "swap") return Method::Swapglobals;
+  if (s == "pipglobals" || s == "pip") return Method::PIPglobals;
+  if (s == "fsglobals" || s == "fs") return Method::FSglobals;
+  if (s == "pieglobals" || s == "pie") return Method::PIEglobals;
+  throw ApvError(ErrorCode::InvalidArgument,
+                 "unknown privatization method: " + name);
+}
+
+Capabilities method_capabilities(Method method) {
+  Capabilities c;
+  c.runtime_method = true;
+  switch (method) {
+    case Method::None:
+      c.name = "none (unsafe baseline)";
+      c.automation = "n/a";
+      c.portability = "Good";
+      c.smp_support = true;
+      c.migration_support = true;
+      c.handles_statics = false;
+      c.handles_tls = false;
+      return c;
+    case Method::TLSglobals:
+      c.name = "TLSglobals";
+      c.automation = "Mediocre";
+      c.portability = "Compiler-specific";
+      c.smp_support = true;
+      c.migration_support = true;
+      c.migration_note = "TLS block lives in the rank's Isomalloc slot";
+      c.handles_statics = true;  // if tagged
+      c.handles_tls = true;
+      c.requires_tagging = true;
+      return c;
+    case Method::Swapglobals:
+      c.name = "Swapglobals";
+      c.automation = "No static vars";
+      c.portability = "Linker-specific";
+      c.smp_support = false;
+      c.smp_note = "only one GOT can be active per OS process";
+      c.migration_support = true;
+      c.migration_note = "per-rank variable copies live in Isomalloc";
+      c.handles_statics = false;
+      c.handles_tls = false;
+      return c;
+    case Method::PIPglobals:
+      c.name = "PIPglobals";
+      c.automation = "Good";
+      c.portability = "Requires GNU libc extension";
+      c.smp_support = true;
+      c.smp_note = "Limited w/o patched glibc (12 namespaces per process)";
+      c.migration_support = false;
+      c.migration_note = "cannot intercept ld-linux.so mmap to use Isomalloc";
+      c.handles_statics = true;
+      c.handles_tls = false;
+      return c;
+    case Method::FSglobals:
+      c.name = "FSglobals";
+      c.automation = "Good";
+      c.portability = "Shared file system needed";
+      c.smp_support = true;
+      c.migration_support = false;
+      c.migration_note = "same dlopen interception problem as PIPglobals";
+      c.handles_statics = true;
+      c.handles_tls = false;
+      return c;
+    case Method::PIEglobals:
+      c.name = "PIEglobals";
+      c.automation = "Good";
+      c.portability = "Implemented w/ GNU libc extension";
+      c.smp_support = true;
+      c.migration_support = true;
+      c.migration_note = "code+data segments allocated via Isomalloc";
+      c.handles_statics = true;
+      c.handles_tls = true;  // combined with TLSglobals
+      return c;
+  }
+  throw ApvError(ErrorCode::InvalidArgument, "bad method enum");
+}
+
+std::vector<Capabilities> capability_table() {
+  std::vector<Capabilities> rows;
+  // Survey-only rows (paper Table 3, top half).
+  {
+    Capabilities c;
+    c.name = "Manual refactoring";
+    c.automation = "Poor";
+    c.portability = "Good";
+    c.smp_support = true;
+    c.migration_support = true;
+    c.handles_statics = true;
+    c.handles_tls = true;
+    rows.push_back(c);
+  }
+  {
+    Capabilities c;
+    c.name = "Photran";
+    c.automation = "Fortran-specific";
+    c.portability = "Good";
+    c.smp_support = true;
+    c.migration_support = true;
+    c.handles_statics = true;
+    rows.push_back(c);
+  }
+  rows.push_back(method_capabilities(Method::Swapglobals));
+  rows.push_back(method_capabilities(Method::TLSglobals));
+  {
+    Capabilities c;
+    c.name = "-fmpc-privatize";
+    c.automation = "Good";
+    c.portability = "Compiler-specific";
+    c.smp_support = true;
+    c.migration_support = false;
+    c.migration_note = "Not implemented, but possible";
+    c.handles_statics = true;
+    c.handles_tls = true;
+    rows.push_back(c);
+  }
+  rows.push_back(method_capabilities(Method::PIPglobals));
+  rows.push_back(method_capabilities(Method::FSglobals));
+  rows.push_back(method_capabilities(Method::PIEglobals));
+  return rows;
+}
+
+std::unique_ptr<PrivatizationMethod> make_method(Method method) {
+  switch (method) {
+    case Method::None: return std::make_unique<NoneMethod>();
+    case Method::TLSglobals: return std::make_unique<TlsGlobalsMethod>();
+    case Method::Swapglobals: return std::make_unique<SwapGlobalsMethod>();
+    case Method::PIPglobals: return std::make_unique<PipGlobalsMethod>();
+    case Method::FSglobals: return std::make_unique<FsGlobalsMethod>();
+    case Method::PIEglobals: return std::make_unique<PieGlobalsMethod>();
+  }
+  throw ApvError(ErrorCode::InvalidArgument, "bad method enum");
+}
+
+}  // namespace apv::core

@@ -1,0 +1,39 @@
+#include "core/funcptr.hpp"
+
+#include "util/error.hpp"
+
+namespace apv::core {
+
+using util::ApvError;
+using util::ErrorCode;
+using util::require;
+
+FuncHandle to_handle(const img::InstanceRegistry& registry,
+                     const void* fn_addr) {
+  const img::ImageInstance* inst = registry.find_code(fn_addr);
+  require(inst != nullptr, ErrorCode::NotFound,
+          "address is not inside any loaded code segment");
+  const img::FuncId id = inst->func_at(fn_addr);
+  require(id != img::kInvalidId, ErrorCode::NotFound,
+          "address does not hit a function entry");
+  FuncHandle h;
+  h.id = id;
+  h.code_offset = inst->image().func(id).code_offset;
+  return h;
+}
+
+void* localize(const FuncHandle& handle, const RankContext& rc) {
+  require(handle.valid(), ErrorCode::InvalidArgument, "invalid FuncHandle");
+  require(rc.instance != nullptr, ErrorCode::BadState,
+          "rank has no image instance");
+  return rc.instance->code_base() + handle.code_offset;
+}
+
+img::NativeFn native_of(const FuncHandle& handle, const RankContext& rc) {
+  require(handle.valid(), ErrorCode::InvalidArgument, "invalid FuncHandle");
+  require(rc.instance != nullptr, ErrorCode::BadState,
+          "rank has no image instance");
+  return rc.instance->native_at(handle.id);
+}
+
+}  // namespace apv::core

@@ -1,0 +1,102 @@
+#include "core/hls.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace apv::core {
+
+using util::ErrorCode;
+using util::require;
+
+const char* hls_level_name(HlsLevel level) noexcept {
+  switch (level) {
+    case HlsLevel::Process: return "process";
+    case HlsLevel::Pe: return "pe";
+    case HlsLevel::Rank: return "rank";
+  }
+  return "?";
+}
+
+HlsRegion::HlsRegion(int processes, int pes)
+    : processes_(processes), pes_(pes) {
+  require(processes >= 1 && pes >= 1, ErrorCode::InvalidArgument,
+          "HLS region needs >= 1 process and PE");
+}
+
+HlsRegion::~HlsRegion() {
+  for (std::byte* p : owned_) std::free(p);
+}
+
+std::uint32_t HlsRegion::declare(const std::string& name, std::size_t size,
+                                 std::size_t align, HlsLevel level) {
+  require(size > 0 && util::is_pow2(align) && align <= 4096,
+          ErrorCode::InvalidArgument, "bad HLS variable shape: " + name);
+  vars_.push_back({name, size, align, level});
+  process_storage_.emplace_back(
+      static_cast<std::size_t>(processes_), nullptr);
+  pe_storage_.emplace_back(static_cast<std::size_t>(pes_), nullptr);
+  return static_cast<std::uint32_t>(vars_.size() - 1);
+}
+
+void* HlsRegion::slot_for(std::uint32_t handle, int owner,
+                          std::vector<std::vector<void*>>& table,
+                          std::size_t owners) {
+  require(owner >= 0 && static_cast<std::size_t>(owner) < owners,
+          ErrorCode::InvalidArgument, "HLS owner index out of range");
+  void*& cell = table[handle][static_cast<std::size_t>(owner)];
+  if (cell == nullptr) {
+    const VarDecl& v = vars_[handle];
+    auto* p = static_cast<std::byte*>(
+        std::aligned_alloc(std::max<std::size_t>(v.align, 16),
+                           util::align_up(v.size, 16)));
+    require(p != nullptr, ErrorCode::OutOfMemory, "HLS allocation");
+    std::memset(p, 0, v.size);
+    owned_.push_back(p);
+    (vars_[handle].level == HlsLevel::Process ? process_bytes_ : pe_bytes_) +=
+        v.size;
+    cell = p;
+  }
+  return cell;
+}
+
+void* HlsRegion::resolve(std::uint32_t handle, RankContext& rc,
+                         int process_id, int pe_id) {
+  require(handle < vars_.size(), ErrorCode::InvalidArgument,
+          "bad HLS handle");
+  const VarDecl& v = vars_[handle];
+  switch (v.level) {
+    case HlsLevel::Process:
+      return slot_for(handle, process_id, process_storage_,
+                      static_cast<std::size_t>(processes_));
+    case HlsLevel::Pe:
+      return slot_for(handle, pe_id, pe_storage_,
+                      static_cast<std::size_t>(pes_));
+    case HlsLevel::Rank: {
+      // Rank storage migrates with the rank: allocate in its slot and
+      // cache the pointer in the rank's HLS table (stable VA).
+      if (rc.hls_vars.size() <= handle)
+        rc.hls_vars.resize(handle + 1, nullptr);
+      void*& cell = rc.hls_vars[handle];
+      if (cell == nullptr) {
+        cell = rc.heap->alloc(v.size, std::max<std::size_t>(v.align, 16));
+        std::memset(cell, 0, v.size);
+        rank_bytes_ += v.size;
+      }
+      return cell;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t HlsRegion::bytes_at(HlsLevel level) const {
+  switch (level) {
+    case HlsLevel::Process: return process_bytes_;
+    case HlsLevel::Pe: return pe_bytes_;
+    case HlsLevel::Rank: return rank_bytes_;
+  }
+  return 0;
+}
+
+}  // namespace apv::core

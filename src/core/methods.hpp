@@ -1,0 +1,178 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/method.hpp"
+#include "core/rank_context.hpp"
+
+namespace apv::core {
+
+/// Unsafe baseline: every rank shares the primary image's globals. Exists
+/// to reproduce the paper's Figure 2/3 virtualization bug and as the zero
+/// line of every overhead measurement.
+class NoneMethod final : public PrivatizationMethod {
+ public:
+  Method kind() const noexcept override { return Method::None; }
+  void init_process(ProcessEnv& env) override;
+  void init_rank(RankContext& rc) override;
+  void on_switch_in(RankContext* rc) noexcept override;
+  bool supports_migration() const noexcept override { return true; }
+  void destroy_rank(RankContext& rc) override;
+  void on_rank_arrived(RankContext& rc) override;
+
+ private:
+  ProcessEnv* env_ = nullptr;
+  const img::ImageInstance* primary_ = nullptr;
+  std::byte* shared_tls_ = nullptr;  // one TLS block shared by all ranks
+};
+
+/// TLSglobals (paper §2.3.4): variables the user tagged thread_local get a
+/// per-rank block; the emulated TLS segment pointer is swapped at every
+/// ULT context switch. Untagged mutable globals remain shared — the gap
+/// that makes its automation "Mediocre".
+class TlsGlobalsMethod final : public PrivatizationMethod {
+ public:
+  Method kind() const noexcept override { return Method::TLSglobals; }
+  void init_process(ProcessEnv& env) override;
+  void init_rank(RankContext& rc) override;
+  void on_switch_in(RankContext* rc) noexcept override;
+  bool supports_migration() const noexcept override { return true; }
+  void destroy_rank(RankContext& rc) override;
+  void on_rank_arrived(RankContext& rc) override;
+
+ private:
+  ProcessEnv* env_ = nullptr;
+  const img::ImageInstance* primary_ = nullptr;
+};
+
+/// Swapglobals (paper §2.3.3, deprecated in AMPI): per-rank copies of every
+/// GOT-visible global, with the active GOT pointer swapped per context
+/// switch. Does not privatize statics, refuses SMP mode (one active GOT
+/// per process), and requires a cooperative linker version.
+///
+/// Options: swap.linker_version (default "2.23"), swap.linker_patched
+/// (default false). Versions >= 2.24 without the patch are refused, as ld
+/// started optimizing out the GOT indirection the method depends on.
+class SwapGlobalsMethod final : public PrivatizationMethod {
+ public:
+  Method kind() const noexcept override { return Method::Swapglobals; }
+  void init_process(ProcessEnv& env) override;
+  void init_rank(RankContext& rc) override;
+  void on_switch_in(RankContext* rc) noexcept override;
+  bool supports_migration() const noexcept override { return true; }
+  void destroy_rank(RankContext& rc) override;
+  void on_rank_arrived(RankContext& rc) override;
+
+ private:
+  ProcessEnv* env_ = nullptr;
+  const img::ImageInstance* primary_ = nullptr;
+};
+
+/// PIPglobals (paper §3.1): one dlmopen namespace per rank duplicates the
+/// PIE's code and data segments. No per-switch work; startup pays segment
+/// materialization and a constructor run per rank. Namespace count per
+/// process is capped by glibc unless loader.patched_glibc is set. The
+/// segments are linker-allocated (not Isomalloc), so migration is
+/// impossible — AMPI_Migrate on such a rank throws MigrationRefused.
+class PipGlobalsMethod final : public PrivatizationMethod {
+ public:
+  Method kind() const noexcept override { return Method::PIPglobals; }
+  void init_process(ProcessEnv& env) override;
+  void init_rank(RankContext& rc) override;
+  void on_switch_in(RankContext* rc) noexcept override;
+  bool supports_migration() const noexcept override { return false; }
+  void destroy_rank(RankContext& rc) override;
+
+ private:
+  ProcessEnv* env_ = nullptr;
+  const img::ImageInstance* primary_ = nullptr;
+  std::byte* shared_tls_ = nullptr;
+};
+
+/// FSglobals (paper §3.2): per-rank binary copies written to and loaded
+/// back from a shared filesystem via plain dlopen. Portable beyond
+/// GNU/Linux and unlimited in rank count, but startup cost scales with
+/// ranks × binary size × filesystem speed, shared-object dependencies are
+/// unsupported, and migration is impossible for the same reason as PIP.
+class FsGlobalsMethod final : public PrivatizationMethod {
+ public:
+  Method kind() const noexcept override { return Method::FSglobals; }
+  void init_process(ProcessEnv& env) override;
+  void init_rank(RankContext& rc) override;
+  void on_switch_in(RankContext* rc) noexcept override;
+  bool supports_migration() const noexcept override { return false; }
+  void destroy_rank(RankContext& rc) override;
+
+ private:
+  ProcessEnv* env_ = nullptr;
+  const img::ImageInstance* primary_ = nullptr;
+  std::byte* shared_tls_ = nullptr;
+};
+
+/// How PIEglobals rewrites pointers into the original segments after
+/// copying them (paper §3.3: "scanning memory ... which we intend to
+/// replace with a more robust method unaffected by false positives").
+enum class PieFixupMode : std::uint8_t {
+  Scan,   ///< scan data segment + ctor allocations for old-range pointers
+  Exact,  ///< rewrite from GOT layout + recorded pointer slots
+};
+
+/// Counters from one rank's PIEglobals fix-up pass, reported by benches.
+struct PieFixupStats {
+  std::size_t words_scanned = 0;
+  std::size_t got_rewrites = 0;
+  std::size_t data_rewrites = 0;   // non-GOT data-segment pointer rewrites
+  std::size_t heap_rewrites = 0;   // pointers inside cloned ctor allocations
+};
+
+/// PIEglobals (paper §3.3): dlopen once per process, locate segments via
+/// dl_iterate_phdr, copy code+data per rank *via Isomalloc*, fix up GOT
+/// and constructor-written pointers, clone constructor heap allocations,
+/// and combine with TLSglobals for TLS variables. The only new method that
+/// supports dynamic rank migration.
+///
+/// Options: pie.fixup = "scan" (default) | "exact";
+///          pie.share_readonly (bool, default false) — do not duplicate
+///          const globals (memory-footprint future-work ablation);
+///          pie.share_code (bool, default false) — map every rank's code
+///          from the single primary copy instead of duplicating it (the
+///          paper's future-work mmap-from-one-descriptor optimization:
+///          removes the code-bloat memory cost and the code-segment
+///          migration payload, at the price of per-rank code addresses no
+///          longer being distinct).
+class PieGlobalsMethod final : public PrivatizationMethod {
+ public:
+  Method kind() const noexcept override { return Method::PIEglobals; }
+  void init_process(ProcessEnv& env) override;
+  void init_rank(RankContext& rc) override;
+  void on_switch_in(RankContext* rc) noexcept override;
+  bool supports_migration() const noexcept override { return true; }
+  void destroy_rank(RankContext& rc) override;
+  void on_rank_departed(RankContext& rc) override;
+  void on_rank_arrived(RankContext& rc) override;
+
+  PieFixupMode fixup_mode() const noexcept { return fixup_mode_; }
+  bool share_readonly() const noexcept { return share_readonly_; }
+  bool share_code() const noexcept { return share_code_; }
+  /// Accumulated fix-up statistics across all ranks initialized so far.
+  const PieFixupStats& fixup_stats() const noexcept { return stats_; }
+
+ private:
+  ProcessEnv* env_ = nullptr;
+  const img::ImageInstance* primary_ = nullptr;
+  PieFixupMode fixup_mode_ = PieFixupMode::Scan;
+  bool share_readonly_ = false;
+  bool share_code_ = false;
+  PieFixupStats stats_;
+};
+
+/// Debug facility (paper §3.3, "pieglobalsfind"): translates an address
+/// inside any rank's privatized code/data copy back to the corresponding
+/// address in the primary, linker-loaded instance — the one debuggers have
+/// symbols for. Returns nullptr if the address belongs to no known
+/// instance.
+const void* pieglobals_find(const img::InstanceRegistry& registry,
+                            const void* privatized_addr);
+
+}  // namespace apv::core

@@ -1,0 +1,346 @@
+#include "image/image.hpp"
+
+#include <cstring>
+
+#include "image/instance.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace apv::img {
+
+using util::align_up;
+using util::ApvError;
+using util::ErrorCode;
+using util::require;
+
+namespace {
+// Layout of one function entry inside the code segment. Copying a code
+// segment copies these entries, so a duplicated segment is "executable"
+// through its own bytes, like real machine code.
+struct CodeEntry {
+  std::uint64_t magic;
+  NativeFn native;
+  std::uint32_t func_id;
+  std::uint32_t pad;
+  std::uint64_t reserved;
+};
+static_assert(sizeof(CodeEntry) == ProgramImage::kCodeEntrySize);
+constexpr std::uint64_t kCodeEntryMagic = 0x41505646'554e4331ULL;  // APVFUNC1
+constexpr std::uint64_t kImageSerMagic = 0x41505649'4d473031ULL;   // APVIMG01
+}  // namespace
+
+VarId ProgramImage::var_id(const std::string& name) const {
+  auto it = var_by_name_.find(name);
+  require(it != var_by_name_.end(), ErrorCode::NotFound,
+          "no such variable: " + name);
+  return it->second;
+}
+
+FuncId ProgramImage::func_id(const std::string& name) const {
+  auto it = func_by_name_.find(name);
+  require(it != func_by_name_.end(), ErrorCode::NotFound,
+          "no such function: " + name);
+  return it->second;
+}
+
+const VarDecl& ProgramImage::var(VarId id) const {
+  require(id < vars_.size(), ErrorCode::InvalidArgument, "bad VarId");
+  return vars_[id];
+}
+
+const FuncDecl& ProgramImage::func(FuncId id) const {
+  require(id < funcs_.size(), ErrorCode::InvalidArgument, "bad FuncId");
+  return funcs_[id];
+}
+
+void ProgramImage::materialize_code(std::byte* dst) const {
+  // Header.
+  std::memset(dst, 0, kCodeHeaderSize);
+  std::memcpy(dst, &kImageSerMagic, sizeof kImageSerMagic);
+  // Function entries.
+  for (std::size_t i = 0; i < funcs_.size(); ++i) {
+    CodeEntry entry{};
+    entry.magic = kCodeEntryMagic;
+    entry.native = funcs_[i].native;
+    entry.func_id = static_cast<std::uint32_t>(i);
+    std::memcpy(dst + funcs_[i].code_offset, &entry, sizeof entry);
+  }
+  // Deterministic filler models the rest of the machine code. Filled in
+  // 64-bit strides; cheap but unique per image so copies are honest.
+  const std::size_t fill_begin =
+      kCodeHeaderSize + funcs_.size() * kCodeEntrySize;
+  util::SplitMix64 rng(code_fill_seed_);
+  std::size_t off = align_up(fill_begin, 8);
+  // Stamp every 4 KiB page rather than every word: keeps image creation
+  // O(pages) while still forcing real page-by-page copies downstream.
+  for (; off + 8 <= code_size_; off += 4096) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(dst + off, &v, 8);
+  }
+}
+
+void ProgramImage::materialize_data(std::byte* dst, const std::byte* code_base,
+                                    const std::byte* data_base) const {
+  // GOT first: absolute addresses relocated against this instance's bases,
+  // exactly what the dynamic linker produces for a loaded PIE.
+  auto* got = reinterpret_cast<std::uintptr_t*>(dst);
+  for (std::size_t i = 0; i < got_.size(); ++i) {
+    const GotEntry& e = got_[i];
+    if (e.kind == GotEntry::Kind::Func) {
+      got[i] = reinterpret_cast<std::uintptr_t>(code_base) +
+               funcs_[e.id].code_offset;
+    } else {
+      got[i] = reinterpret_cast<std::uintptr_t>(data_base) + vars_[e.id].offset;
+    }
+  }
+  // Variable initial values (zero-fill beyond provided init bytes).
+  std::memset(dst + got_bytes(), 0, data_size_ - got_bytes());
+  for (const VarDecl& v : vars_) {
+    if (v.is_tls) continue;
+    if (!v.init.empty())
+      std::memcpy(dst + v.offset, v.init.data(), v.init.size());
+  }
+}
+
+void ProgramImage::materialize_tls(std::byte* dst) const {
+  std::memset(dst, 0, tls_size_);
+  for (const VarDecl& v : vars_) {
+    if (!v.is_tls || v.init.empty()) continue;
+    std::memcpy(dst + v.offset, v.init.data(), v.init.size());
+  }
+}
+
+std::vector<std::byte> ProgramImage::serialize() const {
+  util::ByteBuffer buf;
+  buf.put<std::uint64_t>(kImageSerMagic);
+  auto put_string = [&buf](const std::string& s) {
+    buf.put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    buf.put_bytes(s.data(), s.size());
+  };
+  put_string(name_);
+  buf.put<std::uint8_t>(is_pie_ ? 1 : 0);
+  buf.put<std::uint64_t>(code_size_);
+  buf.put<std::uint64_t>(data_size_);
+  buf.put<std::uint64_t>(tls_size_);
+  buf.put<std::uint64_t>(code_fill_seed_);
+  buf.put<std::uint32_t>(static_cast<std::uint32_t>(shared_deps_.size()));
+  for (const auto& dep : shared_deps_) put_string(dep);
+  buf.put<std::uint32_t>(static_cast<std::uint32_t>(vars_.size()));
+  for (const VarDecl& v : vars_) {
+    put_string(v.name);
+    buf.put<std::uint64_t>(v.size);
+    buf.put<std::uint64_t>(v.align);
+    buf.put<std::uint32_t>(static_cast<std::uint32_t>(v.init.size()));
+    if (!v.init.empty()) buf.put_bytes(v.init.data(), v.init.size());
+    buf.put<std::uint8_t>(v.is_static);
+    buf.put<std::uint8_t>(v.is_const);
+    buf.put<std::uint8_t>(v.is_tls);
+    buf.put<std::uint64_t>(v.offset);
+    buf.put<std::uint32_t>(v.got_index);
+  }
+  buf.put<std::uint32_t>(static_cast<std::uint32_t>(funcs_.size()));
+  for (const FuncDecl& f : funcs_) {
+    put_string(f.name);  // natives re-resolved on deserialize
+    buf.put<std::uint64_t>(f.code_offset);
+    buf.put<std::uint32_t>(f.got_index);
+  }
+  buf.put<std::uint32_t>(static_cast<std::uint32_t>(got_.size()));
+  for (const GotEntry& e : got_) {
+    buf.put<std::uint8_t>(static_cast<std::uint8_t>(e.kind));
+    buf.put<std::uint32_t>(e.id);
+  }
+  // Constructor count is carried for validation; bodies are native code and
+  // re-resolved from the hint image, in declaration order.
+  buf.put<std::uint32_t>(static_cast<std::uint32_t>(ctors_.size()));
+  std::vector<std::byte> out(buf.size());
+  std::memcpy(out.data(), buf.data(), buf.size());
+  return out;
+}
+
+ProgramImage deserialize_image(const std::vector<std::byte>& bytes,
+                               const ProgramImage& registry_hint) {
+  util::ByteBuffer buf;
+  buf.put_bytes(bytes.data(), bytes.size());
+  buf.rewind();
+  require(buf.remaining() >= 8, ErrorCode::CorruptImage, "image too short");
+  require(buf.get<std::uint64_t>() == kImageSerMagic, ErrorCode::CorruptImage,
+          "bad image magic");
+  auto get_string = [&buf]() {
+    const auto n = buf.get<std::uint32_t>();
+    std::string s(n, '\0');
+    buf.get_bytes(s.data(), n);
+    return s;
+  };
+  ProgramImage img;
+  img.name_ = get_string();
+  require(img.name_ == registry_hint.name(), ErrorCode::CorruptImage,
+          "image name mismatch: on-disk copy is not this program");
+  img.is_pie_ = buf.get<std::uint8_t>() != 0;
+  img.code_size_ = buf.get<std::uint64_t>();
+  img.data_size_ = buf.get<std::uint64_t>();
+  img.tls_size_ = buf.get<std::uint64_t>();
+  img.code_fill_seed_ = buf.get<std::uint64_t>();
+  const auto ndeps = buf.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < ndeps; ++i)
+    img.shared_deps_.push_back(get_string());
+  const auto nvars = buf.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < nvars; ++i) {
+    VarDecl v;
+    v.name = get_string();
+    v.size = buf.get<std::uint64_t>();
+    v.align = buf.get<std::uint64_t>();
+    const auto ilen = buf.get<std::uint32_t>();
+    v.init.resize(ilen);
+    if (ilen > 0) buf.get_bytes(v.init.data(), ilen);
+    v.is_static = buf.get<std::uint8_t>() != 0;
+    v.is_const = buf.get<std::uint8_t>() != 0;
+    v.is_tls = buf.get<std::uint8_t>() != 0;
+    v.offset = buf.get<std::uint64_t>();
+    v.got_index = buf.get<std::uint32_t>();
+    img.var_by_name_[v.name] = static_cast<VarId>(img.vars_.size());
+    img.vars_.push_back(std::move(v));
+  }
+  const auto nfuncs = buf.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < nfuncs; ++i) {
+    FuncDecl f;
+    f.name = get_string();
+    f.code_offset = buf.get<std::uint64_t>();
+    f.got_index = buf.get<std::uint32_t>();
+    // Machine code cannot round-trip through our byte format; re-resolve the
+    // native body from the in-process image (same program, checked by name).
+    f.native = registry_hint.func(registry_hint.func_id(f.name)).native;
+    img.func_by_name_[f.name] = static_cast<FuncId>(img.funcs_.size());
+    img.funcs_.push_back(std::move(f));
+  }
+  const auto ngot = buf.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < ngot; ++i) {
+    GotEntry e;
+    e.kind = static_cast<GotEntry::Kind>(buf.get<std::uint8_t>());
+    e.id = buf.get<std::uint32_t>();
+    img.got_.push_back(e);
+  }
+  const auto nctors = buf.get<std::uint32_t>();
+  require(nctors == registry_hint.constructors().size(),
+          ErrorCode::CorruptImage, "constructor count mismatch");
+  img.ctors_ = registry_hint.constructors();
+  return img;
+}
+
+ImageBuilder::ImageBuilder(std::string name) { image_.name_ = std::move(name); }
+
+VarId ImageBuilder::add_var(const std::string& name, std::size_t size,
+                            std::size_t align, const void* init,
+                            std::size_t init_len, VarFlags flags) {
+  require(!built_, ErrorCode::BadState, "builder already consumed");
+  require(size > 0 && util::is_pow2(align) && align <= 4096,
+          ErrorCode::InvalidArgument, "bad variable size/alignment");
+  require(init_len <= size, ErrorCode::InvalidArgument,
+          "init longer than variable");
+  require(image_.var_by_name_.count(name) == 0, ErrorCode::AlreadyExists,
+          "duplicate variable: " + name);
+  require(!(flags.is_tls && flags.is_const), ErrorCode::InvalidArgument,
+          "const TLS variable makes no sense");
+  VarDecl v;
+  v.name = name;
+  v.size = size;
+  v.align = align;
+  if (init_len > 0) {
+    v.init.resize(init_len);
+    std::memcpy(v.init.data(), init, init_len);
+  }
+  v.is_static = flags.is_static;
+  v.is_const = flags.is_const;
+  v.is_tls = flags.is_tls;
+  const auto id = static_cast<VarId>(image_.vars_.size());
+  image_.var_by_name_[name] = id;
+  image_.vars_.push_back(std::move(v));
+  return id;
+}
+
+FuncId ImageBuilder::add_function(const std::string& name, NativeFn fn) {
+  require(!built_, ErrorCode::BadState, "builder already consumed");
+  require(fn != nullptr, ErrorCode::InvalidArgument, "null function body");
+  require(image_.func_by_name_.count(name) == 0, ErrorCode::AlreadyExists,
+          "duplicate function: " + name);
+  FuncDecl f;
+  f.name = name;
+  f.native = fn;
+  const auto id = static_cast<FuncId>(image_.funcs_.size());
+  image_.func_by_name_[name] = id;
+  image_.funcs_.push_back(std::move(f));
+  return id;
+}
+
+void ImageBuilder::add_constructor(CtorFn ctor) {
+  require(ctor != nullptr, ErrorCode::InvalidArgument, "null constructor");
+  image_.ctors_.push_back(ctor);
+}
+
+void ImageBuilder::add_shared_dep(const std::string& soname) {
+  image_.shared_deps_.push_back(soname);
+}
+
+void ImageBuilder::set_code_size(std::size_t bytes) {
+  requested_code_size_ = bytes;
+}
+
+void ImageBuilder::set_extra_data(std::size_t bytes) { extra_data_ = bytes; }
+
+void ImageBuilder::set_pie(bool pie) { image_.is_pie_ = pie; }
+
+ProgramImage ImageBuilder::build() {
+  require(!built_, ErrorCode::BadState, "builder already consumed");
+  built_ = true;
+
+  // Code layout: header, then one entry per function, then filler.
+  std::size_t code_off = ProgramImage::kCodeHeaderSize;
+  for (std::size_t i = 0; i < image_.funcs_.size(); ++i) {
+    image_.funcs_[i].code_offset = code_off;
+    code_off += ProgramImage::kCodeEntrySize;
+  }
+  image_.code_size_ = std::max(requested_code_size_, align_up(code_off, 4096));
+
+  // GOT slots: every function, plus every non-static non-TLS variable.
+  // Statics deliberately get none — that is Swapglobals' blind spot.
+  for (std::size_t i = 0; i < image_.funcs_.size(); ++i) {
+    image_.funcs_[i].got_index =
+        static_cast<std::uint32_t>(image_.got_.size());
+    image_.got_.push_back(
+        {GotEntry::Kind::Func, static_cast<std::uint32_t>(i)});
+  }
+  for (std::size_t i = 0; i < image_.vars_.size(); ++i) {
+    VarDecl& v = image_.vars_[i];
+    if (v.is_static || v.is_tls) continue;
+    v.got_index = static_cast<std::uint32_t>(image_.got_.size());
+    image_.got_.push_back({GotEntry::Kind::Var, static_cast<std::uint32_t>(i)});
+  }
+
+  // Data layout: GOT first, then variables in declaration order.
+  std::size_t data_off = image_.got_bytes();
+  std::size_t tls_off = 0;
+  for (VarDecl& v : image_.vars_) {
+    if (v.is_tls) {
+      tls_off = align_up(tls_off, v.align);
+      v.offset = tls_off;
+      tls_off += v.size;
+    } else {
+      data_off = align_up(data_off, v.align);
+      v.offset = data_off;
+      data_off += v.size;
+    }
+  }
+  image_.data_size_ = align_up(data_off + extra_data_, 4096);
+  image_.tls_size_ = align_up(std::max<std::size_t>(tls_off, 16), 16);
+
+  // Seed the code filler from the program name so different images have
+  // different (but reproducible) "machine code".
+  std::uint64_t seed = 0xcbf29ce484222325ULL;
+  for (char c : image_.name_)
+    seed = (seed ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  image_.code_fill_seed_ = seed;
+
+  return std::move(image_);
+}
+
+}  // namespace apv::img

@@ -1,0 +1,151 @@
+#include "image/instance.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace apv::img {
+
+using util::ApvError;
+using util::ErrorCode;
+using util::require;
+
+const char* instance_origin_name(InstanceOrigin origin) noexcept {
+  switch (origin) {
+    case InstanceOrigin::Primary: return "primary";
+    case InstanceOrigin::DlmopenNamespace: return "dlmopen";
+    case InstanceOrigin::FsCopy: return "fscopy";
+    case InstanceOrigin::PieCopy: return "piecopy";
+  }
+  return "?";
+}
+
+ImageInstance::ImageInstance(const ProgramImage& image, InstanceOrigin origin,
+                             std::byte* code, std::byte* data, bool owns,
+                             int namespace_index)
+    : image_(&image),
+      origin_(origin),
+      code_(code),
+      data_(data),
+      owns_memory_(owns),
+      namespace_index_(namespace_index) {}
+
+std::unique_ptr<ImageInstance> ImageInstance::allocate(
+    const ProgramImage& image, InstanceOrigin origin, int namespace_index) {
+  require(origin != InstanceOrigin::PieCopy, ErrorCode::InvalidArgument,
+          "PieCopy instances adopt external (Isomalloc) memory");
+  // Deliberately ordinary heap memory: this models segments mapped by the
+  // dynamic linker, which AMPI cannot route through Isomalloc — the root
+  // cause of PIPglobals/FSglobals lacking migration support.
+  auto* code = static_cast<std::byte*>(
+      std::aligned_alloc(4096, image.code_size()));
+  auto* data = static_cast<std::byte*>(
+      std::aligned_alloc(4096, image.data_size()));
+  require(code != nullptr && data != nullptr, ErrorCode::OutOfMemory,
+          "image segment allocation failed");
+  image.materialize_code(code);
+  image.materialize_data(data, code, data);
+  return std::unique_ptr<ImageInstance>(
+      new ImageInstance(image, origin, code, data, /*owns=*/true,
+                        namespace_index));
+}
+
+std::unique_ptr<ImageInstance> ImageInstance::adopt(const ProgramImage& image,
+                                                    InstanceOrigin origin,
+                                                    std::byte* code_base,
+                                                    std::byte* data_base) {
+  require(origin == InstanceOrigin::PieCopy, ErrorCode::InvalidArgument,
+          "adopt is the PieCopy path");
+  return std::unique_ptr<ImageInstance>(new ImageInstance(
+      image, origin, code_base, data_base, /*owns=*/false, -1));
+}
+
+ImageInstance::~ImageInstance() {
+  if (owns_memory_) {
+    for (const CtorAlloc& a : ctor_allocs_) std::free(a.ptr);
+    std::free(code_);
+    std::free(data_);
+  }
+}
+
+void* ImageInstance::var_addr(VarId id) const {
+  const VarDecl& v = image_->var(id);
+  require(!v.is_tls, ErrorCode::InvalidArgument,
+          "TLS variable storage belongs to the privatization method, "
+          "not the image instance: " + v.name);
+  return data_ + v.offset;
+}
+
+void* ImageInstance::func_addr(FuncId id) const {
+  const FuncDecl& f = image_->func(id);
+  return code_ + f.code_offset;
+}
+
+FuncId ImageInstance::func_at(const void* addr) const noexcept {
+  const auto* p = static_cast<const std::byte*>(addr);
+  if (p < code_ || p >= code_end()) return kInvalidId;
+  const auto off = static_cast<std::size_t>(p - code_);
+  if (off < ProgramImage::kCodeHeaderSize) return kInvalidId;
+  const std::size_t idx =
+      (off - ProgramImage::kCodeHeaderSize) / ProgramImage::kCodeEntrySize;
+  if (idx >= image_->funcs().size()) return kInvalidId;
+  return static_cast<FuncId>(idx);
+}
+
+NativeFn ImageInstance::native_at(FuncId id) const {
+  const FuncDecl& f = image_->func(id);
+  // Read through this instance's code bytes, the way real execution would
+  // fetch instructions from the (possibly copied) segment.
+  NativeFn fn;
+  std::memcpy(&fn, code_ + f.code_offset + 8, sizeof fn);
+  require(fn != nullptr, ErrorCode::CorruptImage,
+          "code entry missing native body: " + f.name);
+  return fn;
+}
+
+bool ImageInstance::contains_code(const void* addr) const noexcept {
+  const auto* p = static_cast<const std::byte*>(addr);
+  return p >= code_ && p < code_end();
+}
+
+bool ImageInstance::contains_data(const void* addr) const noexcept {
+  const auto* p = static_cast<const std::byte*>(addr);
+  return p >= data_ && p < data_end();
+}
+
+void* CtorContext::ctor_malloc(std::size_t size) {
+  void* p = std::malloc(size);
+  require(p != nullptr, ErrorCode::OutOfMemory, "constructor allocation");
+  std::memset(p, 0, size);
+  inst_->log_ctor_alloc(p, size);
+  return p;
+}
+
+void CtorContext::set_ptr(const std::string& var, void* value) {
+  const VarId id = inst_->image().var_id(var);
+  const VarDecl& decl = inst_->image().var(id);
+  require(decl.size >= sizeof(void*), ErrorCode::InvalidArgument,
+          "set_ptr target too small: " + var);
+  *static_cast<void**>(inst_->var_addr(id)) = value;
+  inst_->log_ptr_slot({PtrSlot::Where::Data, 0, decl.offset});
+}
+
+void CtorContext::write_heap_ptr(void* alloc_base, std::size_t offset,
+                                 void* value) {
+  const auto& allocs = inst_->ctor_allocs();
+  for (std::size_t i = 0; i < allocs.size(); ++i) {
+    if (allocs[i].ptr != alloc_base) continue;
+    require(offset + sizeof(void*) <= allocs[i].size,
+            ErrorCode::InvalidArgument, "write_heap_ptr out of bounds");
+    std::memcpy(static_cast<char*>(alloc_base) + offset, &value,
+                sizeof value);
+    inst_->log_ptr_slot(
+        {PtrSlot::Where::Heap, static_cast<std::uint32_t>(i), offset});
+    return;
+  }
+  throw ApvError(ErrorCode::NotFound,
+                 "write_heap_ptr: base is not a logged ctor allocation");
+}
+
+}  // namespace apv::img

@@ -1,0 +1,78 @@
+#include "isomalloc/pack.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "isomalloc/slot_heap.hpp"
+#include "util/error.hpp"
+
+namespace apv::iso {
+
+using util::ErrorCode;
+using util::require;
+
+namespace {
+constexpr std::uint64_t kPackMagic = 0x41505650'41434b31ULL;  // "APVPACK1"
+
+std::size_t touched_bytes(const IsoArena& arena, SlotId slot) {
+  // Touched mode requires a SlotHeap at the slot base; SlotHeap::at
+  // validates the magic and throws CorruptImage otherwise. The trailing
+  // free block's header and in-band free-list links sit immediately at the
+  // high-water offset and are live heap metadata, so the carried prefix
+  // must cover them (32 bytes: 16 header + 16 links).
+  SlotHeap* heap = SlotHeap::at(arena.slot_base(slot));
+  return std::min(arena.slot_size(), heap->high_water() + 32);
+}
+}  // namespace
+
+const char* pack_mode_name(PackMode mode) noexcept {
+  switch (mode) {
+    case PackMode::FullSlot: return "full";
+    case PackMode::Touched: return "touched";
+  }
+  return "?";
+}
+
+std::size_t packed_payload_size(const IsoArena& arena, SlotId slot,
+                                PackMode mode) {
+  return mode == PackMode::FullSlot ? arena.slot_size()
+                                    : touched_bytes(arena, slot);
+}
+
+void pack_slot(const IsoArena& arena, SlotId slot, PackMode mode,
+               util::ByteBuffer& out) {
+  const std::size_t len = packed_payload_size(arena, slot, mode);
+  out.put<std::uint64_t>(kPackMagic);
+  out.put<std::uint64_t>(arena.slot_size());
+  out.put<std::uint64_t>(len);
+  out.put_bytes(arena.slot_base(slot), len);
+}
+
+void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteBuffer& in) {
+  require(in.remaining() >= 3 * sizeof(std::uint64_t), ErrorCode::CorruptImage,
+          "unpack_slot: truncated stream");
+  const auto magic = in.get<std::uint64_t>();
+  require(magic == kPackMagic, ErrorCode::CorruptImage,
+          "unpack_slot: bad magic");
+  const auto slot_size = in.get<std::uint64_t>();
+  require(slot_size == arena.slot_size(), ErrorCode::CorruptImage,
+          "unpack_slot: slot size mismatch between source and destination");
+  const auto len = in.get<std::uint64_t>();
+  require(len <= arena.slot_size(), ErrorCode::CorruptImage,
+          "unpack_slot: region exceeds slot");
+  require(in.remaining() >= len, ErrorCode::CorruptImage,
+          "unpack_slot: truncated payload");
+  char* base = static_cast<char*>(arena.slot_base(slot));
+  // Poison a window beyond the carried prefix: a real migration lands in a
+  // fresh address space, so nothing outside the packed bytes survives, and
+  // tests must catch reliance on such bytes. The window is capped so that
+  // poisoning (a testing aid) does not dominate the measured migration
+  // cost of mostly-empty large slots.
+  constexpr std::uint64_t kPoisonWindow = std::uint64_t{4} << 20;
+  const std::uint64_t poison =
+      std::min<std::uint64_t>(kPoisonWindow, arena.slot_size() - len);
+  std::memset(base + len, 0xDB, poison);
+  in.get_bytes(base, len);
+}
+
+}  // namespace apv::iso

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+
+#include "isomalloc/arena.hpp"
+#include "util/bytes.hpp"
+
+namespace apv::iso {
+
+/// How much of a slot a migration message carries.
+enum class PackMode {
+  /// The entire slot, committed or not. Simple and always correct; cost is
+  /// proportional to slot size regardless of actual usage.
+  FullSlot,
+  /// Only the "touched" prefix [0, SlotHeap::high_water()). This is the
+  /// paper's future-work optimization of migrating only the regions that
+  /// can differ; requires the slot to be SlotHeap-formatted at its base.
+  Touched,
+};
+
+const char* pack_mode_name(PackMode mode) noexcept;
+
+/// Serializes a slot's memory into `out`. The byte stream is
+/// self-describing (magic, slot size, region list) and is validated on
+/// unpack. The slot remains intact after packing.
+void pack_slot(const IsoArena& arena, SlotId slot, PackMode mode,
+               util::ByteBuffer& out);
+
+/// Restores a slot's memory from a stream produced by pack_slot. The
+/// destination slot must have the same slot size. Bytes outside the packed
+/// regions are poisoned (0xDB) first, so tests catch any reliance on data
+/// that a real cross-process migration would not have carried.
+void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteBuffer& in);
+
+/// Number of payload bytes pack_slot would produce (excluding framing).
+std::size_t packed_payload_size(const IsoArena& arena, SlotId slot,
+                                PackMode mode);
+
+}  // namespace apv::iso

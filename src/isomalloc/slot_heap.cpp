@@ -1,0 +1,281 @@
+#include "isomalloc/slot_heap.hpp"
+
+#include <cstring>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace apv::iso {
+
+using util::align_up;
+using util::ApvError;
+using util::ErrorCode;
+using util::is_pow2;
+using util::require;
+
+namespace {
+constexpr std::uint64_t kHeapMagic = 0x41505653'4c4f5448ULL;  // "APVSLOTH"
+constexpr std::size_t kMinAlign = 16;
+constexpr std::size_t kMaxAlign = 4096;
+// Minimum whole-block size: header (16) + payload big enough for the
+// in-band free links when the block is free (16).
+constexpr std::size_t kMinBlock = 16 + 16;
+// Marker placed just before an alignment-adjusted payload pointer so that
+// free() can find the real payload start. Low 32 bits: back-offset.
+constexpr std::uint64_t kAlignMarkerTag = 0xA11C4000'00000000ULL;
+constexpr std::uint64_t kAlignMarkerMask = 0xFFFFFF00'00000000ULL;
+}  // namespace
+
+SlotHeap* SlotHeap::format(void* base, std::size_t size) {
+  require(base != nullptr && size >= 4096, ErrorCode::InvalidArgument,
+          "SlotHeap::format: need >= 4 KiB");
+  require(reinterpret_cast<std::uintptr_t>(base) % kMinAlign == 0,
+          ErrorCode::InvalidArgument, "SlotHeap::format: unaligned base");
+  auto* h = new (base) SlotHeap();
+  h->magic_ = kHeapMagic;
+  h->total_size_ = size;
+  h->heap_begin_ = align_up(sizeof(SlotHeap), kMinAlign);
+  h->in_use_ = 0;
+  h->blocks_ = 0;
+  h->high_water_ = h->heap_begin_;
+  auto* first = reinterpret_cast<Block*>(reinterpret_cast<char*>(base) +
+                                         h->heap_begin_);
+  const std::size_t usable = (size - h->heap_begin_) & ~(kMinAlign - 1);
+  first->set(usable, false);
+  first->prev_size = 0;
+  h->free_head_ = nullptr;
+  h->free_list_insert(first);
+  return h;
+}
+
+SlotHeap* SlotHeap::at(void* base) {
+  auto* h = static_cast<SlotHeap*>(base);
+  require(h->magic_ == kHeapMagic, ErrorCode::CorruptImage,
+          "SlotHeap::at: bad magic (slot not formatted or corrupted)");
+  return h;
+}
+
+const SlotHeap::Block* SlotHeap::first_block() const noexcept {
+  return reinterpret_cast<const Block*>(
+      reinterpret_cast<const char*>(this) + heap_begin_);
+}
+
+SlotHeap::Block* SlotHeap::first_block() noexcept {
+  return reinterpret_cast<Block*>(reinterpret_cast<char*>(this) +
+                                  heap_begin_);
+}
+
+const SlotHeap::Block* SlotHeap::next_physical(
+    const Block* b) const noexcept {
+  const auto* p = reinterpret_cast<const char*>(b) + b->size();
+  const auto* heap_end = reinterpret_cast<const char*>(this) + heap_begin_ +
+                         ((total_size_ - heap_begin_) & ~(kMinAlign - 1));
+  if (p >= heap_end) return nullptr;
+  return reinterpret_cast<const Block*>(p);
+}
+
+SlotHeap::Block* SlotHeap::next_physical(Block* b) noexcept {
+  return const_cast<Block*>(
+      static_cast<const SlotHeap*>(this)->next_physical(b));
+}
+
+SlotHeap::Block* SlotHeap::prev_physical(Block* b) noexcept {
+  if (b->prev_size == 0) return nullptr;
+  return reinterpret_cast<Block*>(reinterpret_cast<char*>(b) - b->prev_size);
+}
+
+SlotHeap::FreeLinks* SlotHeap::links(Block* b) noexcept {
+  return static_cast<FreeLinks*>(b->payload());
+}
+
+void SlotHeap::free_list_insert(Block* b) noexcept {
+  FreeLinks* l = links(b);
+  l->next = free_head_;
+  l->prev = nullptr;
+  if (free_head_ != nullptr) links(free_head_)->prev = b;
+  free_head_ = b;
+}
+
+void SlotHeap::free_list_remove(Block* b) noexcept {
+  FreeLinks* l = links(b);
+  if (l->prev != nullptr)
+    links(l->prev)->next = l->next;
+  else
+    free_head_ = l->next;
+  if (l->next != nullptr) links(l->next)->prev = l->prev;
+}
+
+SlotHeap::Block* SlotHeap::split(Block* b, std::size_t need) noexcept {
+  // b is free and off the free list; carve `need` bytes, return remainder
+  // to the free list if big enough to stand alone.
+  const std::size_t total = b->size();
+  if (total >= need + kMinBlock) {
+    auto* rest = reinterpret_cast<Block*>(reinterpret_cast<char*>(b) + need);
+    rest->set(total - need, false);
+    rest->prev_size = need;
+    Block* after = next_physical(rest);
+    if (after != nullptr) after->prev_size = rest->size();
+    free_list_insert(rest);
+    b->set(need, false);
+  }
+  return b;
+}
+
+void SlotHeap::update_high_water(const Block* b) noexcept {
+  const std::size_t end_off =
+      static_cast<std::size_t>(reinterpret_cast<const char*>(b) -
+                               reinterpret_cast<const char*>(this)) +
+      b->size();
+  if (end_off > high_water_) high_water_ = end_off;
+}
+
+void* SlotHeap::try_alloc(std::size_t size, std::size_t align) noexcept {
+  if (size == 0) size = 1;
+  if (align < kMinAlign) align = kMinAlign;
+  if (!is_pow2(align) || align > kMaxAlign) return nullptr;
+
+  // Worst-case block size: header + alignment slack + payload, all rounded
+  // to the 16-byte block granule. Blocks are always 16-aligned, so payloads
+  // are 16-aligned for free; larger alignments reserve slack plus room for
+  // the back-offset marker.
+  const std::size_t slack = (align > kMinAlign) ? align : 0;
+  const std::size_t need =
+      align_up(sizeof(Block) + slack + align_up(size, kMinAlign), kMinAlign);
+
+  for (Block* b = free_head_; b != nullptr; b = links(b)->next) {
+    if (b->size() < need) continue;
+    free_list_remove(b);
+    Block* blk = split(b, need);
+    blk->set(blk->size(), true);
+    ++blocks_;
+    in_use_ += blk->payload_size();
+    update_high_water(blk);
+
+    auto payload = reinterpret_cast<std::uintptr_t>(blk->payload());
+    std::uintptr_t user = align_up(payload, align);
+    if (user != payload) {
+      // Record how far back the true payload start is.
+      auto* marker = reinterpret_cast<std::uint64_t*>(user - 8);
+      *marker = kAlignMarkerTag | static_cast<std::uint64_t>(user - payload);
+    }
+    return reinterpret_cast<void*>(user);
+  }
+  return nullptr;
+}
+
+void* SlotHeap::alloc(std::size_t size, std::size_t align) {
+  require(is_pow2(align) && align <= kMaxAlign, ErrorCode::InvalidArgument,
+          "SlotHeap::alloc: bad alignment");
+  void* p = try_alloc(size, align);
+  if (p == nullptr)
+    throw ApvError(ErrorCode::OutOfMemory,
+                   "isomalloc slot heap exhausted (rank memory limit)");
+  return p;
+}
+
+SlotHeap::Block* SlotHeap::block_of(void* p) {
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  require(addr % kMinAlign == 0, ErrorCode::CorruptImage,
+          "SlotHeap::free: misaligned pointer");
+  // Undo alignment slack if an alignment marker precedes the pointer.
+  const auto marker = *reinterpret_cast<std::uint64_t*>(addr - 8);
+  if ((marker & kAlignMarkerMask) == (kAlignMarkerTag & kAlignMarkerMask)) {
+    const auto back = marker & 0xFFFFFFFFULL;
+    if (back >= 16 && back <= kMaxAlign) addr -= back;
+  }
+  return reinterpret_cast<Block*>(addr - sizeof(Block));
+}
+
+void SlotHeap::free(void* p) {
+  require(p != nullptr, ErrorCode::InvalidArgument, "SlotHeap::free(null)");
+  Block* b = block_of(p);
+  require(b->used(), ErrorCode::CorruptImage,
+          "SlotHeap::free: double free or foreign pointer");
+  in_use_ -= b->payload_size();
+  --blocks_;
+  b->set(b->size(), false);
+
+  // Coalesce with physical successor.
+  Block* next = next_physical(b);
+  if (next != nullptr && !next->used()) {
+    free_list_remove(next);
+    b->set(b->size() + next->size(), false);
+  }
+  // Coalesce with physical predecessor.
+  Block* prev = prev_physical(b);
+  if (prev != nullptr && !prev->used()) {
+    free_list_remove(prev);
+    prev->set(prev->size() + b->size(), false);
+    b = prev;
+  }
+  Block* after = next_physical(b);
+  if (after != nullptr) after->prev_size = b->size();
+  free_list_insert(b);
+}
+
+std::size_t SlotHeap::capacity() const noexcept {
+  return (total_size_ - heap_begin_) & ~(kMinAlign - 1);
+}
+
+std::size_t SlotHeap::bytes_in_use() const noexcept { return in_use_; }
+std::size_t SlotHeap::block_count() const noexcept { return blocks_; }
+std::size_t SlotHeap::high_water() const noexcept { return high_water_; }
+
+bool SlotHeap::check_integrity() const {
+  if (magic_ != kHeapMagic) return false;
+  std::size_t seen_bytes = 0;
+  std::size_t seen_used = 0;
+  std::size_t prev_size = 0;
+  bool prev_free = false;
+  std::size_t free_blocks = 0;
+  for (const Block* b = first_block(); b != nullptr; b = next_physical(b)) {
+    if (b->size() < kMinBlock || b->size() % kMinAlign != 0) {
+      APV_ERROR("iso", "integrity: bad block size %zu", b->size());
+      return false;
+    }
+    if (b->prev_size != prev_size) {
+      APV_ERROR("iso", "integrity: boundary tag mismatch");
+      return false;
+    }
+    if (!b->used()) {
+      if (prev_free) {
+        APV_ERROR("iso", "integrity: adjacent free blocks not coalesced");
+        return false;
+      }
+      ++free_blocks;
+    } else {
+      ++seen_used;
+    }
+    prev_free = !b->used();
+    prev_size = b->size();
+    seen_bytes += b->size();
+  }
+  if (seen_bytes != capacity()) {
+    APV_ERROR("iso", "integrity: blocks cover %zu of %zu bytes", seen_bytes,
+              capacity());
+    return false;
+  }
+  if (seen_used != blocks_) {
+    APV_ERROR("iso", "integrity: used-block count drifted");
+    return false;
+  }
+  // Free list must contain exactly the free blocks.
+  std::size_t list_len = 0;
+  for (const Block* b = free_head_; b != nullptr;
+       b = static_cast<const FreeLinks*>(b->payload())->next) {
+    if (b->used()) {
+      APV_ERROR("iso", "integrity: used block on free list");
+      return false;
+    }
+    if (++list_len > free_blocks) break;
+  }
+  if (list_len != free_blocks) {
+    APV_ERROR("iso", "integrity: free list length %zu != free blocks %zu",
+              list_len, free_blocks);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace apv::iso

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace apv::iso {
+
+/// First-fit heap allocator living entirely *inside* an isomalloc slot.
+///
+/// Every byte of allocator metadata (this header object, block headers, free
+/// links) is stored in-band within the slot, at stable virtual addresses.
+/// Packing the slot's bytes and unpacking them at the same address on
+/// another PE therefore reconstitutes a fully working heap — the property
+/// AMPI's Isomalloc uses to migrate ranks with zero user serialization.
+///
+/// Not thread-safe: a slot belongs to exactly one virtual rank, and all
+/// accesses happen from that rank's ULT or from its PE while the rank is
+/// suspended.
+class SlotHeap {
+ public:
+  /// Formats raw slot memory [base, base+size) as an empty heap and returns
+  /// the heap handle (which lives at `base`). Size must be at least 4 KiB.
+  static SlotHeap* format(void* base, std::size_t size);
+
+  /// Reinterprets already-formatted memory (e.g. after migration unpack).
+  /// Validates the magic number; throws CorruptImage on mismatch.
+  static SlotHeap* at(void* base);
+
+  SlotHeap(const SlotHeap&) = delete;
+  SlotHeap& operator=(const SlotHeap&) = delete;
+
+  /// Allocates `size` bytes aligned to `align` (power of two, >= 16,
+  /// <= 4096). Throws OutOfMemory if no block fits.
+  void* alloc(std::size_t size, std::size_t align = 16);
+
+  /// Variant returning nullptr instead of throwing.
+  void* try_alloc(std::size_t size, std::size_t align = 16) noexcept;
+
+  /// Frees a pointer previously returned by alloc. Coalesces with free
+  /// neighbours. Throws CorruptImage if `p` is not a live allocation.
+  void free(void* p);
+
+  std::size_t capacity() const noexcept;       ///< usable bytes in the slot
+  std::size_t bytes_in_use() const noexcept;   ///< payload bytes allocated
+  std::size_t block_count() const noexcept;    ///< live allocations
+  /// Highest byte offset (from slot base) ever occupied by a used block;
+  /// the "touched" prefix that PackMode::Touched migrates.
+  std::size_t high_water() const noexcept;
+
+  /// Full structural validation: block chain covers the slot exactly,
+  /// boundary tags agree, free list matches free blocks, no two adjacent
+  /// free blocks. Returns false (and logs) on any violation.
+  bool check_integrity() const;
+
+  /// Calls fn(payload, payload_size) for every live allocation, in address
+  /// order. Used by PIEglobals' constructor-allocation pointer scans.
+  template <typename Fn>
+  void for_each_allocation(Fn&& fn) const {
+    const Block* b = first_block();
+    while (b != nullptr) {
+      if (b->used()) fn(b->payload(), b->payload_size());
+      b = next_physical(b);
+    }
+  }
+
+ private:
+  struct Block {
+    std::uint64_t size_flags;  // block size incl header | kUsedFlag
+    std::uint64_t prev_size;   // physical predecessor's size (0 if first)
+    // Free blocks additionally store next_free/prev_free in their payload.
+
+    static constexpr std::uint64_t kUsedFlag = 1;
+
+    std::size_t size() const noexcept {
+      return static_cast<std::size_t>(size_flags & ~kUsedFlag);
+    }
+    bool used() const noexcept { return (size_flags & kUsedFlag) != 0; }
+    void set(std::size_t size, bool used) noexcept {
+      size_flags = static_cast<std::uint64_t>(size) | (used ? kUsedFlag : 0);
+    }
+    void* payload() const noexcept {
+      return const_cast<char*>(reinterpret_cast<const char*>(this)) +
+             sizeof(Block);
+    }
+    std::size_t payload_size() const noexcept { return size() - sizeof(Block); }
+  };
+  static_assert(sizeof(Block) == 16);
+
+  struct FreeLinks {
+    Block* next;
+    Block* prev;
+  };
+
+  SlotHeap() = default;
+
+  const Block* first_block() const noexcept;
+  Block* first_block() noexcept;
+  const Block* next_physical(const Block* b) const noexcept;
+  Block* next_physical(Block* b) noexcept;
+  Block* prev_physical(Block* b) noexcept;
+  FreeLinks* links(Block* b) noexcept;
+
+  void free_list_insert(Block* b) noexcept;
+  void free_list_remove(Block* b) noexcept;
+  Block* split(Block* b, std::size_t need) noexcept;
+  void update_high_water(const Block* b) noexcept;
+  Block* block_of(void* p);
+
+  std::uint64_t magic_;
+  std::size_t total_size_;   // slot bytes handed to format()
+  std::size_t heap_begin_;   // offset of first block from `this`
+  std::size_t in_use_;       // payload bytes allocated
+  std::size_t blocks_;       // live allocation count
+  std::size_t high_water_;   // offset from `this`
+  Block* free_head_;
+};
+
+}  // namespace apv::iso

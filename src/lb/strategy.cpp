@@ -1,0 +1,186 @@
+#include "lb/strategy.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace apv::lb {
+
+using util::ApvError;
+using util::ErrorCode;
+using util::require;
+
+std::vector<double> LbStats::pe_loads() const {
+  std::vector<double> loads(static_cast<std::size_t>(num_pes), 0.0);
+  for (int r = 0; r < num_ranks(); ++r) {
+    loads[static_cast<std::size_t>(rank_pe[static_cast<std::size_t>(r)])] +=
+        rank_load[static_cast<std::size_t>(r)];
+  }
+  return loads;
+}
+
+namespace {
+
+void validate(const LbStats& stats) {
+  require(stats.num_pes >= 1, ErrorCode::InvalidArgument, "no PEs");
+  require(stats.rank_load.size() == stats.rank_pe.size(),
+          ErrorCode::InvalidArgument, "LbStats vectors disagree");
+  for (int pe : stats.rank_pe) {
+    require(pe >= 0 && pe < stats.num_pes, ErrorCode::InvalidArgument,
+            "rank assigned to invalid PE");
+  }
+}
+
+// Index of the minimum element; ties broken toward lower PE for
+// determinism.
+int argmin(const std::vector<double>& v) {
+  return static_cast<int>(
+      std::min_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+Assignment GreedyLb::assign(const LbStats& stats) const {
+  validate(stats);
+  const int n = stats.num_ranks();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return stats.rank_load[static_cast<std::size_t>(a)] >
+           stats.rank_load[static_cast<std::size_t>(b)];
+  });
+  std::vector<double> pe_load(static_cast<std::size_t>(stats.num_pes), 0.0);
+  Assignment out(static_cast<std::size_t>(n));
+  for (int r : order) {
+    const int pe = argmin(pe_load);
+    out[static_cast<std::size_t>(r)] = pe;
+    pe_load[static_cast<std::size_t>(pe)] +=
+        stats.rank_load[static_cast<std::size_t>(r)];
+  }
+  return out;
+}
+
+Assignment GreedyRefineLb::assign(const LbStats& stats) const {
+  validate(stats);
+  const int n = stats.num_ranks();
+  Assignment out(stats.rank_pe.begin(), stats.rank_pe.end());
+  std::vector<double> pe_load = stats.pe_loads();
+  const double total = std::accumulate(pe_load.begin(), pe_load.end(), 0.0);
+  const double avg = total / stats.num_pes;
+  const double ceiling = avg * (1.0 + tolerance_);
+
+  // Move work off the most loaded PE while it exceeds the ceiling and a
+  // strictly improving move exists. Each iteration moves the largest rank
+  // that fits under the ceiling on the least loaded PE (or the smallest
+  // rank if none fits — progress beats perfection).
+  for (int guard = 0; guard < 4 * n + 16; ++guard) {
+    const int src = static_cast<int>(
+        std::max_element(pe_load.begin(), pe_load.end()) - pe_load.begin());
+    if (pe_load[static_cast<std::size_t>(src)] <= ceiling) break;
+    const int dst = argmin(pe_load);
+    if (dst == src) break;
+
+    int best = -1;
+    double best_load = -1.0;
+    int smallest = -1;
+    double smallest_load = 0.0;
+    for (int r = 0; r < n; ++r) {
+      if (out[static_cast<std::size_t>(r)] != src) continue;
+      const double load = stats.rank_load[static_cast<std::size_t>(r)];
+      if (load <= 0.0) continue;
+      if (pe_load[static_cast<std::size_t>(dst)] + load <= ceiling &&
+          load > best_load) {
+        best = r;
+        best_load = load;
+      }
+      if (smallest < 0 || load < smallest_load) {
+        smallest = r;
+        smallest_load = load;
+      }
+    }
+    int move = best >= 0 ? best : smallest;
+    if (move < 0) break;
+    const double load = stats.rank_load[static_cast<std::size_t>(move)];
+    // Refuse moves that would just trade places of the hot spot.
+    if (pe_load[static_cast<std::size_t>(dst)] + load >=
+        pe_load[static_cast<std::size_t>(src)]) {
+      break;
+    }
+    out[static_cast<std::size_t>(move)] = dst;
+    pe_load[static_cast<std::size_t>(src)] -= load;
+    pe_load[static_cast<std::size_t>(dst)] += load;
+  }
+  return out;
+}
+
+Assignment RotateLb::assign(const LbStats& stats) const {
+  validate(stats);
+  Assignment out(static_cast<std::size_t>(stats.num_ranks()));
+  for (int r = 0; r < stats.num_ranks(); ++r) {
+    out[static_cast<std::size_t>(r)] =
+        (stats.rank_pe[static_cast<std::size_t>(r)] + 1) % stats.num_pes;
+  }
+  return out;
+}
+
+Assignment RandLb::assign(const LbStats& stats) const {
+  validate(stats);
+  // Seed from the stats so every rank derives the same "random" placement.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  for (double v : stats.rank_load) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    seed = (seed ^ bits) * 0x100000001b3ULL;
+  }
+  util::SplitMix64 rng(seed);
+  Assignment out(static_cast<std::size_t>(stats.num_ranks()));
+  for (auto& pe : out)
+    pe = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(stats.num_pes)));
+  return out;
+}
+
+Assignment NullLb::assign(const LbStats& stats) const {
+  validate(stats);
+  return Assignment(stats.rank_pe.begin(), stats.rank_pe.end());
+}
+
+std::unique_ptr<Strategy> make_strategy(const std::string& name) {
+  if (name == "greedy") return std::make_unique<GreedyLb>();
+  if (name == "greedyrefine" || name == "greedyrefinelb")
+    return std::make_unique<GreedyRefineLb>();
+  if (name == "rotate") return std::make_unique<RotateLb>();
+  if (name == "rand") return std::make_unique<RandLb>();
+  if (name == "none") return std::make_unique<NullLb>();
+  throw ApvError(ErrorCode::InvalidArgument,
+                 "unknown LB strategy: " + name);
+}
+
+double assignment_imbalance(const LbStats& stats,
+                            const Assignment& assignment) {
+  std::vector<double> loads(static_cast<std::size_t>(stats.num_pes), 0.0);
+  for (int r = 0; r < stats.num_ranks(); ++r) {
+    loads[static_cast<std::size_t>(assignment[static_cast<std::size_t>(r)])] +=
+        stats.rank_load[static_cast<std::size_t>(r)];
+  }
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  if (total <= 0.0) return 1.0;
+  const double avg = total / stats.num_pes;
+  return *std::max_element(loads.begin(), loads.end()) / avg;
+}
+
+int migration_count(const LbStats& stats, const Assignment& assignment) {
+  int moves = 0;
+  for (int r = 0; r < stats.num_ranks(); ++r) {
+    if (assignment[static_cast<std::size_t>(r)] !=
+        stats.rank_pe[static_cast<std::size_t>(r)])
+      ++moves;
+  }
+  return moves;
+}
+
+}  // namespace apv::lb

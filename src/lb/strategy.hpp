@@ -1,0 +1,99 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace apv::lb {
+
+/// Measured input to a rebalancing decision: one load value per rank
+/// (seconds of busy time since the last LB step) and the current placement.
+/// This is the runtime-agnostic core of Charm++'s LB database — the same
+/// struct feeds both the real runtime's AMPI_Migrate path and the
+/// virtual-time cluster simulator, so strategies are tested once and used
+/// everywhere.
+struct LbStats {
+  std::vector<double> rank_load;  ///< indexed by rank
+  std::vector<int> rank_pe;       ///< current PE per rank
+  int num_pes = 1;
+
+  int num_ranks() const noexcept {
+    return static_cast<int>(rank_load.size());
+  }
+  /// Aggregated per-PE loads under the current placement.
+  std::vector<double> pe_loads() const;
+};
+
+/// A rank→PE assignment (same indexing as LbStats::rank_load).
+using Assignment = std::vector<int>;
+
+/// Rebalancing strategy interface. Implementations must be deterministic:
+/// in the real runtime every rank runs the strategy independently on
+/// identical stats and must reach the identical assignment.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual const char* name() const noexcept = 0;
+  virtual Assignment assign(const LbStats& stats) const = 0;
+};
+
+/// Charm++-style GreedyLB: sort ranks by decreasing load, place each on the
+/// currently least-loaded PE. Produces near-optimal balance but ignores
+/// current placement, so it migrates almost everything.
+class GreedyLb final : public Strategy {
+ public:
+  const char* name() const noexcept override { return "greedy"; }
+  Assignment assign(const LbStats& stats) const override;
+};
+
+/// GreedyRefineLB (the strategy the paper's ADCIRC runs use): start from
+/// the current placement and greedily move ranks off overloaded PEs onto
+/// underloaded ones only while that reduces the maximum PE load. Balances
+/// nearly as well as GreedyLb with far fewer migrations.
+class GreedyRefineLb final : public Strategy {
+ public:
+  /// `tolerance` is the accepted overshoot above the average PE load
+  /// (0.05 = stop refining within 5% of perfect balance).
+  explicit GreedyRefineLb(double tolerance = 0.05) : tolerance_(tolerance) {}
+  const char* name() const noexcept override { return "greedyrefine"; }
+  Assignment assign(const LbStats& stats) const override;
+
+ private:
+  double tolerance_;
+};
+
+/// RotateLB: every rank moves to (pe+1) mod P. Useless for balance; used to
+/// stress the migration machinery (Charm++ ships the same).
+class RotateLb final : public Strategy {
+ public:
+  const char* name() const noexcept override { return "rotate"; }
+  Assignment assign(const LbStats& stats) const override;
+};
+
+/// Deterministic pseudo-random placement (seeded from the stats), for
+/// baseline comparisons.
+class RandLb final : public Strategy {
+ public:
+  const char* name() const noexcept override { return "rand"; }
+  Assignment assign(const LbStats& stats) const override;
+};
+
+/// Identity placement (LB disabled).
+class NullLb final : public Strategy {
+ public:
+  const char* name() const noexcept override { return "none"; }
+  Assignment assign(const LbStats& stats) const override;
+};
+
+/// Factory by name: "greedy", "greedyrefine", "rotate", "rand", "none".
+/// Throws InvalidArgument for unknown names.
+std::unique_ptr<Strategy> make_strategy(const std::string& name);
+
+/// max/mean PE load ratio of an assignment (1.0 = perfect balance).
+double assignment_imbalance(const LbStats& stats,
+                            const Assignment& assignment);
+
+/// Number of ranks whose PE differs from the current placement.
+int migration_count(const LbStats& stats, const Assignment& assignment);
+
+}  // namespace apv::lb

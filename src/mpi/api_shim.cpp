@@ -1,0 +1,270 @@
+// Implementations behind the ApiTable function-pointer shim (paper Fig. 4).
+// Each api_* free function is the "runtime side" of one slot; the table is
+// packed once per Runtime, and privatized program code calls exclusively
+// through it.
+
+#include <cstring>
+#include <vector>
+
+#include "mpi/api_shim.hpp"
+#include "mpi/runtime.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace apv::mpi {
+
+using util::ErrorCode;
+using util::require;
+
+namespace {
+
+Runtime& rt(Env* e) { return e->runtime(); }
+RankMpi& rm(Env* e) { return e->state(); }
+
+std::size_t nbytes(int count, Datatype dt) {
+  require(count >= 0, ErrorCode::InvalidArgument, "negative count");
+  return static_cast<std::size_t>(count) * datatype_size(dt);
+}
+
+int api_comm_rank(Env* e, CommId comm) {
+  return rt(e).comm_info(comm).local_of(rm(e).world_rank);
+}
+
+int api_comm_size(Env* e, CommId comm) {
+  return rt(e).comm_info(comm).size();
+}
+
+void api_send(Env* e, const void* buf, int count, Datatype dt, int dst,
+              int tag, CommId comm) {
+  require(tag >= 0 && tag <= kMaxUserTag, ErrorCode::InvalidArgument,
+          "user tag out of range");
+  rt(e).do_send(rm(e), buf, nbytes(count, dt), dst, tag, comm);
+}
+
+Status api_recv(Env* e, void* buf, int count, Datatype dt, int src, int tag,
+                CommId comm) {
+  Request req = rt(e).do_irecv(rm(e), buf, nbytes(count, dt), src, tag, comm);
+  return rt(e).do_wait(rm(e), req);
+}
+
+Request api_isend(Env* e, const void* buf, int count, Datatype dt, int dst,
+                  int tag, CommId comm) {
+  // Eager transport: the payload is copied out immediately, so the send is
+  // complete the moment it is posted (like a buffered MPI_Ibsend).
+  api_send(e, buf, count, dt, dst, tag, comm);
+  RankMpi& r = rm(e);
+  const Request req = r.alloc_request(RequestState::Kind::Send);
+  r.requests[static_cast<std::size_t>(req)].complete = true;
+  return req;
+}
+
+Request api_irecv(Env* e, void* buf, int count, Datatype dt, int src, int tag,
+                  CommId comm) {
+  return rt(e).do_irecv(rm(e), buf, nbytes(count, dt), src, tag, comm);
+}
+
+Status api_wait(Env* e, Request* req) { return rt(e).do_wait(rm(e), *req); }
+
+void api_waitall(Env* e, int n, Request* reqs) {
+  for (int i = 0; i < n; ++i) {
+    if (reqs[i] != kRequestNull) rt(e).do_wait(rm(e), reqs[i]);
+  }
+}
+
+int api_waitany(Env* e, int n, Request* reqs, Status* status) {
+  RankMpi& r = rm(e);
+  for (;;) {
+    bool any_active = false;
+    for (int i = 0; i < n; ++i) {
+      if (reqs[i] == kRequestNull) continue;
+      any_active = true;
+      if (rt(e).do_test(r, reqs[i], status)) return i;
+    }
+    require(any_active, ErrorCode::InvalidArgument,
+            "waitany with no active requests");
+    r.waiting = true;
+    ult::current_scheduler()->suspend();
+    r.waiting = false;
+  }
+}
+
+bool api_test(Env* e, Request* req, Status* status) {
+  return rt(e).do_test(rm(e), *req, status);
+}
+
+bool api_iprobe(Env* e, int src, int tag, CommId comm, Status* status) {
+  return rt(e).do_iprobe(rm(e), src, tag, comm, status);
+}
+
+Status api_probe(Env* e, int src, int tag, CommId comm) {
+  RankMpi& r = rm(e);
+  Status status;
+  while (!rt(e).do_iprobe(r, src, tag, comm, &status)) {
+    r.waiting = true;
+    ult::current_scheduler()->suspend();
+    r.waiting = false;
+  }
+  return status;
+}
+
+void api_sendrecv(Env* e, const void* sbuf, int scount, Datatype sdt, int dst,
+                  int stag, void* rbuf, int rcount, Datatype rdt, int src,
+                  int rtag, CommId comm, Status* status) {
+  Request rreq = api_irecv(e, rbuf, rcount, rdt, src, rtag, comm);
+  api_send(e, sbuf, scount, sdt, dst, stag, comm);
+  const Status st = rt(e).do_wait(rm(e), rreq);
+  if (status != nullptr) *status = st;
+}
+
+void api_barrier(Env* e, CommId comm) { rt(e).do_barrier(rm(e), comm); }
+
+void api_bcast(Env* e, void* buf, int count, Datatype dt, int root,
+               CommId comm) {
+  rt(e).do_bcast(rm(e), buf, nbytes(count, dt), root, comm);
+}
+
+void api_reduce(Env* e, const void* sbuf, void* rbuf, int count, Datatype dt,
+                Op op, int root, CommId comm) {
+  rt(e).do_reduce(rm(e), sbuf, rbuf, count, dt, op, root, comm);
+}
+
+void api_allreduce(Env* e, const void* sbuf, void* rbuf, int count,
+                   Datatype dt, Op op, CommId comm) {
+  rt(e).do_allreduce(rm(e), sbuf, rbuf, count, dt, op, comm);
+}
+
+void api_scan(Env* e, const void* sbuf, void* rbuf, int count, Datatype dt,
+              Op op, CommId comm) {
+  rt(e).do_scan(rm(e), sbuf, rbuf, count, dt, op, comm);
+}
+
+void api_gather(Env* e, const void* sbuf, int scount, Datatype sdt,
+                void* rbuf, int rcount, Datatype rdt, int root, CommId comm) {
+  const int n = rt(e).comm_info(comm).size();
+  std::vector<int> counts(static_cast<std::size_t>(n), rcount);
+  std::vector<int> displs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) displs[static_cast<std::size_t>(i)] = i * rcount;
+  rt(e).do_gatherv(rm(e), sbuf, scount, sdt, rbuf, counts.data(),
+                   displs.data(), rdt, root, comm);
+}
+
+void api_gatherv(Env* e, const void* sbuf, int scount, Datatype sdt,
+                 void* rbuf, const int* rcounts, const int* displs,
+                 Datatype rdt, int root, CommId comm) {
+  rt(e).do_gatherv(rm(e), sbuf, scount, sdt, rbuf, rcounts, displs, rdt, root,
+                   comm);
+}
+
+void api_scatter(Env* e, const void* sbuf, int scount, Datatype sdt,
+                 void* rbuf, int rcount, Datatype rdt, int root,
+                 CommId comm) {
+  const int n = rt(e).comm_info(comm).size();
+  std::vector<int> counts(static_cast<std::size_t>(n), scount);
+  std::vector<int> displs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) displs[static_cast<std::size_t>(i)] = i * scount;
+  rt(e).do_scatterv(rm(e), sbuf, counts.data(), displs.data(), sdt, rbuf,
+                    rcount, rdt, root, comm);
+}
+
+void api_scatterv(Env* e, const void* sbuf, const int* scounts,
+                  const int* displs, Datatype sdt, void* rbuf, int rcount,
+                  Datatype rdt, int root, CommId comm) {
+  rt(e).do_scatterv(rm(e), sbuf, scounts, displs, sdt, rbuf, rcount, rdt,
+                    root, comm);
+}
+
+void api_allgather(Env* e, const void* sbuf, int scount, Datatype sdt,
+                   void* rbuf, int rcount, Datatype rdt, CommId comm) {
+  const int n = rt(e).comm_info(comm).size();
+  api_gather(e, sbuf, scount, sdt, rbuf, rcount, rdt, /*root=*/0, comm);
+  api_bcast(e, rbuf, n * rcount, rdt, /*root=*/0, comm);
+}
+
+void api_alltoall(Env* e, const void* sbuf, int scount, Datatype sdt,
+                  void* rbuf, int rcount, Datatype rdt, CommId comm) {
+  rt(e).do_alltoall(rm(e), sbuf, scount, sdt, rbuf, rcount, rdt, comm);
+}
+
+CommId api_comm_dup(Env* e, CommId comm) {
+  RankMpi& r = rm(e);
+  const std::uint32_t seq = r.comm_seq_for(comm)++;
+  // Same membership, new context id; no communication needed because every
+  // member derives the identical (parent, seq, color) key.
+  return rt(e).comms().intern(comm, seq, /*color=*/-1,
+                              rt(e).comm_info(comm).world_ranks());
+}
+
+CommId api_comm_split(Env* e, CommId comm, int color, int key) {
+  return rt(e).do_comm_split(rm(e), comm, color, key);
+}
+
+void api_comm_free(Env* e, CommId comm) { rt(e).do_comm_free(rm(e), comm); }
+
+Op api_op_create_named(Env* e, const char* image_fn, bool commutative) {
+  return rt(e).do_op_create_named(rm(e), image_fn, commutative);
+}
+
+Op api_op_create(Env* e, void* fn_addr, bool commutative) {
+  return rt(e).do_op_create(rm(e), fn_addr, commutative);
+}
+
+double api_wtime(Env* e) {
+  (void)e;
+  return util::wall_time();
+}
+
+double api_wtick(Env* e) {
+  (void)e;
+  return util::wall_tick();
+}
+
+void api_yield(Env* e) { rt(e).do_yield(rm(e)); }
+
+void api_migrate_to(Env* e, int pe) { rt(e).do_migrate_to(rm(e), pe); }
+
+void api_load_balance(Env* e, const char* strategy) {
+  rt(e).do_load_balance(rm(e), strategy);
+}
+
+int api_checkpoint(Env* e) { return rt(e).do_checkpoint(rm(e)); }
+
+int api_my_pe(Env* e) { return rm(e).resident_pe; }
+
+int api_num_pes(Env* e) { return rt(e).cluster().num_pes(); }
+
+int api_my_node(Env* e) {
+  return rt(e).cluster().node_of(rm(e).resident_pe);
+}
+
+void api_add_load(Env* e, double seconds) {
+  rm(e).busy_time_s += seconds;
+}
+
+void api_compute(Env* e, double seconds) {
+  rt(e).do_compute(rm(e), seconds);
+}
+
+void* api_rank_malloc(Env* e, std::size_t size) {
+  return rm(e).rc->heap->alloc(size, 16);
+}
+
+void api_rank_free(Env* e, void* p) { rm(e).rc->heap->free(p); }
+
+}  // namespace
+
+void pack_api_table(ApiTable& table) {
+#define AMPI_FUNC(ret, name, params) table.name = &api_##name;
+#include "mpi/ampi_functions.def"
+#undef AMPI_FUNC
+}
+
+core::VarAccess Env::bind_global(const std::string& name) const {
+  return rt_->bind_global(*rm_, name);
+}
+
+std::size_t Env::array_len(const std::string& name, std::size_t elem) const {
+  const img::ProgramImage& image = rt_->image();
+  return image.var(image.var_id(name)).size / elem;
+}
+
+}  // namespace apv::mpi

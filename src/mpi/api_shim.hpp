@@ -1,0 +1,13 @@
+#pragma once
+
+#include "mpi/env.hpp"
+
+namespace apv::mpi {
+
+/// Populates the function-pointer shim table with the runtime's
+/// implementations (the paper Figure 4 "AMPI_FuncPtr_Pack" step). Called
+/// once per Runtime; every rank's Env carries a pointer to the packed
+/// table.
+void pack_api_table(ApiTable& table);
+
+}  // namespace apv::mpi

@@ -1,0 +1,303 @@
+// Collective algorithms, built on the runtime's internal eager transport
+// (coll_send / coll_recv) with tags in the internal tag space. Each
+// collective consumes one per-communicator sequence number; MPI's "same
+// order on every member" rule makes the sequence agree across ranks.
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+#include "util/error.hpp"
+
+namespace apv::mpi {
+
+using util::ErrorCode;
+using util::require;
+
+void Runtime::do_barrier(RankMpi& rm, CommId comm) {
+  const CommInfo& ci = comm_info(comm);
+  const int n = ci.size();
+  if (n == 1) return;
+  const int me = ci.local_of(rm.world_rank);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  // Dissemination barrier: ceil(log2 n) rounds of shifted token exchange.
+  char token = 1;
+  int round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    const int dst = ci.world_of((me + dist) % n);
+    const int src = ci.world_of(((me - dist) % n + n) % n);
+    const int tag = internal_tag(kCollBarrier, round, seq);
+    coll_send(rm, dst, tag, &token, sizeof token, comm);
+    char incoming;
+    coll_recv(rm, src, tag, &incoming, sizeof incoming, comm);
+  }
+}
+
+void Runtime::do_bcast(RankMpi& rm, void* buf, std::size_t bytes, int root,
+                       CommId comm) {
+  const CommInfo& ci = comm_info(comm);
+  const int n = ci.size();
+  if (n == 1) return;
+  const int me = ci.local_of(rm.world_rank);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int tag = internal_tag(kCollBcast, 0, seq);
+  const int vr = ((me - root) % n + n) % n;  // rank relative to root
+
+  // Binomial tree: receive from the parent, then relay down the subtree.
+  int mask = 1;
+  while (mask < n) {
+    if ((vr & mask) != 0) {
+      const int parent = ci.world_of(((vr - mask) + root) % n);
+      coll_recv(rm, parent, tag, buf, bytes, comm);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      const int child = ci.world_of((vr + mask + root) % n);
+      coll_send(rm, child, tag, buf, bytes, comm);
+    }
+    mask >>= 1;
+  }
+}
+
+void Runtime::do_reduce(RankMpi& rm, const void* sbuf, void* rbuf, int count,
+                        Datatype dt, const Op& op, int root, CommId comm) {
+  const CommInfo& ci = comm_info(comm);
+  const int n = ci.size();
+  const int me = ci.local_of(rm.world_rank);
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * datatype_size(dt);
+  if (n == 1) {
+    if (me == root && rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
+    return;
+  }
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int tag = internal_tag(kCollReduce, 0, seq);
+
+  if (!op.commutative) {
+    // Non-commutative operators need the canonical rank order: gather all
+    // contributions at the root and fold right-to-left (associativity makes
+    // this equal the left-assoc MPI definition).
+    if (me == root) {
+      std::vector<std::byte> all(static_cast<std::size_t>(n) * bytes);
+      std::memcpy(all.data() + static_cast<std::size_t>(me) * bytes, sbuf,
+                  bytes);
+      for (int i = 0; i < n; ++i) {
+        if (i == me) continue;
+        coll_recv(rm, ci.world_of(i), tag,
+                  all.data() + static_cast<std::size_t>(i) * bytes, bytes,
+                  comm);
+      }
+      std::memcpy(rbuf, all.data() + static_cast<std::size_t>(n - 1) * bytes,
+                  bytes);
+      for (int i = n - 2; i >= 0; --i) {
+        apply_op(rm, op, dt, all.data() + static_cast<std::size_t>(i) * bytes,
+                 rbuf, count);
+      }
+    } else {
+      coll_send(rm, ci.world_of(root), tag, sbuf, bytes, comm);
+    }
+    return;
+  }
+
+  // Commutative: binomial-tree combine toward the root.
+  const int vr = ((me - root) % n + n) % n;
+  std::vector<std::byte> acc(bytes);
+  std::memcpy(acc.data(), sbuf, bytes);
+  std::vector<std::byte> incoming(bytes);
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((vr & mask) != 0) {
+      const int parent = ci.world_of(((vr - mask) + root) % n);
+      coll_send(rm, parent, tag, acc.data(), bytes, comm);
+      break;
+    }
+    if (vr + mask < n) {
+      const int child = ci.world_of((vr + mask + root) % n);
+      coll_recv(rm, child, tag, incoming.data(), bytes, comm);
+      apply_op(rm, op, dt, incoming.data(), acc.data(), count);
+    }
+  }
+  if (me == root) std::memcpy(rbuf, acc.data(), bytes);
+}
+
+void Runtime::do_allreduce(RankMpi& rm, const void* sbuf, void* rbuf,
+                           int count, Datatype dt, const Op& op,
+                           CommId comm) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * datatype_size(dt);
+  do_reduce(rm, sbuf, rbuf, count, dt, op, /*root=*/0, comm);
+  do_bcast(rm, rbuf, bytes, /*root=*/0, comm);
+}
+
+void Runtime::do_scan(RankMpi& rm, const void* sbuf, void* rbuf, int count,
+                      Datatype dt, const Op& op, CommId comm) {
+  const CommInfo& ci = comm_info(comm);
+  const int n = ci.size();
+  const int me = ci.local_of(rm.world_rank);
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * datatype_size(dt);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int tag = internal_tag(kCollScan, 0, seq);
+
+  std::vector<std::byte> acc(bytes);
+  std::memcpy(acc.data(), sbuf, bytes);
+  if (me > 0) {
+    std::vector<std::byte> partial(bytes);
+    coll_recv(rm, ci.world_of(me - 1), tag, partial.data(), bytes, comm);
+    // acc = partial op acc keeps rank order: partial is s_0..s_{me-1}.
+    apply_op(rm, op, dt, partial.data(), acc.data(), count);
+  }
+  if (me + 1 < n) coll_send(rm, ci.world_of(me + 1), tag, acc.data(), bytes,
+                            comm);
+  std::memcpy(rbuf, acc.data(), bytes);
+}
+
+void Runtime::do_gatherv(RankMpi& rm, const void* sbuf, int scount,
+                         Datatype sdt, void* rbuf, const int* rcounts,
+                         const int* displs, Datatype rdt, int root,
+                         CommId comm) {
+  const CommInfo& ci = comm_info(comm);
+  const int n = ci.size();
+  const int me = ci.local_of(rm.world_rank);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int tag = internal_tag(kCollGather, 0, seq);
+  const std::size_t sbytes =
+      static_cast<std::size_t>(scount) * datatype_size(sdt);
+
+  if (me != root) {
+    coll_send(rm, ci.world_of(root), tag, sbuf, sbytes, comm);
+    return;
+  }
+  const std::size_t esize = datatype_size(rdt);
+  for (int i = 0; i < n; ++i) {
+    auto* dst = static_cast<std::byte*>(rbuf) +
+                static_cast<std::size_t>(displs[i]) * esize;
+    const std::size_t want = static_cast<std::size_t>(rcounts[i]) * esize;
+    if (i == me) {
+      require(want == sbytes, ErrorCode::InvalidArgument,
+              "gather: root's own count mismatch");
+      std::memcpy(dst, sbuf, sbytes);
+    } else {
+      coll_recv(rm, ci.world_of(i), tag, dst, want, comm);
+    }
+  }
+}
+
+void Runtime::do_scatterv(RankMpi& rm, const void* sbuf, const int* scounts,
+                          const int* displs, Datatype sdt, void* rbuf,
+                          int rcount, Datatype rdt, int root, CommId comm) {
+  const CommInfo& ci = comm_info(comm);
+  const int n = ci.size();
+  const int me = ci.local_of(rm.world_rank);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int tag = internal_tag(kCollScatter, 0, seq);
+  const std::size_t rbytes =
+      static_cast<std::size_t>(rcount) * datatype_size(rdt);
+
+  if (me == root) {
+    const std::size_t esize = datatype_size(sdt);
+    for (int i = 0; i < n; ++i) {
+      const auto* src = static_cast<const std::byte*>(sbuf) +
+                        static_cast<std::size_t>(displs[i]) * esize;
+      const std::size_t len = static_cast<std::size_t>(scounts[i]) * esize;
+      if (i == me) {
+        require(len <= rbytes, ErrorCode::InvalidArgument,
+                "scatter: root receive buffer too small");
+        std::memcpy(rbuf, src, len);
+      } else {
+        coll_send(rm, ci.world_of(i), tag, src, len, comm);
+      }
+    }
+  } else {
+    coll_recv(rm, ci.world_of(root), tag, rbuf, rbytes, comm);
+  }
+}
+
+void Runtime::do_alltoall(RankMpi& rm, const void* sbuf, int scount,
+                          Datatype sdt, void* rbuf, int rcount, Datatype rdt,
+                          CommId comm) {
+  const CommInfo& ci = comm_info(comm);
+  const int n = ci.size();
+  const int me = ci.local_of(rm.world_rank);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const std::size_t sblock =
+      static_cast<std::size_t>(scount) * datatype_size(sdt);
+  const std::size_t rblock =
+      static_cast<std::size_t>(rcount) * datatype_size(rdt);
+
+  // Shifted pairwise exchange; sends are eager (buffered), so a blocking
+  // send/recv pair per step cannot deadlock.
+  for (int s = 0; s < n; ++s) {
+    const int dst = (me + s) % n;
+    const int src = ((me - s) % n + n) % n;
+    const int tag = internal_tag(kCollAlltoall, s & 0x3f, seq);
+    const auto* sblk = static_cast<const std::byte*>(sbuf) +
+                       static_cast<std::size_t>(dst) * sblock;
+    auto* rblk = static_cast<std::byte*>(rbuf) +
+                 static_cast<std::size_t>(src) * rblock;
+    if (dst == me) {
+      std::memcpy(rblk, sblk, std::min(sblock, rblock));
+      continue;
+    }
+    coll_send(rm, ci.world_of(dst), tag, sblk, sblock, comm);
+    coll_recv(rm, ci.world_of(src), tag, rblk, rblock, comm);
+  }
+}
+
+CommId Runtime::do_comm_split(RankMpi& rm, CommId parent, int color,
+                              int key) {
+  const CommInfo& ci = comm_info(parent);
+  const int n = ci.size();
+  const int me = ci.local_of(rm.world_rank);
+  const std::uint32_t seq = rm.comm_seq_for(parent)++;
+
+  // Allgather (color, key, world) over the parent: linear gather at local
+  // rank 0, then broadcast of the full table.
+  struct Item {
+    int color, key, world;
+  };
+  std::vector<Item> table(static_cast<std::size_t>(n));
+  const Item mine{color, key, rm.world_rank};
+  const int gtag = internal_tag(kCollCommSetup, 0, seq);
+  const int btag = internal_tag(kCollCommSetup, 1, seq);
+  if (me == 0) {
+    table[0] = mine;
+    for (int i = 1; i < n; ++i) {
+      coll_recv(rm, ci.world_of(i), gtag, &table[static_cast<std::size_t>(i)],
+                sizeof(Item), parent);
+    }
+    for (int i = 1; i < n; ++i) {
+      coll_send(rm, ci.world_of(i), btag, table.data(),
+                table.size() * sizeof(Item), parent);
+    }
+  } else {
+    coll_send(rm, ci.world_of(0), gtag, &mine, sizeof(Item), parent);
+    coll_recv(rm, ci.world_of(0), btag, table.data(),
+              table.size() * sizeof(Item), parent);
+  }
+
+  if (color < 0) return kCommNull;  // MPI_UNDEFINED
+
+  std::vector<Item> members;
+  for (const Item& it : table) {
+    if (it.color == color) members.push_back(it);
+  }
+  std::sort(members.begin(), members.end(), [](const Item& a, const Item& b) {
+    return a.key != b.key ? a.key < b.key : a.world < b.world;
+  });
+  std::vector<int> world_ranks;
+  world_ranks.reserve(members.size());
+  for (const Item& it : members) world_ranks.push_back(it.world);
+  return comms_->intern(parent, seq, color, std::move(world_ranks));
+}
+
+void Runtime::do_comm_free(RankMpi& rm, CommId comm) {
+  (void)rm;
+  comms_->release(comm);
+}
+
+}  // namespace apv::mpi

@@ -1,0 +1,87 @@
+#include "mpi/comm_table.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace apv::mpi {
+
+using util::ErrorCode;
+using util::require;
+
+CommInfo::CommInfo(CommId id, std::vector<int> world_ranks)
+    : id_(id), world_ranks_(std::move(world_ranks)) {
+  local_by_world_.reserve(world_ranks_.size());
+  for (std::size_t i = 0; i < world_ranks_.size(); ++i) {
+    local_by_world_[world_ranks_[i]] = static_cast<int>(i);
+  }
+}
+
+int CommInfo::world_of(int local) const {
+  require(local >= 0 && local < size(), ErrorCode::InvalidArgument,
+          "rank " + std::to_string(local) + " out of range for " +
+              std::to_string(size()) + "-rank communicator " +
+              std::to_string(id_));
+  return world_ranks_[static_cast<std::size_t>(local)];
+}
+
+int CommInfo::local_of(int world) const noexcept {
+  auto it = local_by_world_.find(world);
+  return it == local_by_world_.end() ? -1 : it->second;
+}
+
+CommTable::CommTable(int world_size) {
+  require(world_size >= 1, ErrorCode::InvalidArgument, "empty world");
+  std::vector<int> all(static_cast<std::size_t>(world_size));
+  std::iota(all.begin(), all.end(), 0);
+  comms_.emplace_back(kCommWorld, std::move(all));
+  released_.push_back(false);
+}
+
+const CommInfo& CommTable::info(CommId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Released communicators stay resolvable: MPI_Comm_free is collective
+  // and deferred until pending operations complete, and a member that has
+  // already freed its handle must not invalidate in-flight traffic of
+  // members still inside a collective on it. Ids are never recycled.
+  require(id >= 0 && static_cast<std::size_t>(id) < comms_.size(),
+          ErrorCode::InvalidArgument,
+          "invalid communicator: " + std::to_string(id));
+  return comms_[static_cast<std::size_t>(id)];
+}
+
+bool CommTable::valid(CommId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return id >= 0 && static_cast<std::size_t>(id) < comms_.size() &&
+         !released_[static_cast<std::size_t>(id)];
+}
+
+CommId CommTable::intern(CommId parent, std::uint32_t creation_seq, int color,
+                         std::vector<int> world_ranks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto key = std::make_tuple(parent, creation_seq, color);
+  auto it = interned_.find(key);
+  if (it != interned_.end()) return it->second;
+  const CommId id = static_cast<CommId>(comms_.size());
+  comms_.emplace_back(id, std::move(world_ranks));
+  released_.push_back(false);
+  interned_[key] = id;
+  return id;
+}
+
+void CommTable::release(CommId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(id > 0 && static_cast<std::size_t>(id) < comms_.size(),
+          ErrorCode::InvalidArgument, "cannot free this communicator");
+  released_[static_cast<std::size_t>(id)] = true;
+}
+
+std::size_t CommTable::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (bool r : released_)
+    if (!r) ++n;
+  return n;
+}
+
+}  // namespace apv::mpi

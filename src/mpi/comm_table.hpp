@@ -1,0 +1,73 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+namespace apv::mpi {
+
+/// Membership of one communicator: an ordered list of world ranks. Local
+/// rank i within the communicator is world_ranks[i].
+class CommInfo {
+ public:
+  CommInfo() = default;
+  CommInfo(CommId id, std::vector<int> world_ranks);
+
+  CommId id() const noexcept { return id_; }
+  int size() const noexcept { return static_cast<int>(world_ranks_.size()); }
+
+  /// World rank of communicator-local rank `local`.
+  int world_of(int local) const;
+
+  /// Communicator-local rank of `world`, or -1 if not a member.
+  int local_of(int world) const noexcept;
+
+  const std::vector<int>& world_ranks() const noexcept {
+    return world_ranks_;
+  }
+
+ private:
+  CommId id_ = kCommNull;
+  std::vector<int> world_ranks_;
+  std::unordered_map<int, int> local_by_world_;
+};
+
+/// Process-shared communicator registry.
+///
+/// Communicator ids must come out identical on every member rank without a
+/// leader. Ranks derive them from the deterministic key
+/// (parent comm, per-rank creation counter on that parent, color): since
+/// MPI requires all members to invoke comm-creation collectives in the
+/// same order, every member presents the same key and receives the same
+/// id. This mirrors how MPI implementations agree on context ids.
+class CommTable {
+ public:
+  /// Creates the registry with COMM_WORLD = ranks [0, world_size).
+  explicit CommTable(int world_size);
+
+  const CommInfo& info(CommId id) const;
+  bool valid(CommId id) const;
+
+  /// Returns (creating if first caller) the communicator for the given
+  /// derivation key and membership. All callers with the same key must
+  /// pass identical membership; validated in debug.
+  CommId intern(CommId parent, std::uint32_t creation_seq, int color,
+                std::vector<int> world_ranks);
+
+  /// Marks a communicator released (kCommWorld cannot be freed).
+  void release(CommId id);
+
+  std::size_t count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<CommInfo> comms_;  // deque: references stay valid as comms are added
+  std::vector<bool> released_;
+  std::map<std::tuple<CommId, std::uint32_t, int>, CommId> interned_;
+};
+
+}  // namespace apv::mpi

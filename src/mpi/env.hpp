@@ -1,0 +1,209 @@
+#pragma once
+
+#include <string>
+
+#include "core/access.hpp"
+#include "mpi/rank_state.hpp"
+#include "mpi/types.hpp"
+
+namespace apv::mpi {
+
+class Env;
+class Runtime;
+
+/// The function-pointer shim (paper Figure 4). The privatized program never
+/// links the runtime directly; it calls through this table, which the
+/// runtime packs once and every rank's Env carries. One table serves all
+/// ranks of a process — the runtime is shared even when the program's
+/// segments are duplicated.
+struct ApiTable {
+#define AMPI_FUNC(ret, name, params) ret(*name) params;
+#include "mpi/ampi_functions.def"
+#undef AMPI_FUNC
+};
+
+/// Per-rank handle passed to the virtualized program's entry function.
+/// This is the programming surface of the reproduction: what `mpi.h` plus
+/// AMPI's extensions are to a real AMPI program. All calls forward through
+/// the ApiTable shim.
+class Env {
+ public:
+  Env(Runtime* rt, RankMpi* rm, const ApiTable* api)
+      : rt_(rt), rm_(rm), api_(api) {}
+
+  // --- ranks & communicators --------------------------------------------
+  int rank(CommId comm = kCommWorld) const {
+    return api_->comm_rank(self(), comm);
+  }
+  int size(CommId comm = kCommWorld) const {
+    return api_->comm_size(self(), comm);
+  }
+  CommId comm_dup(CommId comm = kCommWorld) {
+    return api_->comm_dup(this, comm);
+  }
+  CommId comm_split(CommId comm, int color, int key) {
+    return api_->comm_split(this, comm, color, key);
+  }
+  void comm_free(CommId comm) { api_->comm_free(this, comm); }
+
+  // --- point to point -----------------------------------------------------
+  void send(const void* buf, int count, Datatype dt, int dst, int tag,
+            CommId comm = kCommWorld) {
+    api_->send(this, buf, count, dt, dst, tag, comm);
+  }
+  Status recv(void* buf, int count, Datatype dt, int src, int tag,
+              CommId comm = kCommWorld) {
+    return api_->recv(this, buf, count, dt, src, tag, comm);
+  }
+  Request isend(const void* buf, int count, Datatype dt, int dst, int tag,
+                CommId comm = kCommWorld) {
+    return api_->isend(this, buf, count, dt, dst, tag, comm);
+  }
+  Request irecv(void* buf, int count, Datatype dt, int src, int tag,
+                CommId comm = kCommWorld) {
+    return api_->irecv(this, buf, count, dt, src, tag, comm);
+  }
+  Status wait(Request& req) { return api_->wait(this, &req); }
+  void waitall(int n, Request* reqs) { api_->waitall(this, n, reqs); }
+  int waitany(int n, Request* reqs, Status* status) {
+    return api_->waitany(this, n, reqs, status);
+  }
+  bool test(Request& req, Status* status = nullptr) {
+    return api_->test(this, &req, status);
+  }
+  bool iprobe(int src, int tag, CommId comm, Status* status) {
+    return api_->iprobe(this, src, tag, comm, status);
+  }
+  Status probe(int src, int tag, CommId comm = kCommWorld) {
+    return api_->probe(this, src, tag, comm);
+  }
+  void sendrecv(const void* sbuf, int scount, Datatype sdt, int dst, int stag,
+                void* rbuf, int rcount, Datatype rdt, int src, int rtag,
+                CommId comm = kCommWorld, Status* status = nullptr) {
+    api_->sendrecv(this, sbuf, scount, sdt, dst, stag, rbuf, rcount, rdt, src,
+                   rtag, comm, status);
+  }
+
+  // --- collectives ---------------------------------------------------------
+  void barrier(CommId comm = kCommWorld) { api_->barrier(this, comm); }
+  void bcast(void* buf, int count, Datatype dt, int root,
+             CommId comm = kCommWorld) {
+    api_->bcast(this, buf, count, dt, root, comm);
+  }
+  void reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op,
+              int root, CommId comm = kCommWorld) {
+    api_->reduce(this, sbuf, rbuf, count, dt, op, root, comm);
+  }
+  void allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op,
+                 CommId comm = kCommWorld) {
+    api_->allreduce(this, sbuf, rbuf, count, dt, op, comm);
+  }
+  void scan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op,
+            CommId comm = kCommWorld) {
+    api_->scan(this, sbuf, rbuf, count, dt, op, comm);
+  }
+  void gather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+              int rcount, Datatype rdt, int root, CommId comm = kCommWorld) {
+    api_->gather(this, sbuf, scount, sdt, rbuf, rcount, rdt, root, comm);
+  }
+  void gatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+               const int* rcounts, const int* displs, Datatype rdt, int root,
+               CommId comm = kCommWorld) {
+    api_->gatherv(this, sbuf, scount, sdt, rbuf, rcounts, displs, rdt, root,
+                  comm);
+  }
+  void scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+               int rcount, Datatype rdt, int root, CommId comm = kCommWorld) {
+    api_->scatter(this, sbuf, scount, sdt, rbuf, rcount, rdt, root, comm);
+  }
+  void scatterv(const void* sbuf, const int* scounts, const int* displs,
+                Datatype sdt, void* rbuf, int rcount, Datatype rdt, int root,
+                CommId comm = kCommWorld) {
+    api_->scatterv(this, sbuf, scounts, displs, sdt, rbuf, rcount, rdt, root,
+                   comm);
+  }
+  void allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+                 int rcount, Datatype rdt, CommId comm = kCommWorld) {
+    api_->allgather(this, sbuf, scount, sdt, rbuf, rcount, rdt, comm);
+  }
+  void alltoall(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+                int rcount, Datatype rdt, CommId comm = kCommWorld) {
+    api_->alltoall(this, sbuf, scount, sdt, rbuf, rcount, rdt, comm);
+  }
+
+  // --- reduction operators -------------------------------------------------
+  /// Creates a user-defined operator from a function *name* in the program
+  /// image (the common case for our emulated programs).
+  Op op_create(const std::string& image_fn, bool commutative = true) {
+    return api_->op_create_named(this, image_fn.c_str(), commutative);
+  }
+  /// Creates a user-defined operator from a raw emulated function address
+  /// taken from this rank's own code copy — the paper's PIEglobals
+  /// offset-translation path.
+  Op op_create_from_ptr(void* fn_addr, bool commutative = true) {
+    return api_->op_create(this, fn_addr, commutative);
+  }
+
+  // --- AMPI extensions -------------------------------------------------------
+  double wtime() const { return api_->wtime(self()); }
+  double wtick() const { return api_->wtick(self()); }
+  /// Cooperatively yields to other ranks on this PE.
+  void yield() { api_->yield(this); }
+  /// Migrates this rank to the given PE (explicit form, for tests/demos).
+  /// Throws MigrationRefused under PIPglobals/FSglobals.
+  void migrate_to(int pe) { api_->migrate_to(this, pe); }
+  /// Collective: measure loads, run the named strategy ("greedy",
+  /// "greedyrefine", "rotate", "rand", "none"), migrate accordingly
+  /// (AMPI_Migrate + load balancing).
+  void load_balance(const std::string& strategy = "greedyrefine") {
+    api_->load_balance(this, strategy.c_str());
+  }
+  /// Collective in-memory checkpoint. Returns 0 when the checkpoint was
+  /// taken, 1 when execution resumed here from a restore.
+  int checkpoint() { return api_->checkpoint(this); }
+  int my_pe() const { return api_->my_pe(self()); }
+  int num_pes() const { return api_->num_pes(self()); }
+  int my_node() const { return api_->my_node(self()); }
+  /// Adds explicit load to this rank's balance metric.
+  void add_load(double seconds) { api_->add_load(this, seconds); }
+  /// Spins for `seconds` of CPU work (workload helper for benches).
+  void compute(double seconds) { api_->compute(this, seconds); }
+
+  /// Allocates from this rank's Isomalloc slot heap. Memory allocated here
+  /// migrates with the rank at stable virtual addresses — the AMPI
+  /// behaviour where Isomalloc interposes on the application's malloc.
+  void* rank_malloc(std::size_t size) { return api_->rank_malloc(this, size); }
+  void rank_free(void* p) { api_->rank_free(this, p); }
+
+  template <typename T>
+  T* rank_alloc_array(std::size_t count) {
+    return static_cast<T*>(rank_malloc(sizeof(T) * count));
+  }
+
+  // --- privatized globals ----------------------------------------------------
+  /// Binds a global variable of the program under the active method.
+  template <typename T>
+  core::GRef<T> global(const std::string& name) const {
+    return core::GRef<T>(bind_global(name));
+  }
+  template <typename T>
+  core::GArrayRef<T> global_array(const std::string& name) const {
+    return core::GArrayRef<T>(bind_global(name), array_len(name, sizeof(T)));
+  }
+
+  RankMpi& state() noexcept { return *rm_; }
+  const RankMpi& state() const noexcept { return *rm_; }
+  Runtime& runtime() noexcept { return *rt_; }
+  core::RankContext& rank_context() noexcept { return *rm_->rc; }
+
+ private:
+  Env* self() const noexcept { return const_cast<Env*>(this); }
+  core::VarAccess bind_global(const std::string& name) const;
+  std::size_t array_len(const std::string& name, std::size_t elem) const;
+
+  Runtime* rt_;
+  RankMpi* rm_;
+  const ApiTable* api_;
+};
+
+}  // namespace apv::mpi

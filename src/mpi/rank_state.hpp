@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/message.hpp"
+#include "core/rank_context.hpp"
+#include "mpi/types.hpp"
+
+namespace apv::mpi {
+
+class Env;
+
+/// One posted (pending) receive.
+struct RecvPost {
+  Request req = kRequestNull;
+  void* buf = nullptr;
+  std::size_t max_bytes = 0;
+  int src = kAnySource;  ///< communicator-local, or kAnySource
+  int tag = kAnyTag;
+  CommId comm = kCommWorld;
+};
+
+/// State of one nonblocking operation.
+struct RequestState {
+  enum class Kind : std::uint8_t { None, Recv, Send };
+  Kind kind = Kind::None;
+  bool active = false;
+  bool complete = false;
+  Status status;
+};
+
+/// Per-virtual-rank MPI state. Runtime metadata (process-side bookkeeping,
+/// like AMPI's per-rank structures): lives on the ordinary heap, keyed from
+/// RankContext::user_data, and is handed between PEs when the rank
+/// migrates. All access happens on the rank's current resident PE thread.
+struct RankMpi {
+  core::RankContext* rc = nullptr;
+  std::unique_ptr<Env> env;
+  comm::RankId world_rank = -1;
+  comm::PeId resident_pe = comm::kInvalidPe;
+
+  std::vector<RequestState> requests;
+  std::vector<RecvPost> posted;
+  std::deque<comm::Message> unexpected;
+
+  /// Per-communicator collective sequence numbers (order of collective
+  /// calls is identical across members, so these agree and disambiguate
+  /// overlapping collectives in the internal tag space).
+  std::vector<std::uint32_t> coll_seq;
+  /// Per-communicator comm-creation counters (dup/split id derivation).
+  std::vector<std::uint32_t> comm_seq;
+
+  bool waiting = false;  ///< ULT suspended inside a wait/recv loop
+  bool finished = false;
+  void* entry_ret = nullptr;
+  bool failed = false;
+  std::string failure;
+
+  comm::PeId migrate_dest = comm::kInvalidPe;
+  bool ckpt_pending = false;     ///< checkpoint pack requested, not yet done
+  bool restore_pending = false;  ///< restore unpack requested, not yet done
+  bool restored = false;  ///< set by checkpoint-restore before resuming
+
+  // Load-balancing instrumentation.
+  double busy_time_s = 0.0;
+
+  // Traffic counters.
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+
+  std::uint32_t& coll_seq_for(CommId comm) {
+    if (static_cast<std::size_t>(comm) >= coll_seq.size())
+      coll_seq.resize(static_cast<std::size_t>(comm) + 1, 0);
+    return coll_seq[static_cast<std::size_t>(comm)];
+  }
+  std::uint32_t& comm_seq_for(CommId comm) {
+    if (static_cast<std::size_t>(comm) >= comm_seq.size())
+      comm_seq.resize(static_cast<std::size_t>(comm) + 1, 0);
+    return comm_seq[static_cast<std::size_t>(comm)];
+  }
+
+  Request alloc_request(RequestState::Kind kind) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (!requests[i].active) {
+        requests[i] = RequestState{kind, true, false, {}};
+        return static_cast<Request>(i);
+      }
+    }
+    requests.push_back(RequestState{kind, true, false, {}});
+    return static_cast<Request>(requests.size() - 1);
+  }
+};
+
+/// Internal tag space: collectives and runtime control traffic use tags
+/// with bit 30 set; user tags must stay below this. A wildcard-tag receive
+/// never matches an internal tag.
+inline constexpr int kInternalTagBase = 1 << 30;
+inline constexpr int kMaxUserTag = (1 << 30) - 1;
+
+/// Composes an internal collective tag: op (5 bits), round (6 bits),
+/// per-comm collective sequence (14 bits, wraps — safe because at most a
+/// handful of collectives are in flight per communicator).
+constexpr int internal_tag(int op, int round, std::uint32_t seq) {
+  return kInternalTagBase | (op << 20) | (round << 14) |
+         static_cast<int>(seq & 0x3fffu);
+}
+
+/// Collective op codes for internal_tag.
+enum CollOp : int {
+  kCollBarrier = 1,
+  kCollBcast,
+  kCollReduce,
+  kCollGather,
+  kCollScatter,
+  kCollAlltoall,
+  kCollScan,
+  kCollCommSetup,
+  kCollLb,
+};
+
+}  // namespace apv::mpi

@@ -1,0 +1,167 @@
+#include "mpi/types.hpp"
+#include "util/error.hpp"
+
+namespace apv::mpi {
+
+using util::ApvError;
+using util::ErrorCode;
+
+std::size_t datatype_size(Datatype dt) noexcept {
+  switch (dt) {
+    case Datatype::Char: return sizeof(char);
+    case Datatype::Byte: return 1;
+    case Datatype::Int: return sizeof(int);
+    case Datatype::Unsigned: return sizeof(unsigned);
+    case Datatype::Long: return sizeof(long);
+    case Datatype::UnsignedLong: return sizeof(unsigned long);
+    case Datatype::Float: return sizeof(float);
+    case Datatype::Double: return sizeof(double);
+    case Datatype::DoubleInt: return sizeof(DoubleInt);
+    case Datatype::IntInt: return sizeof(IntInt);
+  }
+  return 0;
+}
+
+const char* datatype_name(Datatype dt) noexcept {
+  switch (dt) {
+    case Datatype::Char: return "char";
+    case Datatype::Byte: return "byte";
+    case Datatype::Int: return "int";
+    case Datatype::Unsigned: return "unsigned";
+    case Datatype::Long: return "long";
+    case Datatype::UnsignedLong: return "unsigned long";
+    case Datatype::Float: return "float";
+    case Datatype::Double: return "double";
+    case Datatype::DoubleInt: return "double-int";
+    case Datatype::IntInt: return "int-int";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void combine_arith(OpKind op, const T* in, T* inout, int len) {
+  switch (op) {
+    case OpKind::Sum:
+      for (int i = 0; i < len; ++i) inout[i] = static_cast<T>(in[i] + inout[i]);
+      return;
+    case OpKind::Prod:
+      for (int i = 0; i < len; ++i) inout[i] = static_cast<T>(in[i] * inout[i]);
+      return;
+    case OpKind::Max:
+      for (int i = 0; i < len; ++i)
+        inout[i] = in[i] > inout[i] ? in[i] : inout[i];
+      return;
+    case OpKind::Min:
+      for (int i = 0; i < len; ++i)
+        inout[i] = in[i] < inout[i] ? in[i] : inout[i];
+      return;
+    case OpKind::LogicalAnd:
+      for (int i = 0; i < len; ++i)
+        inout[i] = static_cast<T>((in[i] != T{}) && (inout[i] != T{}));
+      return;
+    case OpKind::LogicalOr:
+      for (int i = 0; i < len; ++i)
+        inout[i] = static_cast<T>((in[i] != T{}) || (inout[i] != T{}));
+      return;
+    default:
+      break;
+  }
+  throw ApvError(ErrorCode::NotSupported, "op not defined for this datatype");
+}
+
+template <typename T>
+void combine_integral(OpKind op, const T* in, T* inout, int len) {
+  switch (op) {
+    case OpKind::BitAnd:
+      for (int i = 0; i < len; ++i) inout[i] = static_cast<T>(in[i] & inout[i]);
+      return;
+    case OpKind::BitOr:
+      for (int i = 0; i < len; ++i) inout[i] = static_cast<T>(in[i] | inout[i]);
+      return;
+    case OpKind::BitXor:
+      for (int i = 0; i < len; ++i) inout[i] = static_cast<T>(in[i] ^ inout[i]);
+      return;
+    default:
+      combine_arith(op, in, inout, len);
+      return;
+  }
+}
+
+template <typename Pair>
+void combine_loc(OpKind op, const Pair* in, Pair* inout, int len) {
+  for (int i = 0; i < len; ++i) {
+    const bool take_in =
+        op == OpKind::MaxLoc
+            ? (in[i].value > inout[i].value ||
+               (in[i].value == inout[i].value && in[i].index < inout[i].index))
+            : (in[i].value < inout[i].value ||
+               (in[i].value == inout[i].value && in[i].index < inout[i].index));
+    if (take_in) inout[i] = in[i];
+  }
+}
+
+}  // namespace
+
+void apply_builtin_op(OpKind op, Datatype dt, const void* in, void* inout,
+                      int len) {
+  if (op == OpKind::User)
+    throw ApvError(ErrorCode::InvalidArgument,
+                   "user op must be applied through its FuncHandle");
+  if (op == OpKind::MaxLoc || op == OpKind::MinLoc) {
+    if (dt == Datatype::DoubleInt) {
+      combine_loc(op, static_cast<const DoubleInt*>(in),
+                  static_cast<DoubleInt*>(inout), len);
+      return;
+    }
+    if (dt == Datatype::IntInt) {
+      combine_loc(op, static_cast<const IntInt*>(in),
+                  static_cast<IntInt*>(inout), len);
+      return;
+    }
+    throw ApvError(ErrorCode::NotSupported,
+                   "MaxLoc/MinLoc require a {value,index} datatype");
+  }
+  switch (dt) {
+    case Datatype::Char:
+      combine_integral(op, static_cast<const char*>(in),
+                       static_cast<char*>(inout), len);
+      return;
+    case Datatype::Byte:
+      combine_integral(op, static_cast<const unsigned char*>(in),
+                       static_cast<unsigned char*>(inout), len);
+      return;
+    case Datatype::Int:
+      combine_integral(op, static_cast<const int*>(in),
+                       static_cast<int*>(inout), len);
+      return;
+    case Datatype::Unsigned:
+      combine_integral(op, static_cast<const unsigned*>(in),
+                       static_cast<unsigned*>(inout), len);
+      return;
+    case Datatype::Long:
+      combine_integral(op, static_cast<const long*>(in),
+                       static_cast<long*>(inout), len);
+      return;
+    case Datatype::UnsignedLong:
+      combine_integral(op, static_cast<const unsigned long*>(in),
+                       static_cast<unsigned long*>(inout), len);
+      return;
+    case Datatype::Float:
+      combine_arith(op, static_cast<const float*>(in),
+                    static_cast<float*>(inout), len);
+      return;
+    case Datatype::Double:
+      combine_arith(op, static_cast<const double*>(in),
+                    static_cast<double*>(inout), len);
+      return;
+    case Datatype::DoubleInt:
+    case Datatype::IntInt:
+      throw ApvError(ErrorCode::NotSupported,
+                     "pair datatypes support only MaxLoc/MinLoc");
+  }
+  throw ApvError(ErrorCode::InvalidArgument, "bad datatype");
+}
+
+}  // namespace apv::mpi

@@ -1,0 +1,712 @@
+#include "mpi/runtime.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "mpi/api_shim.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace apv::mpi {
+
+using util::ApvError;
+using util::ErrorCode;
+using util::require;
+
+Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
+    : image_(&image), config_(std::move(config)) {
+  require(config_.vps >= 1, ErrorCode::InvalidArgument, "need >= 1 VP");
+  require(config_.nodes >= 1 && config_.pes_per_node >= 1,
+          ErrorCode::InvalidArgument, "need >= 1 node and PE");
+  // Validate the entry point up front for a clear error.
+  image.func_id(config_.entry);
+
+  const util::WallTimer init_timer;
+
+  iso::IsoArena::Config ac;
+  ac.slot_size = config_.slot_bytes;
+  ac.max_slots = static_cast<std::size_t>(config_.vps) + 4;
+  arena_ = std::make_unique<iso::IsoArena>(ac);
+
+  comm::Cluster::Config cc;
+  cc.nodes = config_.nodes;
+  cc.pes_per_node = config_.pes_per_node;
+  cc.options = config_.options;
+  cc.backend = config_.backend;
+  cluster_ = std::make_unique<comm::Cluster>(cc);
+
+  comms_ = std::make_unique<CommTable>(config_.vps);
+  pack_mode_ = config_.options.get_string("iso.pack", "touched") == "full"
+                   ? iso::PackMode::FullSlot
+                   : iso::PackMode::Touched;
+  pack_api_table(api_);
+  pe_state_.resize(static_cast<std::size_t>(cluster_->num_pes()));
+
+  // Per-node dynamic-linker and privatization state (each emulated OS
+  // process loads and privatizes the program independently).
+  for (int n = 0; n < config_.nodes; ++n) {
+    loaders_.push_back(std::make_unique<img::Loader>(config_.options));
+    core::ProcessEnv env;
+    env.process_id = n;
+    env.pes_in_process = config_.pes_per_node;
+    env.image = image_;
+    env.loader = loaders_.back().get();
+    env.arena = arena_.get();
+    env.options = config_.options;
+    privs_.push_back(
+        std::make_unique<core::Privatizer>(config_.method, std::move(env)));
+  }
+
+  cluster_->resize_location_table(config_.vps);
+
+  // Bring up every virtual rank: slot, heap, privatized view, ULT.
+  ranks_.reserve(static_cast<std::size_t>(config_.vps));
+  for (int r = 0; r < config_.vps; ++r) {
+    const comm::PeId pe = initial_pe(r);
+    const comm::NodeId node = cluster_->node_of(pe);
+    auto rm = std::make_unique<RankMpi>();
+    rm->world_rank = r;
+    rm->resident_pe = pe;
+    core::Privatizer::RankParams params;
+    params.world_rank = r;
+    params.body = &Runtime::rank_body;
+    params.arg = rm.get();
+    params.stack_size = config_.stack_bytes;
+    params.backend = config_.backend;
+    rm->rc = privs_[static_cast<std::size_t>(node)]->create_rank(params);
+    rm->rc->user_data = rm.get();
+    rm->env = std::make_unique<Env>(this, rm.get(), &api_);
+    pe_state_[static_cast<std::size_t>(pe)].resident[r] = rm.get();
+    cluster_->set_location(r, pe);
+    ranks_.push_back(std::move(rm));
+  }
+
+  // Per-PE hooks: privatization switch work, load timing, and dispatch.
+  for (int p = 0; p < cluster_->num_pes(); ++p) {
+    comm::Pe& pe = cluster_->pe(p);
+    const comm::NodeId node = cluster_->node_of(p);
+    privs_[static_cast<std::size_t>(node)]->install_switch_hook(
+        pe.scheduler());
+    pe.scheduler().add_switch_hook([this, p](ult::Ult* next) {
+      auto& ps = pe_state_[static_cast<std::size_t>(p)];
+      const std::uint64_t now = util::wall_time_ns();
+      if (ps.running != nullptr) {
+        ps.running->busy_time_s +=
+            static_cast<double>(now - ps.slice_start_ns) * 1e-9;
+      }
+      auto* rc = next ? static_cast<core::RankContext*>(next->user_data())
+                      : nullptr;
+      ps.running = rc ? static_cast<RankMpi*>(rc->user_data) : nullptr;
+      ps.slice_start_ns = now;
+    });
+    pe.set_dispatcher(
+        [this, p](comm::Message&& msg) { dispatch(p, std::move(msg)); });
+    pe.set_idle_hook([this, p] { close_run_slice(p); });
+  }
+
+  init_time_s_ = init_timer.elapsed_s();
+  APV_INFO("mpi", "runtime up: %d vps on %d node(s) x %d PE(s), method=%s, "
+                  "init %.3f ms",
+           config_.vps, config_.nodes, config_.pes_per_node,
+           core::method_name(config_.method), init_time_s_ * 1e3);
+}
+
+Runtime::~Runtime() {
+  if (started_) cluster_->stop_and_join();
+  // Destroy ranks before privatizers (rank teardown uses method state).
+  for (auto& rm : ranks_) {
+    if (rm->rc != nullptr) {
+      const comm::NodeId node = cluster_->node_of(
+          rm->resident_pe == comm::kInvalidPe ? 0 : rm->resident_pe);
+      privs_[static_cast<std::size_t>(node)]->destroy_rank(rm->rc);
+      rm->rc = nullptr;
+    }
+  }
+}
+
+comm::PeId Runtime::initial_pe(int world_rank) const {
+  const int npes = cluster_->num_pes();
+  if (config_.map == "rr") return world_rank % npes;
+  // Block map: contiguous ranks share a PE (better halo locality).
+  return static_cast<int>((static_cast<long>(world_rank) * npes) /
+                          config_.vps);
+}
+
+core::Privatizer& Runtime::privatizer(comm::NodeId node) {
+  require(node >= 0 && node < config_.nodes, ErrorCode::InvalidArgument,
+          "bad node id");
+  return *privs_[static_cast<std::size_t>(node)];
+}
+
+RankMpi& Runtime::rank_state(int world_rank) {
+  require(world_rank >= 0 && world_rank < config_.vps,
+          ErrorCode::InvalidArgument, "bad world rank");
+  return *ranks_[static_cast<std::size_t>(world_rank)];
+}
+
+void* Runtime::rank_return(int world_rank) {
+  return rank_state(world_rank).entry_ret;
+}
+
+std::uint64_t Runtime::total_context_switches() const {
+  std::uint64_t total = 0;
+  for (int p = 0; p < cluster_->num_pes(); ++p) {
+    total += const_cast<Runtime*>(this)->cluster_->pe(p).scheduler()
+                 .switch_count();
+  }
+  return total;
+}
+
+void Runtime::rank_body(void* arg) {
+  auto* rm = static_cast<RankMpi*>(arg);
+  Runtime& rt = rm->env->runtime();
+  try {
+    // "Execution jumps into the PIE binary": resolve the entry through this
+    // rank's own code copy and call it with the shim-backed Env.
+    const img::FuncId entry = rt.image().func_id(rt.config().entry);
+    const img::NativeFn fn = rm->rc->instance->native_at(entry);
+    rm->entry_ret = fn(rm->env.get());
+  } catch (const std::exception& e) {
+    rm->failed = true;
+    rm->failure = e.what();
+    APV_ERROR("mpi", "rank %d failed: %s", rm->world_rank, e.what());
+  }
+  rt.rank_finished(*rm);
+}
+
+void Runtime::rank_finished(RankMpi& rm) {
+  rm.finished = true;
+  if (live_ranks_.fetch_sub(1) == 1) {
+    std::lock_guard<std::mutex> lock(finish_mutex_);
+    finish_cv_.notify_all();
+  }
+}
+
+void Runtime::start() {
+  require(!started_, ErrorCode::BadState, "runtime already started");
+  started_ = true;
+  live_ranks_.store(config_.vps);
+  for (auto& rm : ranks_) {
+    cluster_->pe(rm->resident_pe).scheduler().ready(rm->rc->ult);
+  }
+  cluster_->start();
+}
+
+void Runtime::wait_finish() {
+  require(started_, ErrorCode::BadState, "runtime not started");
+  {
+    std::unique_lock<std::mutex> lock(finish_mutex_);
+    const bool done = finish_cv_.wait_for(
+        lock, std::chrono::seconds(300),
+        [this] { return live_ranks_.load() == 0; });
+    require(done, ErrorCode::Internal,
+            "job timed out: some rank never finished (deadlock?)");
+  }
+  cluster_->stop_and_join();
+  started_ = false;
+  for (const auto& rm : ranks_) {
+    if (rm->failed)
+      throw ApvError(ErrorCode::Internal, "rank " +
+                                              std::to_string(rm->world_rank) +
+                                              " failed: " + rm->failure);
+  }
+}
+
+void Runtime::run() {
+  start();
+  wait_finish();
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch (always on the destination PE's thread)
+
+void Runtime::dispatch(comm::PeId pe, comm::Message&& msg) {
+  switch (msg.kind) {
+    case comm::Message::Kind::UserData:
+      deliver_user(pe, std::move(msg));
+      return;
+    case comm::Message::Kind::Control:
+      handle_control(pe, std::move(msg));
+      return;
+    case comm::Message::Kind::Migration:
+      handle_migration_arrival(pe, std::move(msg));
+      return;
+  }
+}
+
+void Runtime::deliver_user(comm::PeId pe, comm::Message&& msg) {
+  auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+  auto it = ps.resident.find(msg.dst_rank);
+  if (it == ps.resident.end()) {
+    // The rank is not here (it migrated). Forward toward its recorded
+    // location; if the location still says "here", its state is in flight
+    // to us — requeue behind the migration message.
+    const comm::PeId loc = cluster_->location(msg.dst_rank);
+    if (loc == pe) {
+      ++ps.forward_retries;
+      cluster_->pe(pe).post(std::move(msg));
+      return;
+    }
+    msg.dst_pe = loc;
+    forwards_.fetch_add(1, std::memory_order_relaxed);
+    cluster_->send(std::move(msg));
+    return;
+  }
+  RankMpi& rm = *it->second;
+  if (!try_match(rm, msg)) rm.unexpected.push_back(std::move(msg));
+  ++rm.recvs;
+  wake_if_waiting(rm);
+}
+
+bool Runtime::match_predicate(const RecvPost& post,
+                              const comm::Message& msg) const {
+  if (post.comm != msg.comm_id) return false;
+  if (post.tag != msg.tag) {
+    // Wildcard receives never match internal (collective/control) tags.
+    if (post.tag != kAnyTag || msg.tag >= kInternalTagBase) return false;
+  }
+  if (post.src != kAnySource) {
+    const int src_local = comm_info(msg.comm_id).local_of(msg.src_rank);
+    if (post.src != src_local) return false;
+  }
+  return true;
+}
+
+void Runtime::complete_recv(RankMpi& rm, const RecvPost& post,
+                            comm::Message& msg) {
+  require(msg.payload.size() <= post.max_bytes, ErrorCode::InvalidArgument,
+          "message truncation: received " +
+              std::to_string(msg.payload.size()) + " bytes into a " +
+              std::to_string(post.max_bytes) + "-byte buffer");
+  if (!msg.payload.empty())
+    std::memcpy(post.buf, msg.payload.data(), msg.payload.size());
+  RequestState& rs = rm.requests[static_cast<std::size_t>(post.req)];
+  rs.complete = true;
+  rs.status.source = comm_info(msg.comm_id).local_of(msg.src_rank);
+  rs.status.tag = msg.tag;
+  rs.status.count_bytes = static_cast<int>(msg.payload.size());
+}
+
+bool Runtime::try_match(RankMpi& rm, comm::Message& msg) {
+  for (auto it = rm.posted.begin(); it != rm.posted.end(); ++it) {
+    if (!match_predicate(*it, msg)) continue;
+    complete_recv(rm, *it, msg);
+    rm.posted.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void Runtime::wake_if_waiting(RankMpi& rm) {
+  if (!rm.waiting) return;
+  // A rank parked for a control operation must not be woken by ordinary
+  // message arrivals: its ULT is about to be packed (migration,
+  // checkpoint) or its current stack frames are about to be rewound
+  // (restore). The control handler performs the wake itself.
+  if (rm.migrate_dest != comm::kInvalidPe) return;
+  if (rm.ckpt_pending || rm.restore_pending) return;
+  if (rm.rc->ult->state() != ult::UltState::Blocked) return;
+  cluster_->pe(rm.resident_pe).scheduler().ready(rm.rc->ult);
+}
+
+void Runtime::block_current(RankMpi& rm) {
+  rm.waiting = true;
+  ult::Scheduler* sched = ult::current_scheduler();
+  require(sched != nullptr && sched->current() == rm.rc->ult,
+          ErrorCode::BadState, "blocking call outside the rank's ULT");
+  sched->suspend();
+  rm.waiting = false;
+}
+
+void Runtime::close_run_slice(comm::PeId pe) {
+  auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+  if (ps.running == nullptr) return;
+  const std::uint64_t now = util::wall_time_ns();
+  ps.running->busy_time_s +=
+      static_cast<double>(now - ps.slice_start_ns) * 1e-9;
+  ps.running = nullptr;
+  ps.slice_start_ns = now;
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+
+void Runtime::do_send(RankMpi& rm, const void* buf, std::size_t bytes,
+                      int dst_local, int tag, CommId comm) {
+  const CommInfo& ci = comm_info(comm);
+  const int dst_world = ci.world_of(dst_local);
+  comm::Message m;
+  m.kind = comm::Message::Kind::UserData;
+  m.src_pe = rm.resident_pe;
+  m.src_rank = rm.world_rank;
+  m.dst_rank = dst_world;
+  m.comm_id = comm;
+  m.tag = tag;
+  m.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(m.payload.data(), buf, bytes);
+  m.dst_pe = cluster_->location(dst_world);
+  ++rm.sends;
+  cluster_->send(std::move(m));
+}
+
+Request Runtime::do_irecv(RankMpi& rm, void* buf, std::size_t max_bytes,
+                          int src, int tag, CommId comm) {
+  const Request req = rm.alloc_request(RequestState::Kind::Recv);
+  RecvPost post{req, buf, max_bytes, src, tag, comm};
+  for (auto it = rm.unexpected.begin(); it != rm.unexpected.end(); ++it) {
+    if (!match_predicate(post, *it)) continue;
+    complete_recv(rm, post, *it);
+    rm.unexpected.erase(it);
+    return req;
+  }
+  rm.posted.push_back(post);
+  return req;
+}
+
+Status Runtime::do_wait(RankMpi& rm, Request& req) {
+  require(req != kRequestNull &&
+              static_cast<std::size_t>(req) < rm.requests.size() &&
+              rm.requests[static_cast<std::size_t>(req)].active,
+          ErrorCode::InvalidArgument, "wait on invalid request");
+  RequestState& rs = rm.requests[static_cast<std::size_t>(req)];
+  while (!rs.complete) block_current(rm);
+  const Status status = rs.status;
+  rs.active = false;
+  req = kRequestNull;
+  return status;
+}
+
+bool Runtime::do_test(RankMpi& rm, Request& req, Status* status) {
+  if (req == kRequestNull) return true;
+  RequestState& rs = rm.requests[static_cast<std::size_t>(req)];
+  require(rs.active, ErrorCode::InvalidArgument, "test on invalid request");
+  if (!rs.complete) return false;
+  if (status != nullptr) *status = rs.status;
+  rs.active = false;
+  req = kRequestNull;
+  return true;
+}
+
+bool Runtime::do_iprobe(RankMpi& rm, int src, int tag, CommId comm,
+                        Status* status) {
+  RecvPost probe{kRequestNull, nullptr, 0, src, tag, comm};
+  for (const comm::Message& msg : rm.unexpected) {
+    if (!match_predicate(probe, msg)) continue;
+    if (status != nullptr) {
+      status->source = comm_info(comm).local_of(msg.src_rank);
+      status->tag = msg.tag;
+      status->count_bytes = static_cast<int>(msg.payload.size());
+    }
+    return true;
+  }
+  return false;
+}
+
+void Runtime::do_yield(RankMpi& rm) {
+  (void)rm;
+  ult::current_scheduler()->yield();
+}
+
+// ---------------------------------------------------------------------------
+// Internal (collective) transport
+
+void Runtime::coll_send(RankMpi& rm, int dst_world, int tag, const void* data,
+                        std::size_t bytes, CommId comm) {
+  comm::Message m;
+  m.kind = comm::Message::Kind::UserData;
+  m.src_pe = rm.resident_pe;
+  m.src_rank = rm.world_rank;
+  m.dst_rank = dst_world;
+  m.comm_id = comm;
+  m.tag = tag;
+  m.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  m.dst_pe = cluster_->location(dst_world);
+  cluster_->send(std::move(m));
+}
+
+std::size_t Runtime::coll_recv(RankMpi& rm, int src_world, int tag,
+                               void* data, std::size_t max_bytes,
+                               CommId comm) {
+  const int src_local = src_world == kAnySource
+                            ? kAnySource
+                            : comm_info(comm).local_of(src_world);
+  Request req = do_irecv(rm, data, max_bytes, src_local, tag, comm);
+  const Status status = do_wait(rm, req);
+  return static_cast<std::size_t>(status.count_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Ops
+
+Op Runtime::do_op_create_named(RankMpi& rm, const char* image_fn,
+                               bool commutative) {
+  Op op;
+  op.kind = OpKind::User;
+  op.commutative = commutative;
+  const img::FuncId id = image_->func_id(image_fn);
+  op.user.id = id;
+  op.user.code_offset = image_->func(id).code_offset;
+  (void)rm;
+  return op;
+}
+
+Op Runtime::do_op_create(RankMpi& rm, void* fn_addr, bool commutative) {
+  // The paper's PIEglobals path: the address is inside *this rank's* code
+  // copy; translate it to a base-relative handle via the instance registry.
+  const comm::NodeId node = cluster_->node_of(rm.resident_pe);
+  Op op;
+  op.kind = OpKind::User;
+  op.commutative = commutative;
+  op.user = core::to_handle(
+      privs_[static_cast<std::size_t>(node)]->env().loader->registry(),
+      fn_addr);
+  return op;
+}
+
+void Runtime::apply_op(RankMpi& rm, const Op& op, Datatype dt, const void* in,
+                       void* inout, int len) {
+  if (op.kind != OpKind::User) {
+    apply_builtin_op(op.kind, dt, in, inout, len);
+    return;
+  }
+  auto* fn = core::fn_as<void(const void*, void*, int, Datatype)>(op.user,
+                                                                  *rm.rc);
+  fn(in, inout, len, dt);
+}
+
+void Runtime::combine_on_pe(comm::PeId pe, const Op& op, Datatype dt,
+                            const void* in, void* inout, int len) {
+  if (op.kind != OpKind::User) {
+    apply_builtin_op(op.kind, dt, in, inout, len);
+    return;
+  }
+  auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+  if (ps.resident.empty()) {
+    // Paper §3.3: "we instead require that all cores have at least one
+    // virtual rank assigned to them during reduction processing with
+    // PIEglobals enabled and otherwise throw a runtime error".
+    throw ApvError(ErrorCode::ReductionOnEmptyPe,
+                   "user-defined reduction cannot be combined on PE " +
+                       std::to_string(pe) + ": no virtual ranks resident");
+  }
+  RankMpi& host = *ps.resident.begin()->second;
+  auto* fn = core::fn_as<void(const void*, void*, int, Datatype)>(op.user,
+                                                                  *host.rc);
+  fn(in, inout, len, dt);
+}
+
+// ---------------------------------------------------------------------------
+// Migration, checkpoint/restart
+
+void Runtime::do_migrate_to(RankMpi& rm, comm::PeId dest) {
+  require(dest >= 0 && dest < cluster_->num_pes(), ErrorCode::InvalidArgument,
+          "migration destination PE out of range");
+  if (dest == rm.resident_pe) return;
+  const comm::NodeId src_node = cluster_->node_of(rm.resident_pe);
+  auto& priv = *privs_[static_cast<std::size_t>(src_node)];
+  require(priv.supports_migration(), ErrorCode::MigrationRefused,
+          std::string(core::method_name(priv.kind())) +
+              " cannot migrate ranks: its segment copies were allocated by "
+              "the dynamic linker, not Isomalloc");
+  rm.migrate_dest = dest;
+  comm::Message ctl;
+  ctl.kind = comm::Message::Kind::Control;
+  ctl.opcode = kCtlDoMigrate;
+  ctl.src_pe = rm.resident_pe;
+  ctl.dst_pe = rm.resident_pe;  // our own PE performs the departure
+  ctl.dst_rank = rm.world_rank;
+  cluster_->send(std::move(ctl));
+  // Suspend; the PE packs and ships us, and the destination PE resumes us.
+  while (rm.migrate_dest != comm::kInvalidPe) block_current(rm);
+}
+
+void Runtime::handle_control(comm::PeId pe, comm::Message&& msg) {
+  switch (msg.opcode) {
+    case kCtlDoMigrate:
+      perform_migration_departure(pe, msg.dst_rank);
+      return;
+    case kCtlDoCheckpoint:
+      perform_checkpoint_pack(pe, msg.dst_rank);
+      return;
+    case kCtlDoRestore:
+      perform_restore_unpack(pe, msg.dst_rank);
+      return;
+    default:
+      throw ApvError(ErrorCode::Internal, "unknown control opcode");
+  }
+}
+
+namespace {
+// A control operation on a suspended rank must observe the ULT actually
+// suspended; if the rank was spuriously woken, requeue the command.
+bool rank_parked(const RankMpi& rm) {
+  return rm.rc->ult->state() == ult::UltState::Blocked;
+}
+}  // namespace
+
+void Runtime::perform_migration_departure(comm::PeId pe, comm::RankId rank) {
+  auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+  auto it = ps.resident.find(rank);
+  require(it != ps.resident.end(), ErrorCode::Internal,
+          "migration departure for non-resident rank");
+  RankMpi& rm = *it->second;
+  if (!rank_parked(rm)) {
+    comm::Message retry;
+    retry.kind = comm::Message::Kind::Control;
+    retry.opcode = kCtlDoMigrate;
+    retry.dst_pe = pe;
+    retry.dst_rank = rank;
+    cluster_->pe(pe).post(std::move(retry));
+    return;
+  }
+  const comm::PeId dest = rm.migrate_dest;
+  const comm::NodeId src_node = cluster_->node_of(pe);
+  privs_[static_cast<std::size_t>(src_node)]->rank_departed(rm.rc);
+  ps.resident.erase(it);
+
+  util::ByteBuffer buf;
+  iso::pack_slot(*arena_, rm.rc->slot, pack_mode_, buf);
+
+  comm::Message mig;
+  mig.kind = comm::Message::Kind::Migration;
+  mig.src_pe = pe;
+  mig.dst_pe = dest;
+  mig.dst_rank = rank;
+  mig.payload.resize(buf.size());
+  std::memcpy(mig.payload.data(), buf.data(), buf.size());
+  migrations_.fetch_add(1, std::memory_order_relaxed);
+  migration_bytes_.fetch_add(buf.size(), std::memory_order_relaxed);
+  // Update the location *before* the state ships so forwards head to the
+  // destination and queue behind the migration message.
+  cluster_->set_location(rank, dest);
+  cluster_->send(std::move(mig));
+}
+
+void Runtime::handle_migration_arrival(comm::PeId pe, comm::Message&& msg) {
+  RankMpi& rm = rank_state(msg.dst_rank);
+  util::ByteBuffer buf;
+  buf.put_bytes(msg.payload.data(), msg.payload.size());
+  buf.rewind();
+  iso::unpack_slot(*arena_, rm.rc->slot, buf);
+
+  const comm::NodeId node = cluster_->node_of(pe);
+  privs_[static_cast<std::size_t>(node)]->rank_arrived(rm.rc);
+  rm.resident_pe = pe;
+  pe_state_[static_cast<std::size_t>(pe)].resident[msg.dst_rank] = &rm;
+  rm.migrate_dest = comm::kInvalidPe;
+  cluster_->pe(pe).scheduler().ready(rm.rc->ult);
+}
+
+int Runtime::do_checkpoint(RankMpi& rm) {
+  rm.restored = false;
+  rm.ckpt_pending = true;
+  comm::Message ctl;
+  ctl.kind = comm::Message::Kind::Control;
+  ctl.opcode = kCtlDoCheckpoint;
+  ctl.dst_pe = rm.resident_pe;
+  ctl.dst_rank = rm.world_rank;
+  cluster_->send(std::move(ctl));
+  while (rm.ckpt_pending) block_current(rm);
+  // After a restore, execution rewinds to the suspension above and resumes
+  // here with rm.restored set — the setjmp/longjmp shape of
+  // checkpoint-based fault tolerance.
+  return rm.restored ? 1 : 0;
+}
+
+void Runtime::perform_checkpoint_pack(comm::PeId pe, comm::RankId rank) {
+  auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+  auto it = ps.resident.find(rank);
+  require(it != ps.resident.end(), ErrorCode::Internal,
+          "checkpoint for non-resident rank");
+  RankMpi& rm = *it->second;
+  if (!rank_parked(rm)) {
+    comm::Message retry;
+    retry.kind = comm::Message::Kind::Control;
+    retry.opcode = kCtlDoCheckpoint;
+    retry.dst_pe = pe;
+    retry.dst_rank = rank;
+    cluster_->pe(pe).post(std::move(retry));
+    return;
+  }
+  util::ByteBuffer buf;
+  iso::pack_slot(*arena_, rm.rc->slot, pack_mode_, buf);
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    checkpoints_[rank] = std::move(buf);
+  }
+  rm.ckpt_pending = false;
+  cluster_->pe(pe).scheduler().ready(rm.rc->ult);
+}
+
+int Runtime::do_restore(RankMpi& rm) {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    require(checkpoints_.count(rm.world_rank) != 0, ErrorCode::NotFound,
+            "no checkpoint taken for rank " +
+                std::to_string(rm.world_rank));
+  }
+  rm.restore_pending = true;
+  comm::Message ctl;
+  ctl.kind = comm::Message::Kind::Control;
+  ctl.opcode = kCtlDoRestore;
+  ctl.dst_pe = rm.resident_pe;
+  ctl.dst_rank = rm.world_rank;
+  cluster_->send(std::move(ctl));
+  // This suspension never "returns" here: the unpack rewinds the ULT's
+  // stack to the checkpoint suspension, and execution resumes inside
+  // do_checkpoint instead.
+  rm.waiting = true;
+  ult::current_scheduler()->suspend();
+  rm.waiting = false;
+  throw ApvError(ErrorCode::Internal,
+                 "restore resumed past the rewound stack frame");
+}
+
+void Runtime::perform_restore_unpack(comm::PeId pe, comm::RankId rank) {
+  auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+  auto it = ps.resident.find(rank);
+  require(it != ps.resident.end(), ErrorCode::Internal,
+          "restore for non-resident rank");
+  RankMpi& rm = *it->second;
+  if (!rank_parked(rm)) {
+    comm::Message retry;
+    retry.kind = comm::Message::Kind::Control;
+    retry.opcode = kCtlDoRestore;
+    retry.dst_pe = pe;
+    retry.dst_rank = rank;
+    cluster_->pe(pe).post(std::move(retry));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    util::ByteBuffer& saved = checkpoints_[rank];
+    saved.rewind();
+    iso::unpack_slot(*arena_, rm.rc->slot, saved);
+  }
+  // The ULT (stack, context, heap) is now exactly as it was inside the
+  // checkpoint suspension. Flag the resume as a restore and wake it.
+  rm.restored = true;
+  rm.ckpt_pending = false;
+  rm.restore_pending = false;
+  cluster_->pe(pe).scheduler().ready(rm.rc->ult);
+}
+
+void Runtime::do_compute(RankMpi& rm, double seconds) {
+  (void)rm;
+  const std::uint64_t until =
+      util::wall_time_ns() + static_cast<std::uint64_t>(seconds * 1e9);
+  while (util::wall_time_ns() < until) {
+    // Spin: models CPU-bound application work; accrues into the rank's
+    // busy-time slice via the scheduler timing hook.
+  }
+}
+
+core::VarAccess Runtime::bind_global(const RankMpi& rm,
+                                     const std::string& name) const {
+  const comm::NodeId node = cluster_->node_of(rm.resident_pe);
+  return privs_[static_cast<std::size_t>(node)]->bind(name);
+}
+
+}  // namespace apv::mpi

@@ -1,0 +1,217 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "core/privatizer.hpp"
+#include "image/image.hpp"
+#include "image/loader.hpp"
+#include "isomalloc/arena.hpp"
+#include "isomalloc/pack.hpp"
+#include "mpi/comm_table.hpp"
+#include "mpi/env.hpp"
+#include "mpi/rank_state.hpp"
+#include "mpi/types.hpp"
+#include "util/options.hpp"
+
+namespace apv::mpi {
+
+/// Configuration for one virtualized job (the analogue of
+/// `./prog +vp N +ppn K` on an AMPI command line).
+struct RuntimeConfig {
+  int nodes = 1;          ///< emulated OS processes
+  int pes_per_node = 1;   ///< PEs per process; >1 = SMP mode
+  int vps = 4;            ///< virtual ranks (MPI world size)
+  core::Method method = core::Method::None;
+  std::string entry = "mpi_main";  ///< image function: void*(Env*)
+  std::size_t slot_bytes = std::size_t{64} << 20;  ///< Isomalloc slot size
+  std::size_t stack_bytes = std::size_t{256} << 10;
+  std::string map = "block";  ///< initial rank→PE map: "block" or "rr"
+  util::Options options;      ///< net.*, fs.*, pie.*, swap.*, iso.*, loader.*
+  ult::ContextBackend backend = ult::default_context_backend();
+};
+
+/// The virtualized MPI runtime: ties together the cluster (PEs + mailboxes),
+/// per-node Privatizers, the Isomalloc arena, and the MPI semantics
+/// (matching, collectives, migration, load balancing, checkpointing).
+class Runtime {
+ public:
+  /// Builds the whole job: loads/privatizes the program on every node and
+  /// creates all virtual ranks. The elapsed construction time is the
+  /// paper's Figure 5 "startup/initialization" metric.
+  Runtime(const img::ProgramImage& image, RuntimeConfig config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Launches the PE threads and schedules every rank's entry function.
+  void start();
+  /// Blocks until every rank's entry returned, then stops the PEs.
+  /// Throws the first rank failure, if any.
+  void wait_finish();
+  /// start() + wait_finish().
+  void run();
+
+  /// Time spent privatizing + creating ranks in the constructor (seconds).
+  double init_time_s() const noexcept { return init_time_s_; }
+
+  comm::Cluster& cluster() noexcept { return *cluster_; }
+  core::Privatizer& privatizer(comm::NodeId node);
+  iso::IsoArena& arena() noexcept { return *arena_; }
+  CommTable& comms() noexcept { return *comms_; }
+  const RuntimeConfig& config() const noexcept { return config_; }
+  const img::ProgramImage& image() const noexcept { return *image_; }
+
+  RankMpi& rank_state(int world_rank);
+  /// Value returned by the rank's entry function.
+  void* rank_return(int world_rank);
+
+  // --- job-wide statistics -------------------------------------------------
+  std::uint64_t migration_count() const noexcept { return migrations_; }
+  std::uint64_t migration_bytes() const noexcept { return migration_bytes_; }
+  std::uint64_t forward_count() const noexcept { return forwards_; }
+  std::uint64_t total_context_switches() const;
+
+  /// Applies a (possibly user-defined) reduction operator "on a PE" the way
+  /// AMPI's message combining does: through the code copy of some rank
+  /// resident on that PE. Reproduces the paper's documented failure mode —
+  /// throws ReductionOnEmptyPe if the PE hosts no ranks and the op is
+  /// user-defined under PIEglobals.
+  void combine_on_pe(comm::PeId pe, const Op& op, Datatype dt, const void* in,
+                     void* inout, int len);
+
+  // --- implementation surface used by the ApiTable shim ---------------------
+  // (public so the packed free functions can reach it; not for end users)
+  void do_send(RankMpi& rm, const void* buf, std::size_t bytes, int dst_local,
+               int tag, CommId comm);
+  Request do_irecv(RankMpi& rm, void* buf, std::size_t max_bytes, int src,
+                   int tag, CommId comm);
+  Status do_wait(RankMpi& rm, Request& req);
+  bool do_test(RankMpi& rm, Request& req, Status* status);
+  bool do_iprobe(RankMpi& rm, int src, int tag, CommId comm, Status* status);
+  void do_yield(RankMpi& rm);
+
+  void coll_send(RankMpi& rm, int dst_world, int tag, const void* data,
+                 std::size_t bytes, CommId comm);
+  std::size_t coll_recv(RankMpi& rm, int src_world, int tag, void* data,
+                        std::size_t max_bytes, CommId comm);
+
+  void do_barrier(RankMpi& rm, CommId comm);
+  void do_bcast(RankMpi& rm, void* buf, std::size_t bytes, int root,
+                CommId comm);
+  void do_reduce(RankMpi& rm, const void* sbuf, void* rbuf, int count,
+                 Datatype dt, const Op& op, int root, CommId comm);
+  void do_allreduce(RankMpi& rm, const void* sbuf, void* rbuf, int count,
+                    Datatype dt, const Op& op, CommId comm);
+  void do_scan(RankMpi& rm, const void* sbuf, void* rbuf, int count,
+               Datatype dt, const Op& op, CommId comm);
+  void do_gatherv(RankMpi& rm, const void* sbuf, int scount, Datatype sdt,
+                  void* rbuf, const int* rcounts, const int* displs,
+                  Datatype rdt, int root, CommId comm);
+  void do_scatterv(RankMpi& rm, const void* sbuf, const int* scounts,
+                   const int* displs, Datatype sdt, void* rbuf, int rcount,
+                   Datatype rdt, int root, CommId comm);
+  void do_alltoall(RankMpi& rm, const void* sbuf, int scount, Datatype sdt,
+                   void* rbuf, int rcount, Datatype rdt, CommId comm);
+  CommId do_comm_split(RankMpi& rm, CommId parent, int color, int key);
+  void do_comm_free(RankMpi& rm, CommId comm);
+
+  Op do_op_create_named(RankMpi& rm, const char* image_fn, bool commutative);
+  Op do_op_create(RankMpi& rm, void* fn_addr, bool commutative);
+  /// Applies `op` in `rm`'s rank context (localizing user-op handles
+  /// through rm's own code copy).
+  void apply_op(RankMpi& rm, const Op& op, Datatype dt, const void* in,
+                void* inout, int len);
+
+  void do_migrate_to(RankMpi& rm, comm::PeId dest);
+  void do_load_balance(RankMpi& rm, const std::string& strategy);
+  int do_checkpoint(RankMpi& rm);
+  /// Collective restore: every rank rewinds to its last checkpoint.
+  /// Must be invoked from rank context (all ranks call it).
+  int do_restore(RankMpi& rm);
+  void do_compute(RankMpi& rm, double seconds);
+
+  const CommInfo& comm_info(CommId id) const { return comms_->info(id); }
+
+  /// Looks up the variable-access binding for a rank's process.
+  core::VarAccess bind_global(const RankMpi& rm,
+                              const std::string& name) const;
+
+ private:
+  struct PeState {
+    std::map<comm::RankId, RankMpi*> resident;
+    RankMpi* running = nullptr;        // load-timing bookkeeping
+    std::uint64_t slice_start_ns = 0;
+    std::uint64_t forward_retries = 0;
+  };
+
+  static void rank_body(void* arg);
+  void rank_finished(RankMpi& rm);
+
+  comm::PeId initial_pe(int world_rank) const;
+  comm::PeId current_pe_of(RankMpi& rm) const { return rm.resident_pe; }
+
+  void dispatch(comm::PeId pe, comm::Message&& msg);
+  void deliver_user(comm::PeId pe, comm::Message&& msg);
+  void handle_control(comm::PeId pe, comm::Message&& msg);
+  void handle_migration_arrival(comm::PeId pe, comm::Message&& msg);
+  bool try_match(RankMpi& rm, comm::Message& msg);
+  bool match_predicate(const RecvPost& post, const comm::Message& msg) const;
+  void complete_recv(RankMpi& rm, const RecvPost& post, comm::Message& msg);
+  void wake_if_waiting(RankMpi& rm);
+
+  /// Suspends the calling ULT until woken by the dispatcher.
+  void block_current(RankMpi& rm);
+
+  void close_run_slice(comm::PeId pe);
+  void perform_migration_departure(comm::PeId pe, comm::RankId rank);
+  void perform_checkpoint_pack(comm::PeId pe, comm::RankId rank);
+  void perform_restore_unpack(comm::PeId pe, comm::RankId rank);
+
+  const img::ProgramImage* image_;
+  RuntimeConfig config_;
+
+  std::unique_ptr<iso::IsoArena> arena_;
+  std::unique_ptr<comm::Cluster> cluster_;
+  std::vector<std::unique_ptr<img::Loader>> loaders_;      // per node
+  std::vector<std::unique_ptr<core::Privatizer>> privs_;   // per node
+  std::unique_ptr<CommTable> comms_;
+  ApiTable api_{};
+
+  std::vector<std::unique_ptr<RankMpi>> ranks_;
+  std::vector<PeState> pe_state_;
+
+  iso::PackMode pack_mode_ = iso::PackMode::Touched;
+
+  double init_time_s_ = 0.0;
+  bool started_ = false;
+  std::atomic<int> live_ranks_{0};
+  std::mutex finish_mutex_;
+  std::condition_variable finish_cv_;
+
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<std::uint64_t> migration_bytes_{0};
+  std::atomic<std::uint64_t> forwards_{0};
+
+  // In-memory checkpoint store: rank -> packed slot.
+  std::mutex ckpt_mutex_;
+  std::map<int, util::ByteBuffer> checkpoints_;
+
+  friend class Env;
+};
+
+/// Control-message opcodes (comm::Message::opcode when kind == Control).
+enum CtlOp : int {
+  kCtlDoMigrate = 1,    ///< source PE: pack + ship the suspended rank
+  kCtlDoCheckpoint,     ///< PE: pack the suspended rank into the store
+  kCtlDoRestore,        ///< PE: unpack the stored image over the slot
+};
+
+}  // namespace apv::mpi

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/funcptr.hpp"
+
+namespace apv::mpi {
+
+/// Built-in element datatypes (MPI_INT, MPI_DOUBLE, ...). Contiguous
+/// arrays of these are the supported buffer shape.
+enum class Datatype : std::uint8_t {
+  Char,
+  Byte,
+  Int,
+  Unsigned,
+  Long,
+  UnsignedLong,
+  Float,
+  Double,
+  DoubleInt,  ///< {double value; int index} pairs for MaxLoc/MinLoc
+  IntInt,     ///< {int value; int index} pairs for MaxLoc/MinLoc
+};
+
+/// {value, index} payloads for MaxLoc/MinLoc reductions.
+struct DoubleInt {
+  double value;
+  int index;
+};
+struct IntInt {
+  int value;
+  int index;
+};
+
+/// Size in bytes of one element of the datatype.
+std::size_t datatype_size(Datatype dt) noexcept;
+const char* datatype_name(Datatype dt) noexcept;
+
+/// Built-in reduction operators plus the user-defined escape hatch.
+enum class OpKind : std::uint8_t {
+  Sum,
+  Prod,
+  Max,
+  Min,
+  LogicalAnd,
+  LogicalOr,
+  BitAnd,
+  BitOr,
+  BitXor,
+  MaxLoc,
+  MinLoc,
+  User,
+};
+
+/// Signature of a user-defined reduction function inside the program
+/// image, mirroring MPI_User_function: combine `in` into `inout`,
+/// element-wise over len elements of dt.
+using UserOpFn = void (*)(const void* in, void* inout, int len, Datatype dt);
+
+/// A reduction operator handle. For user-defined operators the function is
+/// carried as a position-independent FuncHandle — the paper's fix for
+/// function pointers differing across PIEglobals ranks (§3.3).
+struct Op {
+  OpKind kind = OpKind::Sum;
+  core::FuncHandle user;  ///< valid iff kind == User
+  bool commutative = true;
+
+  static Op builtin(OpKind k) { return Op{k, {}, true}; }
+};
+
+/// Communicator handle. kCommWorld is always valid; others come from
+/// comm_dup / comm_split.
+using CommId = std::int32_t;
+inline constexpr CommId kCommWorld = 0;
+inline constexpr CommId kCommNull = -1;
+
+/// Nonblocking-operation handle, local to the issuing rank.
+using Request = std::int32_t;
+inline constexpr Request kRequestNull = -1;
+
+/// Wildcards for receive matching.
+inline constexpr int kAnySource = -2;
+inline constexpr int kAnyTag = -1;
+
+/// Completion record for a receive (MPI_Status analogue).
+struct Status {
+  int source = kAnySource;  ///< sender's rank within the communicator
+  int tag = kAnyTag;
+  int count_bytes = 0;
+
+  /// Element count of the received payload (MPI_Get_count).
+  int count(Datatype dt) const noexcept {
+    return static_cast<int>(static_cast<std::size_t>(count_bytes) /
+                            datatype_size(dt));
+  }
+};
+
+/// Applies a built-in operator element-wise: inout[i] = op(in[i], inout[i]).
+/// Throws NotSupported for (op, datatype) pairs MPI leaves undefined (e.g.
+/// BitAnd on Double).
+void apply_builtin_op(OpKind op, Datatype dt, const void* in, void* inout,
+                      int len);
+
+}  // namespace apv::mpi

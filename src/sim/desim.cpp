@@ -1,0 +1,244 @@
+#include "sim/desim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "lb/strategy.hpp"
+#include "util/error.hpp"
+
+namespace apv::sim {
+
+using util::ErrorCode;
+using util::require;
+
+namespace {
+// Inbox keys: (step << 16) | (type << 8) | round.
+constexpr std::uint64_t key_halo(int step) {
+  return (static_cast<std::uint64_t>(step) << 16) | (1u << 8);
+}
+constexpr std::uint64_t key_ar(int step, int round) {
+  return (static_cast<std::uint64_t>(step) << 16) | (2u << 8) |
+         static_cast<std::uint64_t>(round);
+}
+}  // namespace
+
+struct ClusterSim::Event {
+  double time_us;
+  enum class Type { ComputeDone, MsgArrive } type;
+  int rank;
+  std::uint64_t key;
+
+  bool operator>(const Event& other) const { return time_us > other.time_us; }
+};
+
+struct ClusterSim::QueueImpl {
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> q;
+};
+
+ClusterSim::ClusterSim(Config config) : config_(std::move(config)) {
+  require(config_.pes >= 1 && config_.vps >= 1 && config_.steps >= 1,
+          ErrorCode::InvalidArgument, "bad simulation shape");
+  require(static_cast<bool>(config_.work_us), ErrorCode::InvalidArgument,
+          "work_us callback required");
+  ranks_.resize(static_cast<std::size_t>(config_.vps));
+  pe_free_at_.assign(static_cast<std::size_t>(config_.pes), 0.0);
+  epoch_load_.assign(static_cast<std::size_t>(config_.vps), 0.0);
+  for (int r = 0; r < config_.vps; ++r) {
+    Rank& rank = ranks_[static_cast<std::size_t>(r)];
+    rank.id = r;
+    rank.pe = config_.map == "rr"
+                  ? r % config_.pes
+                  : static_cast<int>(static_cast<long>(r) * config_.pes /
+                                     config_.vps);
+    if (config_.neighbors) rank.nbrs = config_.neighbors(r);
+  }
+  // Symmetric-communication indegree: how many halos each rank expects.
+  std::vector<int> indegree(static_cast<std::size_t>(config_.vps), 0);
+  for (const Rank& r : ranks_) {
+    for (int nbr : r.nbrs) ++indegree[static_cast<std::size_t>(nbr)];
+  }
+  for (Rank& r : ranks_)
+    r.halos_needed = indegree[static_cast<std::size_t>(r.id)];
+}
+
+bool ClusterSim::node_of(int pe_a, int pe_b) const {
+  const int ppn = config_.machine.pes_per_node;
+  return pe_a / ppn == pe_b / ppn;
+}
+
+void ClusterSim::start_compute(Rank& r, double ready_time) {
+  const double start = std::max(
+      ready_time, pe_free_at_[static_cast<std::size_t>(r.pe)]);
+  const double work = config_.work_us(r.id, r.step);
+  const double send_cpu =
+      static_cast<double>(r.nbrs.size()) * config_.machine.msg_overhead_us;
+  const double done = start + config_.machine.ctx_switch_us + work + send_cpu;
+  pe_free_at_[static_cast<std::size_t>(r.pe)] = done;
+  epoch_load_[static_cast<std::size_t>(r.id)] += done - start;
+  r.phase = Rank::Phase::Computing;
+  queue_->q.push({done, Event::Type::ComputeDone, r.id, 0});
+}
+
+void ClusterSim::on_compute_done(Rank& r, double now) {
+  for (int nbr : r.nbrs) {
+    const Rank& dst = ranks_[static_cast<std::size_t>(nbr)];
+    const double arrive =
+        now + config_.machine.msg_time_us(config_.halo_bytes,
+                                          node_of(r.pe, dst.pe));
+    queue_->q.push({arrive, Event::Type::MsgArrive, nbr, key_halo(r.step)});
+    ++result_.messages;
+  }
+  r.phase = Rank::Phase::WaitHalo;
+  // Halos may have arrived while we were computing.
+  auto it = r.inbox.find(key_halo(r.step));
+  if (r.halos_needed == 0 ||
+      (it != r.inbox.end() && it->second >= r.halos_needed)) {
+    if (it != r.inbox.end()) it->second -= r.halos_needed;
+    advance_allreduce(r, now);
+  }
+}
+
+void ClusterSim::advance_allreduce(Rank& r, double now) {
+  if (!config_.allreduce_per_step || config_.vps == 1) {
+    finish_step(r, now);
+    return;
+  }
+  const int n = config_.vps;
+  r.phase = Rank::Phase::AllReduce;
+  for (;;) {
+    const int dist = 1 << r.ar_round;
+    if (dist >= n) {
+      finish_step(r, now);
+      return;
+    }
+    // Dissemination: send this round's token, then wait for ours.
+    const int partner = (r.id + dist) % n;
+    const Rank& dst = ranks_[static_cast<std::size_t>(partner)];
+    const double arrive = now + config_.machine.msg_time_us(
+                                    16, node_of(r.pe, dst.pe));
+    queue_->q.push(
+        {arrive, Event::Type::MsgArrive, partner, key_ar(r.step, r.ar_round)});
+    ++result_.messages;
+    auto it = r.inbox.find(key_ar(r.step, r.ar_round));
+    if (it == r.inbox.end() || it->second == 0) return;  // wait
+    --it->second;
+    ++r.ar_round;
+  }
+}
+
+void ClusterSim::finish_step(Rank& r, double now) {
+  ++r.step;
+  r.ar_round = 0;
+  if (r.step >= epoch_end_step_) {
+    r.phase =
+        r.step >= config_.steps ? Rank::Phase::Done : Rank::Phase::Idle;
+    return;
+  }
+  start_compute(r, now);
+}
+
+void ClusterSim::on_message(Rank& r, std::uint64_t key, double now) {
+  ++r.inbox[key];
+  if (r.phase == Rank::Phase::WaitHalo && key == key_halo(r.step)) {
+    auto& count = r.inbox[key_halo(r.step)];
+    if (count >= r.halos_needed) {
+      count -= r.halos_needed;
+      advance_allreduce(r, now);
+    }
+  } else if (r.phase == Rank::Phase::AllReduce &&
+             key == key_ar(r.step, r.ar_round)) {
+    auto& count = r.inbox[key];
+    if (count > 0) {
+      --count;
+      ++r.ar_round;
+      advance_allreduce(r, now);
+    }
+  }
+}
+
+double ClusterSim::run_epoch(int first_step, int nsteps, double t0) {
+  QueueImpl queue;
+  queue_ = &queue;
+  epoch_end_step_ = first_step + nsteps;
+  std::fill(pe_free_at_.begin(), pe_free_at_.end(), t0);
+  for (Rank& r : ranks_) {
+    r.inbox.clear();
+    r.ar_round = 0;
+    start_compute(r, t0);
+  }
+  double last = t0;
+  while (!queue.q.empty()) {
+    const Event ev = queue.q.top();
+    queue.q.pop();
+    last = std::max(last, ev.time_us);
+    Rank& r = ranks_[static_cast<std::size_t>(ev.rank)];
+    if (ev.type == Event::Type::ComputeDone) {
+      on_compute_done(r, ev.time_us);
+    } else {
+      on_message(r, ev.key, ev.time_us);
+    }
+  }
+  queue_ = nullptr;
+  return last;
+}
+
+ClusterSim::Result ClusterSim::run() {
+  result_ = Result{};
+  double t = 0.0;
+  int step = 0;
+  auto strategy = lb::make_strategy(
+      config_.lb_period > 0 ? config_.lb_strategy : "none");
+  while (step < config_.steps) {
+    const int nsteps = config_.lb_period > 0
+                           ? std::min(config_.lb_period, config_.steps - step)
+                           : config_.steps - step;
+    std::fill(epoch_load_.begin(), epoch_load_.end(), 0.0);
+    const double t_end = run_epoch(step, nsteps, t);
+    step += nsteps;
+    t = t_end;
+
+    // Record imbalance of the epoch that just ran.
+    {
+      lb::LbStats stats;
+      stats.num_pes = config_.pes;
+      stats.rank_load = epoch_load_;
+      stats.rank_pe.resize(ranks_.size());
+      for (const Rank& r : ranks_)
+        stats.rank_pe[static_cast<std::size_t>(r.id)] = r.pe;
+      result_.final_imbalance = lb::assignment_imbalance(
+          stats, lb::Assignment(stats.rank_pe.begin(), stats.rank_pe.end()));
+
+      if (config_.lb_period > 0 && step < config_.steps) {
+        const lb::Assignment dest = strategy->assign(stats);
+        // Migration cost: transfers serialize per PE endpoint; the LB step
+        // completes when the busiest endpoint finishes.
+        std::vector<double> pe_xfer(static_cast<std::size_t>(config_.pes),
+                                    0.0);
+        int moves = 0;
+        for (int r = 0; r < config_.vps; ++r) {
+          const int from = stats.rank_pe[static_cast<std::size_t>(r)];
+          const int to = dest[static_cast<std::size_t>(r)];
+          if (from == to) continue;
+          ++moves;
+          const double xfer = config_.machine.msg_time_us(
+              config_.rank_state_bytes, node_of(from, to));
+          pe_xfer[static_cast<std::size_t>(from)] += xfer;
+          pe_xfer[static_cast<std::size_t>(to)] += xfer;
+          ranks_[static_cast<std::size_t>(r)].pe = to;
+        }
+        result_.migrations += moves;
+        const double lb_cost =
+            config_.machine.lb_decision_us +
+            *std::max_element(pe_xfer.begin(), pe_xfer.end());
+        result_.lb_time_s += lb_cost * 1e-6;
+        t += lb_cost;
+      }
+    }
+  }
+  result_.time_s = t * 1e-6;
+  return result_;
+}
+
+}  // namespace apv::sim

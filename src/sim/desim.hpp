@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace apv::sim {
+
+/// Cost model of the simulated machine, calibrated to the scales the paper
+/// reports: ~100 ns ULT context switches (Figure 6), microsecond-scale
+/// interconnect latency, and bandwidth-bound migration (Figure 8).
+struct MachineModel {
+  double ctx_switch_us = 0.12;       ///< per scheduling slice
+  double msg_overhead_us = 0.5;      ///< sender-side per message CPU cost
+  double internode_latency_us = 1.8;
+  double internode_bw_gb_s = 12.0;
+  double intranode_latency_us = 0.4;
+  double intranode_bw_gb_s = 40.0;
+  int pes_per_node = 1;
+  double lb_decision_us = 80.0;  ///< strategy + bookkeeping per LB step
+
+  double msg_time_us(std::size_t bytes, bool same_node) const {
+    const double lat = same_node ? intranode_latency_us : internode_latency_us;
+    const double bw = same_node ? intranode_bw_gb_s : internode_bw_gb_s;
+    return lat + static_cast<double>(bytes) / (bw * 1e9) * 1e6;
+  }
+};
+
+/// Virtual-time discrete-event simulation of a message-driven,
+/// overdecomposed bulk-iterative job (the shape of the paper's ADCIRC runs):
+/// each rank, per timestep, computes, exchanges halos with its neighbors,
+/// and joins a world allreduce; ranks co-scheduled on a PE overlap one
+/// rank's communication waits with another's compute. Load balancing runs
+/// at fixed step periods using the *same* apv::lb strategies as the real
+/// runtime, charging migration transfer costs per moved rank.
+///
+/// Substitution (DESIGN.md §3): wall-clock strong scaling to 64 cores is
+/// impossible on this container; the schedule (who waits on whom, where LB
+/// pays) is what shapes Figure 9 / Table 2, and the DES reproduces the
+/// schedule exactly while keeping all costs virtual.
+class ClusterSim {
+ public:
+  struct Config {
+    int pes = 1;
+    int vps = 1;
+    int steps = 100;
+    MachineModel machine;
+
+    /// Compute cost (microseconds) of `rank` at `step`.
+    std::function<double(int rank, int step)> work_us;
+    /// Neighbor ranks receiving this rank's halo each step.
+    std::function<std::vector<int>(int rank)> neighbors;
+    std::size_t halo_bytes = 4096;
+    bool allreduce_per_step = true;
+
+    int lb_period = 0;  ///< steps between LB rounds; 0 disables LB
+    std::string lb_strategy = "greedyrefine";
+    /// Migration payload per rank: heap + stack (+ code segments under
+    /// PIEglobals — the Figure 8 extra bytes).
+    std::size_t rank_state_bytes = std::size_t{1} << 20;
+
+    std::string map = "block";  ///< initial placement
+  };
+
+  struct Result {
+    double time_s = 0.0;        ///< virtual makespan
+    int migrations = 0;
+    double lb_time_s = 0.0;     ///< time spent inside LB rounds
+    std::uint64_t messages = 0;
+    double final_imbalance = 1.0;  ///< max/mean PE busy over the last epoch
+  };
+
+  explicit ClusterSim(Config config);
+
+  Result run();
+
+ private:
+  struct Rank {
+    int id = 0;
+    int pe = 0;
+    int step = 0;
+    enum class Phase { Idle, Computing, WaitHalo, AllReduce, Done } phase =
+        Phase::Idle;
+    int ar_round = 0;
+    int halos_needed = 0;
+    std::vector<int> nbrs;
+    std::unordered_map<std::uint64_t, int> inbox;
+  };
+  struct Event;
+
+  /// Simulates steps [first_step, first_step + nsteps) from epoch start
+  /// time t0 with the current placement; returns the max completion time.
+  double run_epoch(int first_step, int nsteps, double t0);
+
+  void start_compute(Rank& r, double ready_time);
+  void on_compute_done(Rank& r, double now);
+  void on_message(Rank& r, std::uint64_t key, double now);
+  void advance_allreduce(Rank& r, double now);
+  void finish_step(Rank& r, double now);
+  bool node_of(int pe_a, int pe_b) const;
+
+  Config config_;
+  std::vector<Rank> ranks_;
+  std::vector<double> pe_free_at_;
+  std::vector<double> epoch_load_;  // per-rank busy time this LB epoch
+  Result result_;
+
+  // Event queue state (valid during run_epoch).
+  struct QueueImpl;
+  QueueImpl* queue_ = nullptr;
+  int epoch_end_step_ = 0;
+};
+
+}  // namespace apv::sim

@@ -1,0 +1,138 @@
+#include "sim/icache.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace apv::sim {
+
+using util::ErrorCode;
+using util::require;
+
+CacheConfig bridges2_l1i() noexcept {
+  CacheConfig c;
+  c.size_bytes = 32 << 10;
+  c.line_bytes = 64;
+  c.ways = 8;
+  c.next_line_prefetch = false;  // Rome's fetch pipe modelled demand-only
+  c.name = "bridges2-rome";
+  return c;
+}
+
+CacheConfig stampede2_l1i() noexcept {
+  CacheConfig c;
+  c.size_bytes = 32 << 10;
+  c.line_bytes = 64;
+  c.ways = 8;
+  c.next_line_prefetch = true;  // Ice Lake fetches ahead aggressively
+  c.name = "stampede2-icelake";
+  return c;
+}
+
+CacheSim::CacheSim(const CacheConfig& config)
+    : config_(config), sets_(config.num_sets()) {
+  require(sets_ > 0 && (sets_ & (sets_ - 1)) == 0, ErrorCode::InvalidArgument,
+          "cache sets must be a nonzero power of two");
+  require((config.line_bytes & (config.line_bytes - 1)) == 0,
+          ErrorCode::InvalidArgument, "line size must be a power of two");
+  tags_.assign(sets_ * config.ways, ~std::uintptr_t{0});
+  lru_.assign(sets_ * config.ways, 0);
+}
+
+void CacheSim::reset() noexcept {
+  tags_.assign(tags_.size(), ~std::uintptr_t{0});
+  lru_.assign(lru_.size(), 0);
+  stamp_ = 0;
+  accesses_ = 0;
+  misses_ = 0;
+}
+
+void CacheSim::touch_line(std::uintptr_t line, bool demand) {
+  const std::size_t set = static_cast<std::size_t>(line) & (sets_ - 1);
+  const std::size_t base = set * config_.ways;
+  ++stamp_;
+  // Hit?
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (tags_[base + w] == line) {
+      lru_[base + w] = stamp_;
+      return;
+    }
+  }
+  if (demand) ++misses_;
+  // Fill into the LRU way.
+  std::size_t victim = 0;
+  for (std::size_t w = 1; w < config_.ways; ++w) {
+    if (lru_[base + w] < lru_[base + victim]) victim = w;
+  }
+  tags_[base + victim] = line;
+  lru_[base + victim] = stamp_;
+}
+
+void CacheSim::access(std::uintptr_t addr) {
+  ++accesses_;
+  const std::uintptr_t line = addr / config_.line_bytes;
+  touch_line(line, /*demand=*/true);
+  if (config_.next_line_prefetch) touch_line(line + 1, /*demand=*/false);
+}
+
+IcacheResult run_icache_experiment(const CacheConfig& cache,
+                                   const IcacheExperiment& exp) {
+  CacheSim sim(cache);
+  const std::size_t line = cache.line_bytes;
+  util::SplitMix64 rng(exp.seed);
+
+  auto sweep = [&](std::uintptr_t base, std::size_t bytes) {
+    // Sequential instruction fetch: one access per line of the region.
+    for (std::size_t off = 0; off < bytes; off += line) sim.access(base + off);
+  };
+
+  // Branchy fetch: short sequential bursts at uniformly random branch
+  // targets within the region. The same deterministic target sequence is
+  // replayed for every rank and method (the *code* is identical; only its
+  // placement differs), so shared-vs-duplicated placement is the only
+  // variable.
+  std::vector<std::size_t> targets;
+  if (exp.branchy) {
+    const std::size_t nlines = exp.hot_loop_bytes / line;
+    const int nbursts = exp.fetches_per_iteration / exp.burst_lines;
+    targets.reserve(static_cast<std::size_t>(nbursts));
+    for (int i = 0; i < nbursts; ++i)
+      targets.push_back(static_cast<std::size_t>(rng.next_below(nlines)));
+  }
+  auto branchy_run = [&](std::uintptr_t base) {
+    const std::size_t nlines = exp.hot_loop_bytes / line;
+    for (std::size_t t : targets) {
+      for (int b = 0; b < exp.burst_lines; ++b) {
+        sim.access(base + ((t + static_cast<std::size_t>(b)) % nlines) * line);
+      }
+    }
+  };
+
+  for (int s = 0; s < exp.slices; ++s) {
+    const int rank = s % exp.ranks;
+    const std::uintptr_t code_base =
+        exp.per_rank_code
+            ? exp.app_base + static_cast<std::uintptr_t>(rank) *
+                                 exp.rank_code_stride
+            : exp.app_base;
+    for (int it = 0; it < exp.loop_iterations; ++it) {
+      if (exp.branchy) {
+        branchy_run(code_base);
+      } else {
+        sweep(code_base, exp.hot_loop_bytes);
+      }
+    }
+    // Between slices the scheduler and message engine run (shared code for
+    // every method — the runtime is never privatized).
+    sweep(exp.runtime_base, exp.runtime_bytes);
+  }
+
+  IcacheResult result;
+  result.accesses = sim.accesses();
+  result.misses = sim.misses();
+  result.miss_rate = sim.miss_rate();
+  return result;
+}
+
+}  // namespace apv::sim

@@ -1,0 +1,64 @@
+#include "sim/surge.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace apv::sim {
+
+using util::ErrorCode;
+using util::require;
+
+double surge_front(const SurgeConfig& config, int step) {
+  const double frac =
+      config.front_start_frac +
+      (config.front_end_frac - config.front_start_frac) *
+          (static_cast<double>(step) / std::max(1, config.steps - 1));
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+double surge_work_us(const SurgeConfig& config, int vps, int rank, int step) {
+  require(vps >= 1 && rank >= 0 && rank < vps, ErrorCode::InvalidArgument,
+          "bad surge rank");
+  const long cells = config.cells;
+  const long lo = static_cast<long>(rank) * cells / vps;
+  const long hi = static_cast<long>(rank + 1) * cells / vps;
+  const long wet_edge =
+      static_cast<long>(surge_front(config, step) * static_cast<double>(cells));
+  const long wet = std::clamp(wet_edge - lo, 0L, hi - lo);
+  const long dry = (hi - lo) - wet;
+  double cost = static_cast<double>(wet) * config.wet_cost_us +
+                static_cast<double>(dry) * config.dry_cost_us;
+  if (hi - lo <= config.l2_cells) cost *= config.cache_factor_small;
+  return cost;
+}
+
+std::vector<int> surge_neighbors(int vps, int rank) {
+  std::vector<int> nbrs;
+  if (rank > 0) nbrs.push_back(rank - 1);
+  if (rank + 1 < vps) nbrs.push_back(rank + 1);
+  return nbrs;
+}
+
+ClusterSim::Result run_surge(const SurgeConfig& config, int pes, int vps,
+                             int lb_period, const std::string& strategy,
+                             const MachineModel& machine,
+                             std::size_t rank_state_bytes) {
+  ClusterSim::Config sc;
+  sc.pes = pes;
+  sc.vps = vps;
+  sc.steps = config.steps;
+  sc.machine = machine;
+  sc.work_us = [config, vps](int rank, int step) {
+    return surge_work_us(config, vps, rank, step);
+  };
+  sc.neighbors = [vps](int rank) { return surge_neighbors(vps, rank); };
+  sc.halo_bytes = config.halo_bytes;
+  sc.allreduce_per_step = true;  // ADCIRC's per-step global dt reduction
+  sc.lb_period = lb_period;
+  sc.lb_strategy = strategy;
+  sc.rank_state_bytes = rank_state_bytes;
+  return ClusterSim(std::move(sc)).run();
+}
+
+}  // namespace apv::sim

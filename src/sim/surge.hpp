@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/desim.hpp"
+
+namespace apv::sim {
+
+/// ADCIRC-proxy workload (DESIGN.md §3 substitution): a 1-D strip of
+/// coastal cells over which a storm-surge wet front advances. Wet cells
+/// carry the full hydrodynamics cost; dry cells are nearly free — the load
+/// hotspot therefore sweeps across the rank decomposition during the run,
+/// which is exactly the dynamic imbalance the paper exploits with
+/// overdecomposition + GreedyRefineLB ("the computationally intensive
+/// parts of the domain follow the flow of water", §4.6).
+struct SurgeConfig {
+  int cells = 8192;
+  int steps = 240;
+  double wet_cost_us = 6.0;   ///< per wet cell per step
+  double dry_cost_us = 0.25;  ///< per dry cell per step
+  double front_start_frac = 0.05;  ///< wet fraction at step 0
+  double front_end_frac = 1.10;    ///< wet fraction at the last step
+  std::size_t halo_bytes = 8192;
+
+  /// Working-set model: when a rank's block of cells fits in L2, its
+  /// per-cell cost drops — the (modest) reason virtualization alone pays
+  /// even on one core (Table 2's 13% at 1 core).
+  int l2_cells = 1400;
+  double cache_factor_small = 0.86;
+};
+
+/// Wet fraction of the domain at a given step (clamped to [0,1]).
+double surge_front(const SurgeConfig& config, int step);
+
+/// Per-step compute cost (microseconds) of rank `rank` in a 1-D block
+/// decomposition of the domain into `vps` pieces.
+double surge_work_us(const SurgeConfig& config, int vps, int rank, int step);
+
+/// 1-D halo exchange partners (rank-1, rank+1 where they exist).
+std::vector<int> surge_neighbors(int vps, int rank);
+
+/// Runs one (pes, vps, lb) configuration through the cluster simulator.
+/// `rank_state_bytes` is the migration payload per rank (heap+stack, plus
+/// code segments under PIEglobals).
+ClusterSim::Result run_surge(const SurgeConfig& config, int pes, int vps,
+                             int lb_period, const std::string& strategy,
+                             const MachineModel& machine,
+                             std::size_t rank_state_bytes);
+
+}  // namespace apv::sim

@@ -1,0 +1,137 @@
+#include "ult/context.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/error.hpp"
+
+#if defined(__x86_64__) && defined(APV_HAVE_ASM_CONTEXT)
+#define APV_ASM_AVAILABLE 1
+#else
+#define APV_ASM_AVAILABLE 0
+#endif
+
+#if APV_ASM_AVAILABLE
+extern "C" {
+void apv_context_switch_asm(void** save_sp, void* restore_sp);
+void apv_context_trampoline_asm();
+}
+#endif
+
+namespace apv::ult {
+
+using util::ApvError;
+using util::ErrorCode;
+using util::require;
+
+ContextBackend default_context_backend() noexcept {
+#if APV_ASM_AVAILABLE
+  return ContextBackend::Asm;
+#else
+  return ContextBackend::Ucontext;
+#endif
+}
+
+bool context_backend_available(ContextBackend backend) noexcept {
+  switch (backend) {
+    case ContextBackend::Asm: return APV_ASM_AVAILABLE != 0;
+    case ContextBackend::Ucontext: return true;
+  }
+  return false;
+}
+
+const char* context_backend_name(ContextBackend backend) noexcept {
+  switch (backend) {
+    case ContextBackend::Asm: return "asm";
+    case ContextBackend::Ucontext: return "ucontext";
+  }
+  return "?";
+}
+
+void Context::ucontext_entry_shim(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Context*>(
+      (static_cast<std::uintptr_t>(hi) << 32) |
+      static_cast<std::uintptr_t>(lo));
+  EntryFn entry = self->uc_entry_;
+  void* arg = self->uc_arg_;
+  entry(arg);
+  // Entry functions must never return; terminating here keeps the failure
+  // loud instead of letting swapcontext resume an undefined successor.
+  std::abort();
+}
+
+void Context::create(void* stack_base, std::size_t stack_size, EntryFn entry,
+                     void* arg, ContextBackend backend) {
+  require(context_backend_available(backend), ErrorCode::NotSupported,
+          "context backend not built on this platform");
+  require(stack_base != nullptr && stack_size >= 4096,
+          ErrorCode::InvalidArgument, "context stack too small");
+  backend_ = backend;
+  backend_set_ = true;
+
+  if (backend == ContextBackend::Ucontext) {
+    if (getcontext(&uc_) != 0)
+      throw ApvError(ErrorCode::Internal, "getcontext failed");
+    uc_.uc_stack.ss_sp = stack_base;
+    uc_.uc_stack.ss_size = stack_size;
+    uc_.uc_link = nullptr;
+    uc_entry_ = entry;
+    uc_arg_ = arg;
+    const auto addr = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&uc_, reinterpret_cast<void (*)()>(ucontext_entry_shim), 2,
+                static_cast<unsigned>(addr >> 32),
+                static_cast<unsigned>(addr & 0xffffffffu));
+    return;
+  }
+
+#if APV_ASM_AVAILABLE
+  // Fabricate the frame apv_context_switch_asm expects to unwind. Layout,
+  // low address first: [mxcsr|fcw pad][r15][r14][r13][r12][rbx][rbp][ret].
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base) + stack_size;
+  top &= ~static_cast<std::uintptr_t>(15);  // rsp is 16-aligned at trampoline
+  auto* frame = reinterpret_cast<std::uintptr_t*>(top - 8 * sizeof(void*));
+  const std::uint32_t mxcsr = 0x1f80;  // defaults: all FP exceptions masked
+  const std::uint16_t fcw = 0x037f;
+  std::memcpy(reinterpret_cast<char*>(frame), &mxcsr, 4);
+  std::memcpy(reinterpret_cast<char*>(frame) + 4, &fcw, 2);
+  std::memset(reinterpret_cast<char*>(frame) + 6, 0, 2);
+  frame[1] = 0;                                        // r15
+  frame[2] = 0;                                        // r14
+  frame[3] = reinterpret_cast<std::uintptr_t>(entry);  // r13
+  frame[4] = reinterpret_cast<std::uintptr_t>(arg);    // r12
+  frame[5] = 0;                                        // rbx
+  frame[6] = 0;                                        // rbp
+  frame[7] = reinterpret_cast<std::uintptr_t>(&apv_context_trampoline_asm);
+  asm_sp_ = frame;
+#else
+  throw ApvError(ErrorCode::NotSupported, "asm context backend not built");
+#endif
+}
+
+void Context::create_native(ContextBackend backend) {
+  require(context_backend_available(backend), ErrorCode::NotSupported,
+          "context backend not built on this platform");
+  backend_ = backend;
+  backend_set_ = true;
+  // Asm native contexts need no setup: switch_to() fills asm_sp_ on suspend,
+  // and ucontext fills uc_ inside swapcontext.
+}
+
+void Context::switch_to(Context& to) {
+  require(backend_set_ && to.backend_set_, ErrorCode::BadState,
+          "switching uninitialized context");
+  require(backend_ == to.backend_, ErrorCode::InvalidArgument,
+          "cannot switch between different context backends");
+  if (backend_ == ContextBackend::Ucontext) {
+    if (swapcontext(&uc_, &to.uc_) != 0)
+      throw ApvError(ErrorCode::Internal, "swapcontext failed");
+    return;
+  }
+#if APV_ASM_AVAILABLE
+  apv_context_switch_asm(&asm_sp_, to.asm_sp_);
+#else
+  throw ApvError(ErrorCode::NotSupported, "asm context backend not built");
+#endif
+}
+
+}  // namespace apv::ult

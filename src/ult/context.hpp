@@ -1,0 +1,76 @@
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace apv::ult {
+
+/// Which low-level context-switch implementation backs a Context.
+///
+/// Asm is a hand-written x86-64 System V switch in the style of Charm++'s
+/// and Boost.Context's "fcontext": it saves only callee-saved registers and
+/// the FP control words on the current stack and swaps stack pointers
+/// (~20-40 ns). Ucontext is the POSIX swapcontext fallback, portable but an
+/// order of magnitude slower because glibc's implementation makes a
+/// sigprocmask system call per switch.
+enum class ContextBackend {
+  Asm,
+  Ucontext,
+};
+
+/// Returns the fastest backend available on this build/architecture.
+ContextBackend default_context_backend() noexcept;
+
+/// True if the given backend is compiled into this build.
+bool context_backend_available(ContextBackend backend) noexcept;
+
+/// Short human-readable backend name ("asm", "ucontext").
+const char* context_backend_name(ContextBackend backend) noexcept;
+
+/// A suspended flow of control: an opaque saved stack pointer (Asm) or an
+/// inline ucontext_t (Ucontext). A Context does not own its stack; stack
+/// lifetime is managed by the caller. All state is stored inline (no heap)
+/// so that a Context embedded in a rank's Isomalloc slot migrates with the
+/// rank and remains valid at the same virtual address afterwards.
+class Context {
+ public:
+  using EntryFn = void (*)(void* arg);
+
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// Prepares this context to run entry(arg) on the given stack when first
+  /// switched to. `stack_base` is the low address; execution starts at the
+  /// (16-byte aligned) top. entry must never return.
+  void create(void* stack_base, std::size_t stack_size, EntryFn entry,
+              void* arg, ContextBackend backend);
+
+  /// Initializes this context as a save-slot for the calling thread's native
+  /// context — the "scheduler side" of switches. No stack is associated.
+  void create_native(ContextBackend backend);
+
+  /// Suspends the calling context into `*this` and resumes `to`. Returns
+  /// when some other switch_to() resumes `*this`.
+  void switch_to(Context& to);
+
+  bool valid() const noexcept { return backend_set_; }
+  ContextBackend backend() const noexcept { return backend_; }
+
+ private:
+  // Entry shim for the ucontext backend: makecontext can only pass ints, so
+  // the entry function/argument live in the Context whose address is split
+  // into two unsigned halves.
+  static void ucontext_entry_shim(unsigned hi, unsigned lo);
+
+  ContextBackend backend_ = ContextBackend::Asm;
+  bool backend_set_ = false;
+  void* asm_sp_ = nullptr;           // Asm: saved stack pointer
+  ucontext_t uc_;                    // Ucontext: saved machine context
+  EntryFn uc_entry_ = nullptr;       // Ucontext: deferred start record
+  void* uc_arg_ = nullptr;
+};
+
+}  // namespace apv::ult

@@ -1,0 +1,157 @@
+#include "ult/scheduler.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace apv::ult {
+
+using util::ErrorCode;
+using util::require;
+
+namespace {
+thread_local Scheduler* g_current_scheduler = nullptr;
+}  // namespace
+
+Scheduler* current_scheduler() noexcept { return g_current_scheduler; }
+
+Ult* current_ult() noexcept {
+  Scheduler* s = g_current_scheduler;
+  return s ? s->current() : nullptr;
+}
+
+const char* ult_state_name(UltState state) noexcept {
+  switch (state) {
+    case UltState::Created: return "Created";
+    case UltState::Ready: return "Ready";
+    case UltState::Running: return "Running";
+    case UltState::Blocked: return "Blocked";
+    case UltState::Done: return "Done";
+  }
+  return "?";
+}
+
+Ult::Ult(Id id, Body body, void* arg, void* stack_base,
+         std::size_t stack_size, ContextBackend backend)
+    : id_(id),
+      body_(body),
+      arg_(arg),
+      stack_base_(stack_base),
+      stack_size_(stack_size) {
+  context_.create(stack_base, stack_size, &Ult::entry_thunk, this, backend);
+}
+
+void Ult::entry_thunk(void* self) {
+  auto* t = static_cast<Ult*>(self);
+  t->body_(t->arg_);
+  Scheduler* sched = current_scheduler();
+  if (sched == nullptr) std::abort();  // ULT ran outside any scheduler
+  sched->exit_current();
+}
+
+Scheduler::Scheduler(ContextBackend backend) : backend_(backend) {
+  require(context_backend_available(backend), ErrorCode::NotSupported,
+          "requested context backend not available");
+  sched_ctx_.create_native(backend);
+}
+
+void Scheduler::ready(Ult* t) {
+  require(t != nullptr, ErrorCode::InvalidArgument, "ready(nullptr)");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    t->set_state(UltState::Ready);
+    ready_.push_back(t);
+  }
+  cv_.notify_one();
+}
+
+Ult* Scheduler::pop_ready() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ready_.empty()) return nullptr;
+  Ult* t = ready_.front();
+  ready_.pop_front();
+  return t;
+}
+
+std::size_t Scheduler::ready_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ready_.size();
+}
+
+void Scheduler::enter(Ult* next) {
+  Scheduler* outer = g_current_scheduler;
+  g_current_scheduler = this;
+  for (auto& [id, hook] : hooks_) hook(next);
+  next->set_state(UltState::Running);
+  current_ = next;
+  ++switches_;
+  sched_ctx_.switch_to(next->context());
+  current_ = nullptr;
+  g_current_scheduler = outer;
+}
+
+bool Scheduler::run_one() {
+  require(current_ == nullptr, ErrorCode::BadState,
+          "run_one called from inside a ULT");
+  Ult* next = pop_ready();
+  if (next == nullptr) return false;
+  enter(next);
+  return true;
+}
+
+void Scheduler::run_until_quiescent() {
+  while (run_one()) {
+  }
+}
+
+bool Scheduler::idle_wait(const std::function<bool()>& stop,
+                          std::int64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+               [&] { return !ready_.empty() || stop(); });
+  return !ready_.empty();
+}
+
+void Scheduler::leave_current(UltState new_state) {
+  Ult* self = current_;
+  require(self != nullptr, ErrorCode::BadState,
+          "yield/suspend/exit called outside a ULT");
+  self->set_state(new_state);
+  self->context().switch_to(sched_ctx_);
+}
+
+void Scheduler::yield() {
+  Ult* self = current_;
+  require(self != nullptr, ErrorCode::BadState, "yield outside a ULT");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ready_.push_back(self);
+  }
+  leave_current(UltState::Ready);
+}
+
+void Scheduler::suspend() { leave_current(UltState::Blocked); }
+
+void Scheduler::exit_current() {
+  leave_current(UltState::Done);
+  std::abort();  // a Done ULT must never be resumed
+}
+
+int Scheduler::add_switch_hook(SwitchHook hook) {
+  const int id = next_hook_id_++;
+  hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Scheduler::remove_switch_hook(int id) {
+  for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+    if (it->first == id) {
+      hooks_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace apv::ult

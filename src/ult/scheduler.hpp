@@ -1,0 +1,107 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "ult/context.hpp"
+#include "ult/ult.hpp"
+
+namespace apv::ult {
+
+/// Called just before the scheduler transfers control into `next`. This is
+/// the hook point privatization methods use for per-context-switch work:
+/// TLSglobals swaps the emulated TLS segment pointer here, Swapglobals swaps
+/// the active GOT; the PIE-family methods do nothing (their globals are
+/// addressed relative to the rank's own code copy).
+using SwitchHook = std::function<void(Ult* next)>;
+
+/// Cooperative, message-driven scheduler for one PE.
+///
+/// One OS thread drives run_one()/idle_wait(); ULTs of this scheduler call
+/// yield()/suspend() from inside their bodies. ready() may be called from
+/// any thread (used by mailbox delivery to wake an idle PE), but in this
+/// runtime nearly all wakeups happen on the owning PE thread itself, which
+/// is what makes blocking MPI calls race-free by construction.
+class Scheduler {
+ public:
+  explicit Scheduler(ContextBackend backend = default_context_backend());
+
+  ContextBackend backend() const noexcept { return backend_; }
+
+  // --- scheduler-thread side ---------------------------------------------
+
+  /// Enqueues a ULT as runnable and wakes the PE if it is idle-waiting.
+  void ready(Ult* t);
+
+  /// Runs the next ready ULT until it yields, suspends, or finishes.
+  /// Returns false (without blocking) if no ULT is ready.
+  bool run_one();
+
+  /// Runs ready ULTs until the ready queue drains.
+  void run_until_quiescent();
+
+  /// Blocks the PE thread until a ULT becomes ready or stop() turns true,
+  /// up to timeout_us. Returns true if ready work is available.
+  bool idle_wait(const std::function<bool()>& stop, std::int64_t timeout_us);
+
+  /// Wakes an idle_wait early (e.g. after external work such as a mailbox
+  /// post that the stop predicate will observe).
+  void ready_notify() { cv_.notify_one(); }
+
+  std::size_t ready_count() const;
+
+  // --- ULT side (call only from inside a running ULT of this scheduler) ---
+
+  /// Requeues the current ULT and returns to the scheduler loop; the call
+  /// returns when the ULT is next scheduled.
+  void yield();
+
+  /// Returns to the scheduler loop without requeueing; somebody must later
+  /// ready() this ULT for it to run again.
+  void suspend();
+
+  /// Terminates the current ULT. Called by the entry thunk when the body
+  /// returns; may also be called explicitly.
+  [[noreturn]] void exit_current();
+
+  /// The ULT currently executing on this scheduler, or nullptr.
+  Ult* current() const noexcept { return current_; }
+
+  /// Registers a context-switch hook; returns a handle for removal.
+  int add_switch_hook(SwitchHook hook);
+  void remove_switch_hook(int id);
+
+  /// Total number of scheduler→ULT transfers performed.
+  std::uint64_t switch_count() const noexcept { return switches_; }
+
+ private:
+  Ult* pop_ready();
+  void enter(Ult* next);
+  void leave_current(UltState new_state);
+
+  ContextBackend backend_;
+  Context sched_ctx_;
+  Ult* current_ = nullptr;
+  std::uint64_t switches_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Ult*> ready_;
+
+  std::vector<std::pair<int, SwitchHook>> hooks_;
+  int next_hook_id_ = 0;
+};
+
+/// The scheduler driving the calling OS thread right now (set for the
+/// duration of run_one), or nullptr outside any scheduler.
+Scheduler* current_scheduler() noexcept;
+
+/// The ULT executing on the calling OS thread right now, or nullptr.
+Ult* current_ult() noexcept;
+
+}  // namespace apv::ult

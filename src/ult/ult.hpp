@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ult/context.hpp"
+
+namespace apv::ult {
+
+/// Lifecycle of a user-level thread.
+enum class UltState : std::uint8_t {
+  Created,  ///< never run
+  Ready,    ///< runnable, queued on a scheduler
+  Running,  ///< currently executing on its PE
+  Blocked,  ///< suspended waiting for an event (e.g. a message)
+  Done,     ///< body returned
+};
+
+/// Stable string form of an UltState.
+const char* ult_state_name(UltState state) noexcept;
+
+/// A user-level thread: a body function, a stack, and a saved Context.
+///
+/// Ult stores no heap pointers and no pointers to scheduler-owned state, so
+/// an Ult object placed inside a rank's Isomalloc slot (next to its stack)
+/// can be packed, shipped to another PE, unpacked at the same virtual
+/// address, and simply resumed — this is how AMPI-style rank migration
+/// works in this runtime.
+class Ult {
+ public:
+  using Id = std::uint64_t;
+  using Body = void (*)(void* arg);
+
+  /// Creates a ULT that will run body(arg) on [stack_base, stack_base+size).
+  /// The stack memory is borrowed, not owned.
+  Ult(Id id, Body body, void* arg, void* stack_base, std::size_t stack_size,
+      ContextBackend backend = default_context_backend());
+
+  Ult(const Ult&) = delete;
+  Ult& operator=(const Ult&) = delete;
+
+  Id id() const noexcept { return id_; }
+  UltState state() const noexcept { return state_; }
+  void set_state(UltState state) noexcept { state_ = state; }
+
+  Context& context() noexcept { return context_; }
+  void* stack_base() const noexcept { return stack_base_; }
+  std::size_t stack_size() const noexcept { return stack_size_; }
+
+  /// Opaque per-thread slot used by higher layers (apv::core attaches the
+  /// rank's privatization context here so switch hooks can find it).
+  void* user_data() const noexcept { return user_data_; }
+  void set_user_data(void* p) noexcept { user_data_ = p; }
+
+ private:
+  static void entry_thunk(void* self);
+
+  Id id_;
+  Body body_;
+  void* arg_;
+  void* stack_base_;
+  std::size_t stack_size_;
+  UltState state_ = UltState::Created;
+  void* user_data_ = nullptr;
+  Context context_;
+};
+
+}  // namespace apv::ult

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace apv::util {
+
+/// Rounds `value` up to the next multiple of `alignment` (a power of two).
+constexpr std::size_t align_up(std::size_t value, std::size_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+/// True if `value` is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Growable byte sink used by pack/unpack (migration, checkpointing).
+/// Writes are appended; reads consume from a cursor. The format is raw
+/// little-endian host bytes: both ends of a "migration" are the same
+/// architecture by construction in this runtime.
+class ByteBuffer {
+ public:
+  void put_bytes(const void* src, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_bytes(&value, sizeof value);
+  }
+
+  void get_bytes(void* dst, std::size_t n) {
+    std::memcpy(dst, data_.data() + cursor_, n);
+    cursor_ += n;
+  }
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    get_bytes(&value, sizeof value);
+    return value;
+  }
+
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - cursor_; }
+  const std::byte* data() const noexcept { return data_.data(); }
+  void rewind() noexcept { cursor_ = 0; }
+  void clear() noexcept {
+    data_.clear();
+    cursor_ = 0;
+  }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace apv::util

@@ -1,0 +1,24 @@
+#include "util/error.hpp"
+
+namespace apv::util {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::Ok: return "Ok";
+    case ErrorCode::InvalidArgument: return "InvalidArgument";
+    case ErrorCode::OutOfMemory: return "OutOfMemory";
+    case ErrorCode::NotSupported: return "NotSupported";
+    case ErrorCode::NotFound: return "NotFound";
+    case ErrorCode::AlreadyExists: return "AlreadyExists";
+    case ErrorCode::LimitExceeded: return "LimitExceeded";
+    case ErrorCode::IoError: return "IoError";
+    case ErrorCode::BadState: return "BadState";
+    case ErrorCode::CorruptImage: return "CorruptImage";
+    case ErrorCode::MigrationRefused: return "MigrationRefused";
+    case ErrorCode::ReductionOnEmptyPe: return "ReductionOnEmptyPe";
+    case ErrorCode::Internal: return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace apv::util

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace apv::util {
+
+/// Status codes used across the runtime. Mirrors the style of MPI error
+/// classes: a small closed enumeration that crosses module boundaries, with
+/// the human-readable detail carried separately.
+enum class ErrorCode : std::uint32_t {
+  Ok = 0,
+  InvalidArgument,
+  OutOfMemory,
+  NotSupported,      ///< operation valid in general but not for this method/mode
+  NotFound,
+  AlreadyExists,
+  LimitExceeded,     ///< e.g. dlmopen namespace cap in PIPglobals
+  IoError,           ///< shared-filesystem failures in FSglobals
+  BadState,          ///< API called in the wrong lifecycle phase
+  CorruptImage,      ///< program-image validation failure
+  MigrationRefused,  ///< privatization method cannot migrate this rank
+  ReductionOnEmptyPe,///< PIEglobals user-op applied on a PE with no ranks
+  Internal,
+};
+
+/// Stable string form of an ErrorCode ("NotSupported", ...).
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// Exception type thrown by all apv modules. Carries a machine-checkable
+/// code so tests and callers can distinguish refusals (NotSupported,
+/// MigrationRefused) from genuine failures.
+class ApvError : public std::runtime_error {
+ public:
+  ApvError(ErrorCode code, const std::string& what)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " + what),
+        code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Throws ApvError with the given code unless `cond` holds.
+inline void require(bool cond, ErrorCode code, const std::string& what) {
+  if (!cond) throw ApvError(code, what);
+}
+
+}  // namespace apv::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace apv::util {
+
+/// Log severity, in increasing order of importance. The default threshold is
+/// Warn so that the runtime is silent in tests and benchmarks unless asked.
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Sets the global log threshold. Messages below the threshold are dropped.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global log threshold.
+LogLevel log_level() noexcept;
+
+/// printf-style logging entry point. Thread-safe (one line per call, never
+/// interleaved). `module` is a short tag such as "ult" or "pieglobals".
+void log_message(LogLevel level, const char* module, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace apv::util
+
+#define APV_LOG(level, module, ...)                                      \
+  do {                                                                   \
+    if (static_cast<int>(level) >=                                       \
+        static_cast<int>(::apv::util::log_level()))                      \
+      ::apv::util::log_message(level, module, __VA_ARGS__);              \
+  } while (0)
+
+#define APV_TRACE(module, ...) APV_LOG(::apv::util::LogLevel::Trace, module, __VA_ARGS__)
+#define APV_DEBUG(module, ...) APV_LOG(::apv::util::LogLevel::Debug, module, __VA_ARGS__)
+#define APV_INFO(module, ...)  APV_LOG(::apv::util::LogLevel::Info,  module, __VA_ARGS__)
+#define APV_WARN(module, ...)  APV_LOG(::apv::util::LogLevel::Warn,  module, __VA_ARGS__)
+#define APV_ERROR(module, ...) APV_LOG(::apv::util::LogLevel::Error, module, __VA_ARGS__)

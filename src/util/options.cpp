@@ -1,0 +1,67 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace apv::util {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 0; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto eq = token.find('=');
+    require(eq != std::string::npos && eq > 0, ErrorCode::InvalidArgument,
+            "option token must be key=value, got: " + token);
+    opts.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return opts;
+}
+
+void Options::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+void Options::set_int(const std::string& key, std::int64_t value) {
+  values_[key] = std::to_string(value);
+}
+
+void Options::set_double(const std::string& key, double value) {
+  values_[key] = std::to_string(value);
+}
+
+void Options::set_bool(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace apv::util

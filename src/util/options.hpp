@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace apv::util {
+
+/// Flat key=value option bag used to configure runtime components
+/// (privatization methods, the comm cost model, the cluster simulator).
+/// Keys are dotted strings such as "pip.patched_glibc" or "net.latency_us".
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses "key=value" tokens, e.g. from argv. Unknown keys are kept; each
+  /// component validates only the keys it consumes. Throws InvalidArgument
+  /// on tokens without '='.
+  static Options parse(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+  void set_int(const std::string& key, std::int64_t value);
+  void set_double(const std::string& key, double value);
+  void set_bool(const std::string& key, bool value);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& all() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace apv::util

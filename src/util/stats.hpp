@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace apv::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// Used by benchmark harnesses and the load-balancing database.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction of stats).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `samples` by linear interpolation.
+/// The input vector is copied and sorted; intended for benchmark reporting,
+/// not hot paths.
+double quantile(std::vector<double> samples, double q);
+
+/// Load-imbalance ratio max/mean of a load vector; 1.0 means perfectly
+/// balanced. Returns 1.0 for empty or all-zero input.
+double imbalance_ratio(const std::vector<double>& loads);
+
+}  // namespace apv::util

@@ -1,0 +1,26 @@
+#include "util/timer.hpp"
+
+namespace apv::util {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+const Clock::time_point g_epoch = Clock::now();
+}  // namespace
+
+std::uint64_t wall_time_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           g_epoch)
+          .count());
+}
+
+double wall_time() noexcept {
+  return static_cast<double>(wall_time_ns()) * 1e-9;
+}
+
+double wall_tick() noexcept {
+  return static_cast<double>(Clock::period::num) /
+         static_cast<double>(Clock::period::den);
+}
+
+}  // namespace apv::util

@@ -1,0 +1,136 @@
+// Hierarchical Local Storage (paper §2.3.5 / MPC): variables privatized at
+// exactly the hierarchy level they need — process, PE, or rank — to
+// minimize memory overhead.
+
+#include <gtest/gtest.h>
+
+#include "core/hls.hpp"
+#include "core/privatizer.hpp"
+#include "image/loader.hpp"
+#include "isomalloc/arena.hpp"
+#include "util/error.hpp"
+
+using namespace apv;
+
+namespace {
+
+void noop_body(void*) {}
+void* noop_main(void* arg) { return arg; }
+
+struct Fx {
+  Fx()
+      : arena({.slot_size = std::size_t{4} << 20, .max_slots = 8}) {
+    img::ImageBuilder b("hlsprog");
+    b.add_global<int>("x", 0);
+    b.add_function("mpi_main", &noop_main);
+    image = b.build();
+    core::ProcessEnv env;
+    env.image = &image;
+    env.loader = &loader;
+    env.arena = &arena;
+    priv = std::make_unique<core::Privatizer>(core::Method::PIEglobals,
+                                              std::move(env));
+  }
+  core::RankContext* rank(int r) {
+    core::Privatizer::RankParams p;
+    p.world_rank = r;
+    p.body = &noop_body;
+    return priv->create_rank(p);
+  }
+  iso::IsoArena arena;
+  img::ProgramImage image;
+  img::Loader loader;
+  std::unique_ptr<core::Privatizer> priv;
+};
+
+}  // namespace
+
+TEST(Hls, LevelsShareExactlyAsDeclared) {
+  Fx fx;
+  core::RankContext* r0 = fx.rank(0);
+  core::RankContext* r1 = fx.rank(1);
+
+  core::HlsRegion region(/*processes=*/2, /*pes=*/4);
+  const auto proc =
+      region.declare("per_process", sizeof(int), alignof(int),
+                     core::HlsLevel::Process);
+  const auto pe = region.declare("per_pe", sizeof(int), alignof(int),
+                                 core::HlsLevel::Pe);
+  const auto rank = region.declare("per_rank", sizeof(int), alignof(int),
+                                   core::HlsLevel::Rank);
+  core::HlsVar<int> vproc(&region, proc), vpe(&region, pe),
+      vrank(&region, rank);
+
+  // Process level: same storage for both ranks in process 0; distinct
+  // from process 1's.
+  vproc.at(*r0, 0, 0) = 77;
+  EXPECT_EQ(vproc.at(*r1, 0, 1), 77);
+  EXPECT_EQ(vproc.at(*r1, 1, 1), 0);
+
+  // PE level: ranks co-scheduled on PE 2 share; PE 3 is separate.
+  vpe.at(*r0, 0, 2) = 5;
+  EXPECT_EQ(vpe.at(*r1, 0, 2), 5);
+  EXPECT_EQ(vpe.at(*r1, 0, 3), 0);
+
+  // Rank level: fully private, and slot-resident (so it migrates).
+  vrank.at(*r0, 0, 0) = 10;
+  vrank.at(*r1, 0, 0) = 20;
+  EXPECT_EQ(vrank.at(*r0, 0, 0), 10);
+  EXPECT_EQ(vrank.at(*r1, 0, 0), 20);
+  EXPECT_TRUE(fx.arena.contains(r0->slot, &vrank.at(*r0, 0, 0)));
+
+  fx.priv->destroy_rank(r0);
+  fx.priv->destroy_rank(r1);
+}
+
+TEST(Hls, MemoryFootprintScalesByLevel) {
+  Fx fx;
+  std::vector<core::RankContext*> ranks;
+  for (int r = 0; r < 6; ++r) ranks.push_back(fx.rank(r));
+
+  core::HlsRegion region(/*processes=*/1, /*pes=*/2);
+  const std::size_t kSize = 1 << 10;
+  const auto proc =
+      region.declare("big_proc", kSize, 16, core::HlsLevel::Process);
+  const auto pe = region.declare("big_pe", kSize, 16, core::HlsLevel::Pe);
+  const auto rk = region.declare("big_rank", kSize, 16,
+                                 core::HlsLevel::Rank);
+  // Touch everything from every rank (3 ranks per PE).
+  for (int r = 0; r < 6; ++r) {
+    region.resolve(proc, *ranks[static_cast<std::size_t>(r)], 0, r / 3);
+    region.resolve(pe, *ranks[static_cast<std::size_t>(r)], 0, r / 3);
+    region.resolve(rk, *ranks[static_cast<std::size_t>(r)], 0, r / 3);
+  }
+  // The HLS promise: 1x vs 2x vs 6x the footprint.
+  EXPECT_EQ(region.bytes_at(core::HlsLevel::Process), kSize);
+  EXPECT_EQ(region.bytes_at(core::HlsLevel::Pe), 2 * kSize);
+  EXPECT_EQ(region.bytes_at(core::HlsLevel::Rank), 6 * kSize);
+
+  for (auto* rc : ranks) fx.priv->destroy_rank(rc);
+}
+
+TEST(Hls, ResolutionIsStableAcrossCalls) {
+  Fx fx;
+  core::RankContext* r0 = fx.rank(0);
+  core::HlsRegion region(1, 1);
+  const auto h = region.declare("v", 64, 16, core::HlsLevel::Rank);
+  void* first = region.resolve(h, *r0, 0, 0);
+  void* second = region.resolve(h, *r0, 0, 0);
+  EXPECT_EQ(first, second);
+  fx.priv->destroy_rank(r0);
+}
+
+TEST(Hls, ValidationErrors) {
+  core::HlsRegion region(1, 1);
+  EXPECT_THROW(region.declare("zero", 0, 16, core::HlsLevel::Rank),
+               util::ApvError);
+  EXPECT_THROW(region.declare("align", 8, 24, core::HlsLevel::Rank),
+               util::ApvError);
+  EXPECT_THROW(core::HlsRegion(0, 1), util::ApvError);
+  Fx fx;
+  core::RankContext* r0 = fx.rank(0);
+  const auto h = region.declare("v", 8, 8, core::HlsLevel::Process);
+  EXPECT_THROW(region.resolve(h, *r0, 5, 0), util::ApvError);  // bad owner
+  EXPECT_THROW(region.resolve(99, *r0, 0, 0), util::ApvError);
+  fx.priv->destroy_rank(r0);
+}

@@ -1,0 +1,121 @@
+// The privatization coverage matrix, run end-to-end: for every method, run
+// the "kinds" program (one mutable global, one static, one TLS-tagged
+// variable, one const) with 4 co-located ranks and check exactly which
+// variable kinds came out private. This encodes the paper's Table 1/3
+// "Automation" column as executable fact:
+//
+//   method        global  static  tls   const
+//   none            -       -      -      ok     (everything shared)
+//   tlsglobals      -       -      ok     ok     (only tagged vars)
+//   swapglobals     ok      -      -      ok     (GOT blind to statics)
+//   pipglobals      ok      ok     -      ok     (segments duplicated)
+//   fsglobals       ok      ok     -      ok
+//   pieglobals      ok      ok     ok     ok     (combined with TLSglobals)
+
+#include <gtest/gtest.h>
+
+#include "mpi/runtime.hpp"
+#include "test_programs.hpp"
+
+using namespace apv;
+
+namespace {
+
+struct KindsCase {
+  core::Method method;
+  std::intptr_t expected_mask;  // kKinds*Ok bits for a non-last rank
+};
+
+}  // namespace
+
+class KindsMatrix : public ::testing::TestWithParam<KindsCase> {};
+
+TEST_P(KindsMatrix, CoverageMatchesTableOne) {
+  const KindsCase& c = GetParam();
+  const img::ProgramImage image = test::build_kinds();
+  mpi::RuntimeConfig cfg;
+  cfg.vps = 4;
+  cfg.method = c.method;
+  cfg.slot_bytes = std::size_t{8} << 20;
+  cfg.options.set("fs.latency_us", "0");
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+  // Rank 0 runs and writes first, so any shared variable gets clobbered by
+  // later ranks before the post-barrier read — rank 0's result is the
+  // clean probe of what the method actually privatizes.
+  EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(0)),
+            c.expected_mask)
+      << core::method_name(c.method);
+  // Every method must leave the (safely shared) const readable.
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_TRUE(reinterpret_cast<std::intptr_t>(rt.rank_return(r)) &
+                test::kKindsConstOk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, KindsMatrix,
+    ::testing::Values(
+        KindsCase{core::Method::None, test::kKindsConstOk},
+        KindsCase{core::Method::TLSglobals,
+                  test::kKindsTlsOk | test::kKindsConstOk},
+        KindsCase{core::Method::Swapglobals,
+                  test::kKindsGlobalOk | test::kKindsConstOk},
+        KindsCase{core::Method::PIPglobals,
+                  test::kKindsGlobalOk | test::kKindsStaticOk |
+                      test::kKindsConstOk},
+        KindsCase{core::Method::FSglobals,
+                  test::kKindsGlobalOk | test::kKindsStaticOk |
+                      test::kKindsConstOk},
+        KindsCase{core::Method::PIEglobals,
+                  test::kKindsGlobalOk | test::kKindsStaticOk |
+                      test::kKindsTlsOk | test::kKindsConstOk}),
+    [](const ::testing::TestParamInfo<KindsCase>& info) {
+      return core::method_name(info.param.method);
+    });
+
+// The constructor-heavy program (heap tables, function pointers, pointers
+// back into the data segment) must work under every segment-duplicating
+// method — under PIEglobals this exercises constructor-allocation
+// replication and the full fix-up transitive closure.
+class CtorHeavy : public ::testing::TestWithParam<core::Method> {};
+
+TEST_P(CtorHeavy, PointerChainsPrivatizedPerRank) {
+  const img::ProgramImage image = test::build_ctorheavy();
+  mpi::RuntimeConfig cfg;
+  cfg.vps = 3;
+  cfg.method = GetParam();
+  cfg.slot_bytes = std::size_t{8} << 20;
+  cfg.options.set("fs.latency_us", "0");
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+  for (int r = 0; r < 3; ++r) {
+    const auto result = reinterpret_cast<std::intptr_t>(rt.rank_return(r));
+    // counter starts at 7 (ctor), rank adds r+1 through the pointer chain;
+    // payload[r] = 1000 + r.
+    EXPECT_EQ(result, (7 + r + 1) * 10000 + 1000 + r) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SegmentMethods, CtorHeavy,
+    ::testing::Values(core::Method::PIPglobals, core::Method::FSglobals,
+                      core::Method::PIEglobals),
+    [](const ::testing::TestParamInfo<core::Method>& info) {
+      return core::method_name(info.param);
+    });
+
+TEST(CtorHeavy, PieExactFixupMode) {
+  const img::ProgramImage image = test::build_ctorheavy();
+  mpi::RuntimeConfig cfg;
+  cfg.vps = 3;
+  cfg.method = core::Method::PIEglobals;
+  cfg.slot_bytes = std::size_t{8} << 20;
+  cfg.options.set("pie.fixup", "exact");
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(r)),
+              (7 + r + 1) * 10000 + 1000 + r);
+  }
+}

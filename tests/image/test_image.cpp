@@ -1,0 +1,329 @@
+// Unit tests for the program-image model: builder layout rules, GOT
+// contents, materialization, serialization, instances, the emulated
+// dynamic linker (dlopen/dlmopen/fs copies), and constructor logging.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "image/image.hpp"
+#include "image/instance.hpp"
+#include "image/loader.hpp"
+#include "util/error.hpp"
+
+using namespace apv;
+using util::ApvError;
+
+namespace {
+
+void* fn_a(void*) { return nullptr; }
+void* fn_b(void* x) { return x; }
+
+img::ProgramImage simple_image() {
+  img::ImageBuilder b("simple");
+  b.add_global<int>("g_int", 41);
+  b.add_global<double>("g_dbl", 2.5);
+  b.add_global<int>("s_int", 7, {.is_static = true});
+  b.add_global<int>("t_int", 9, {.is_tls = true});
+  b.add_global<long>("c_long", 100, {.is_const = true});
+  b.add_function("alpha", &fn_a);
+  b.add_function("beta", &fn_b);
+  return b.build();
+}
+
+}  // namespace
+
+TEST(ImageBuilder, DuplicateNamesRejected) {
+  img::ImageBuilder b("dup");
+  b.add_global<int>("x", 0);
+  EXPECT_THROW(b.add_global<int>("x", 1), ApvError);
+  b.add_function("f", &fn_a);
+  EXPECT_THROW(b.add_function("f", &fn_b), ApvError);
+}
+
+TEST(ImageBuilder, InvalidDeclarationsRejected) {
+  img::ImageBuilder b("bad");
+  EXPECT_THROW(b.add_var("zero", 0, 8, nullptr, 0), ApvError);
+  EXPECT_THROW(b.add_var("badalign", 8, 3, nullptr, 0), ApvError);
+  EXPECT_THROW(b.add_function("null", nullptr), ApvError);
+  EXPECT_THROW(
+      b.add_global<int>("ctls", 0, {.is_const = true, .is_tls = true}),
+      ApvError);
+}
+
+TEST(ImageBuilder, LayoutRespectsAlignmentAndGot) {
+  const img::ProgramImage image = simple_image();
+  // Non-TLS variables live after the GOT; offsets honour alignment.
+  for (const img::VarDecl& v : image.vars()) {
+    if (v.is_tls) continue;
+    EXPECT_GE(v.offset, image.got_bytes()) << v.name;
+    EXPECT_EQ(v.offset % v.align, 0u) << v.name;
+  }
+  // GOT: all functions + non-static, non-TLS variables. Statics and TLS
+  // variables deliberately have no slot (Swapglobals' blind spot).
+  EXPECT_EQ(image.got().size(),
+            2u /*functions*/ + 3u /*g_int, g_dbl, c_long*/);
+  EXPECT_EQ(image.var(image.var_id("s_int")).got_index, img::kInvalidId);
+  EXPECT_EQ(image.var(image.var_id("t_int")).got_index, img::kInvalidId);
+  EXPECT_NE(image.var(image.var_id("g_int")).got_index, img::kInvalidId);
+  // TLS image sized for the one tagged variable.
+  EXPECT_GE(image.tls_size(), sizeof(int));
+}
+
+TEST(ImageBuilder, CodeSizeFloorCoversFunctionTable) {
+  img::ImageBuilder b("tiny");
+  b.add_global<int>("x", 0);
+  b.add_function("f", &fn_a);
+  const img::ProgramImage image = b.build();
+  EXPECT_GE(image.code_size(),
+            img::ProgramImage::kCodeHeaderSize +
+                img::ProgramImage::kCodeEntrySize);
+  EXPECT_EQ(image.code_size() % 4096, 0u);
+}
+
+TEST(ImageBuilder, LookupsWork) {
+  const img::ProgramImage image = simple_image();
+  EXPECT_EQ(image.var(image.var_id("g_dbl")).name, "g_dbl");
+  EXPECT_EQ(image.func(image.func_id("beta")).native, &fn_b);
+  EXPECT_THROW(image.var_id("nope"), ApvError);
+  EXPECT_THROW(image.func_id("nope"), ApvError);
+}
+
+TEST(ImageInstance, MaterializationAppliesInitsAndRelocations) {
+  const img::ProgramImage image = simple_image();
+  auto inst = img::ImageInstance::allocate(image, img::InstanceOrigin::Primary);
+  EXPECT_EQ(*static_cast<int*>(inst->var_addr(image.var_id("g_int"))), 41);
+  EXPECT_EQ(*static_cast<double*>(inst->var_addr(image.var_id("g_dbl"))),
+            2.5);
+  EXPECT_EQ(*static_cast<long*>(inst->var_addr(image.var_id("c_long"))), 100);
+  // GOT entries hold absolute addresses inside this instance.
+  const img::VarDecl& g = image.var(image.var_id("g_int"));
+  EXPECT_EQ(reinterpret_cast<void*>(inst->got()[g.got_index]),
+            inst->var_addr(image.var_id("g_int")));
+  const img::FuncDecl& f = image.func(image.func_id("alpha"));
+  EXPECT_EQ(reinterpret_cast<std::byte*>(inst->got()[f.got_index]),
+            inst->code_base() + f.code_offset);
+}
+
+TEST(ImageInstance, TlsVarAddrRefused) {
+  const img::ProgramImage image = simple_image();
+  auto inst = img::ImageInstance::allocate(image, img::InstanceOrigin::Primary);
+  EXPECT_THROW(inst->var_addr(image.var_id("t_int")), ApvError);
+}
+
+TEST(ImageInstance, FuncAtAndNativeAt) {
+  const img::ProgramImage image = simple_image();
+  auto inst = img::ImageInstance::allocate(image, img::InstanceOrigin::Primary);
+  const img::FuncId beta = image.func_id("beta");
+  void* addr = inst->func_addr(beta);
+  EXPECT_EQ(inst->func_at(addr), beta);
+  EXPECT_EQ(inst->func_at(inst->code_base()), img::kInvalidId);  // header
+  EXPECT_EQ(inst->native_at(beta), &fn_b);
+  int probe = 0;
+  EXPECT_EQ(inst->func_at(&probe), img::kInvalidId);
+}
+
+TEST(ImageInstance, SeparateInstancesHaveSeparateState) {
+  const img::ProgramImage image = simple_image();
+  auto a = img::ImageInstance::allocate(image, img::InstanceOrigin::Primary);
+  auto b = img::ImageInstance::allocate(image,
+                                        img::InstanceOrigin::DlmopenNamespace,
+                                        1);
+  *static_cast<int*>(a->var_addr(image.var_id("g_int"))) = 1111;
+  EXPECT_EQ(*static_cast<int*>(b->var_addr(image.var_id("g_int"))), 41);
+}
+
+TEST(ImageSerialize, RoundTripPreservesLayout) {
+  const img::ProgramImage image = simple_image();
+  const auto bytes = image.serialize();
+  const img::ProgramImage copy = img::deserialize_image(bytes, image);
+  EXPECT_EQ(copy.name(), image.name());
+  EXPECT_EQ(copy.code_size(), image.code_size());
+  EXPECT_EQ(copy.data_size(), image.data_size());
+  EXPECT_EQ(copy.tls_size(), image.tls_size());
+  ASSERT_EQ(copy.vars().size(), image.vars().size());
+  for (std::size_t i = 0; i < copy.vars().size(); ++i) {
+    EXPECT_EQ(copy.vars()[i].name, image.vars()[i].name);
+    EXPECT_EQ(copy.vars()[i].offset, image.vars()[i].offset);
+    EXPECT_EQ(copy.vars()[i].is_static, image.vars()[i].is_static);
+  }
+  // Natives re-resolved from the hint image.
+  EXPECT_EQ(copy.func(copy.func_id("beta")).native, &fn_b);
+}
+
+TEST(ImageSerialize, WrongProgramRejected) {
+  const img::ProgramImage image = simple_image();
+  img::ImageBuilder other_b("other");
+  other_b.add_global<int>("x", 0);
+  other_b.add_function("f", &fn_a);
+  const img::ProgramImage other = other_b.build();
+  EXPECT_THROW(img::deserialize_image(image.serialize(), other), ApvError);
+  std::vector<std::byte> garbage(64, std::byte{0x5A});
+  EXPECT_THROW(img::deserialize_image(garbage, image), ApvError);
+}
+
+// ---------------------------------------------------------------------------
+// Loader
+
+TEST(Loader, PrimaryIsLoadedOnce) {
+  const img::ProgramImage image = simple_image();
+  img::Loader loader;
+  EXPECT_FALSE(loader.primary_loaded(image));
+  img::ImageInstance& a = loader.load_primary(image);
+  img::ImageInstance& b = loader.load_primary(image);
+  EXPECT_EQ(&a, &b);
+  EXPECT_TRUE(loader.primary_loaded(image));
+  EXPECT_EQ(loader.registry().primary_of(image), &a);
+}
+
+TEST(Loader, DlmopenNamespaceCapEnforced) {
+  const img::ProgramImage image = simple_image();
+  img::Loader loader;
+  for (int i = 0; i < img::Loader::kGlibcNamespaceCap; ++i) {
+    img::ImageInstance& inst = loader.dlmopen_clone(image);
+    EXPECT_EQ(inst.namespace_index(), i + 1);
+  }
+  try {
+    loader.dlmopen_clone(image);
+    FAIL() << "namespace cap not enforced";
+  } catch (const ApvError& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::LimitExceeded);
+  }
+}
+
+TEST(Loader, PatchedGlibcLiftsCap) {
+  const img::ProgramImage image = simple_image();
+  util::Options opts;
+  opts.set_bool("loader.patched_glibc", true);
+  img::Loader loader(opts);
+  for (int i = 0; i < img::Loader::kGlibcNamespaceCap + 4; ++i) {
+    EXPECT_NO_THROW(loader.dlmopen_clone(image));
+  }
+}
+
+TEST(Loader, DlmopenRequiresPie) {
+  img::ImageBuilder b("nonpie");
+  b.add_global<int>("x", 0);
+  b.add_function("f", &fn_a);
+  b.set_pie(false);
+  const img::ProgramImage image = b.build();
+  img::Loader loader;
+  EXPECT_THROW(loader.dlmopen_clone(image), ApvError);
+  EXPECT_THROW(loader.fs_clone(image, 0), ApvError);
+}
+
+TEST(Loader, FsCloneWritesARealFileAndLoadsIt) {
+  const img::ProgramImage image = simple_image();
+  util::Options opts;
+  opts.set("fs.dir", "/tmp/apv_fs_test");
+  opts.set_int("fs.latency_us", 0);
+  img::Loader loader(opts);
+  img::ImageInstance& inst = loader.fs_clone(image, 3);
+  EXPECT_EQ(inst.origin(), img::InstanceOrigin::FsCopy);
+  EXPECT_EQ(*static_cast<int*>(inst.var_addr(
+                inst.image().var_id("g_int"))),
+            41);
+  std::FILE* f = std::fopen("/tmp/apv_fs_test/simple.rank3.bin", "rb");
+  ASSERT_NE(f, nullptr) << "per-rank binary copy missing from shared fs";
+  std::fclose(f);
+}
+
+TEST(Loader, FsCloneRefusesSharedDeps) {
+  img::ImageBuilder b("withdeps");
+  b.add_global<int>("x", 0);
+  b.add_function("f", &fn_a);
+  b.add_shared_dep("libhydro.so.2");
+  const img::ProgramImage image = b.build();
+  img::Loader loader;
+  try {
+    loader.fs_clone(image, 0);
+    FAIL() << "shared deps not refused";
+  } catch (const ApvError& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::NotSupported);
+  }
+}
+
+TEST(Loader, IteratePhdrReportsLoadsInOrder) {
+  const img::ProgramImage image = simple_image();
+  img::Loader loader;
+  EXPECT_TRUE(loader.iterate_phdr().empty());
+  img::ImageInstance& prim = loader.load_primary(image);
+  img::ImageInstance& ns1 = loader.dlmopen_clone(image);
+  const auto phdrs = loader.iterate_phdr();
+  ASSERT_EQ(phdrs.size(), 2u);
+  EXPECT_EQ(phdrs[0].instance, &prim);
+  EXPECT_EQ(phdrs[1].instance, &ns1);
+  EXPECT_EQ(phdrs[0].code_size, image.code_size());
+  EXPECT_EQ(phdrs[0].data_size, image.data_size());
+}
+
+TEST(Registry, FindByAddressAndRemoval) {
+  const img::ProgramImage image = simple_image();
+  img::Loader loader;
+  img::ImageInstance& prim = loader.load_primary(image);
+  img::InstanceRegistry& reg = loader.registry();
+  EXPECT_EQ(reg.find(prim.code_base() + 10), &prim);
+  EXPECT_EQ(reg.find(prim.data_base() + 10), &prim);
+  EXPECT_EQ(reg.find_code(prim.data_base()), nullptr);
+  int local = 0;
+  EXPECT_EQ(reg.find(&local), nullptr);
+  reg.remove(&prim);
+  EXPECT_EQ(reg.find(prim.code_base()), nullptr);
+  reg.add(&prim);  // restore for loader teardown symmetry
+}
+
+// ---------------------------------------------------------------------------
+// Constructors
+
+namespace {
+void counting_ctor(img::CtorContext& ctx) {
+  void* block = ctx.ctor_malloc(256);
+  ctx.set_ptr("block_ptr", block);
+  ctx.write_heap_ptr(block, 0, ctx.func_ptr("f"));
+  ctx.set<int>("ctor_ran", ctx.get<int>("ctor_ran") + 1);
+}
+
+img::ProgramImage ctor_image() {
+  img::ImageBuilder b("ctorimg");
+  b.add_global<void*>("block_ptr", nullptr);
+  b.add_global<int>("ctor_ran", 0);
+  b.add_function("f", &fn_a);
+  b.add_constructor(&counting_ctor);
+  return b.build();
+}
+}  // namespace
+
+TEST(Ctors, RunOncePerInstanceWithLogging) {
+  const img::ProgramImage image = ctor_image();
+  img::Loader loader;
+  img::ImageInstance& prim = loader.load_primary(image);
+  EXPECT_EQ(*static_cast<int*>(prim.var_addr(image.var_id("ctor_ran"))), 1);
+  ASSERT_EQ(prim.ctor_allocs().size(), 1u);
+  EXPECT_EQ(prim.ctor_allocs()[0].size, 256u);
+  // Pointer slots: one data-segment store, one heap store.
+  ASSERT_EQ(prim.ptr_slots().size(), 2u);
+  EXPECT_EQ(prim.ptr_slots()[0].where, img::PtrSlot::Where::Data);
+  EXPECT_EQ(prim.ptr_slots()[1].where, img::PtrSlot::Where::Heap);
+  // dlmopen clones run their own constructor against their own state.
+  img::ImageInstance& ns = loader.dlmopen_clone(image);
+  EXPECT_EQ(*static_cast<int*>(ns.var_addr(image.var_id("ctor_ran"))), 1);
+  EXPECT_NE(prim.ctor_allocs()[0].ptr, ns.ctor_allocs()[0].ptr);
+  // The stored function pointer targets each instance's own code.
+  void* prim_fn =
+      *static_cast<void**>(prim.ctor_allocs()[0].ptr);
+  void* ns_fn = *static_cast<void**>(ns.ctor_allocs()[0].ptr);
+  EXPECT_TRUE(prim.contains_code(prim_fn));
+  EXPECT_TRUE(ns.contains_code(ns_fn));
+  EXPECT_NE(prim_fn, ns_fn);
+}
+
+TEST(Ctors, WriteHeapPtrValidatesTarget) {
+  const img::ProgramImage image = ctor_image();
+  auto inst = img::ImageInstance::allocate(image, img::InstanceOrigin::Primary);
+  img::CtorContext ctx(*inst);
+  void* block = ctx.ctor_malloc(64);
+  EXPECT_THROW(ctx.write_heap_ptr(block, 60, nullptr), ApvError);  // OOB
+  int other;
+  EXPECT_THROW(ctx.write_heap_ptr(&other, 0, nullptr), ApvError);  // foreign
+}

@@ -1,0 +1,107 @@
+// Virtual-time cluster simulator: sanity and shape tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/surge.hpp"
+
+using namespace apv;
+
+namespace {
+sim::SurgeConfig quick_surge() {
+  sim::SurgeConfig cfg;
+  cfg.cells = 2048;
+  cfg.steps = 80;
+  return cfg;
+}
+
+sim::MachineModel machine(int ppn) {
+  sim::MachineModel m;
+  m.pes_per_node = ppn;
+  return m;
+}
+}  // namespace
+
+TEST(ClusterSim, SerialTimeMatchesWorkSum) {
+  // One PE, one rank, no comm partners: makespan == sum of per-step work
+  // plus per-step switch overhead.
+  sim::ClusterSim::Config cfg;
+  cfg.pes = 1;
+  cfg.vps = 1;
+  cfg.steps = 10;
+  cfg.machine = machine(1);
+  cfg.work_us = [](int, int) { return 100.0; };
+  cfg.allreduce_per_step = false;
+  auto result = sim::ClusterSim(std::move(cfg)).run();
+  const double expect_us = 10 * (100.0 + 0.12);
+  EXPECT_NEAR(result.time_s * 1e6, expect_us, 1.0);
+}
+
+TEST(ClusterSim, PerfectParallelismScales) {
+  auto run_with_pes = [&](int pes) {
+    sim::ClusterSim::Config cfg;
+    cfg.pes = pes;
+    cfg.vps = 8;  // fixed total work, spread over more PEs
+    cfg.steps = 20;
+    cfg.machine = machine(pes);
+    cfg.work_us = [](int, int) { return 500.0; };
+    cfg.allreduce_per_step = false;
+    return sim::ClusterSim(std::move(cfg)).run().time_s;
+  };
+  const double t1 = run_with_pes(1);
+  const double t8 = run_with_pes(8);
+  // Uniform independent work: 8 PEs should be ~8x faster.
+  EXPECT_NEAR(t1 / t8, 8.0, 0.5);
+}
+
+TEST(ClusterSim, ImbalancedWorkIsBoundByHotPe) {
+  sim::ClusterSim::Config cfg;
+  cfg.pes = 4;
+  cfg.vps = 4;
+  cfg.steps = 10;
+  cfg.machine = machine(4);
+  cfg.work_us = [](int rank, int) { return rank == 0 ? 1000.0 : 10.0; };
+  cfg.allreduce_per_step = false;
+  auto result = sim::ClusterSim(std::move(cfg)).run();
+  EXPECT_GE(result.time_s * 1e6, 10 * 1000.0);
+  EXPECT_GT(result.final_imbalance, 3.0);
+}
+
+TEST(ClusterSim, OverdecompositionPlusLbBeatsBaseline) {
+  const sim::SurgeConfig surge = quick_surge();
+  const int pes = 4;
+  const auto base = sim::run_surge(surge, pes, pes, /*lb_period=*/0,
+                                   "none", machine(pes), 1 << 20);
+  const auto lb = sim::run_surge(surge, pes, pes * 8, /*lb_period=*/10,
+                                 "greedyrefine", machine(pes), 1 << 20);
+  std::printf("baseline %.3fs  vp8+lb %.3fs  migrations %d\n", base.time_s,
+              lb.time_s, lb.migrations);
+  EXPECT_LT(lb.time_s, base.time_s);
+  EXPECT_GT(lb.migrations, 0);
+}
+
+TEST(ClusterSim, AllreduceCouplesRanks) {
+  // With a per-step allreduce, a single slow rank drags every step.
+  auto run = [&](bool allreduce) {
+    sim::ClusterSim::Config cfg;
+    cfg.pes = 4;
+    cfg.vps = 4;
+    cfg.steps = 10;
+    cfg.machine = machine(4);
+    cfg.work_us = [](int rank, int) { return rank == 0 ? 400.0 : 20.0; };
+    cfg.allreduce_per_step = allreduce;
+    return sim::ClusterSim(std::move(cfg)).run().time_s;
+  };
+  EXPECT_GE(run(true), run(false));
+}
+
+TEST(ClusterSim, DeterministicAcrossRuns) {
+  const sim::SurgeConfig surge = quick_surge();
+  const auto a = sim::run_surge(surge, 4, 16, 10, "greedyrefine", machine(4),
+                                1 << 20);
+  const auto b = sim::run_surge(surge, 4, 16, 10, "greedyrefine", machine(4),
+                                1 << 20);
+  EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
+  EXPECT_EQ(a.migrations, b.migrations);
+}

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+#include "ult/scheduler.hpp"
+#include "isomalloc/arena.hpp"
+#include "isomalloc/slot_heap.hpp"
+#include <vector>
+
+using namespace apv;
+
+struct PingPong {
+  ult::Scheduler* sched;
+  int count = 0;
+};
+
+static void body(void* arg) {
+  auto* pp = static_cast<PingPong*>(arg);
+  for (int i = 0; i < 1000; ++i) {
+    pp->count++;
+    pp->sched->yield();
+  }
+}
+
+TEST(Smoke, UltPingPong) {
+  ult::Scheduler sched;
+  std::vector<char> s1(65536), s2(65536);
+  PingPong pp{&sched, 0};
+  ult::Ult a(1, body, &pp, s1.data(), s1.size());
+  ult::Ult b(2, body, &pp, s2.data(), s2.size());
+  sched.ready(&a);
+  sched.ready(&b);
+  sched.run_until_quiescent();
+  EXPECT_EQ(pp.count, 2000);
+  EXPECT_EQ(a.state(), ult::UltState::Done);
+}
+
+TEST(Smoke, SlotHeap) {
+  iso::IsoArena arena({.slot_size = 1 << 20, .max_slots = 4});
+  auto slot = arena.acquire_slot();
+  auto* h = iso::SlotHeap::format(arena.slot_base(slot), arena.slot_size());
+  void* p = h->alloc(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(h->check_integrity());
+  h->free(p);
+  EXPECT_TRUE(h->check_integrity());
+  arena.release_slot(slot);
+}

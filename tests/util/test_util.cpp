@@ -1,0 +1,214 @@
+// Unit tests for the util substrate: statistics, options, byte buffers,
+// alignment helpers, RNG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace apv::util;
+
+TEST(Stats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, MatchesNaiveComputation) {
+  SplitMix64 rng(42);
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_range(-50.0, 150.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mean = sum / xs.size();
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), m2 / (xs.size() - 1), 1e-6);
+  EXPECT_EQ(s.count(), xs.size());
+}
+
+TEST(Stats, MinMaxTracking) {
+  RunningStats s;
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(7.0);
+  EXPECT_EQ(s.min(), -1.0);
+  EXPECT_EQ(s.max(), 7.0);
+  EXPECT_EQ(s.sum(), 9.0);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  SplitMix64 rng(7);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double();
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Stats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 5.0);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_NEAR(quantile(xs, 0.25), 2.0, 1e-12);
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Stats, ImbalanceRatio) {
+  EXPECT_EQ(imbalance_ratio({}), 1.0);
+  EXPECT_EQ(imbalance_ratio({0.0, 0.0}), 1.0);
+  EXPECT_NEAR(imbalance_ratio({1.0, 1.0, 1.0, 1.0}), 1.0, 1e-12);
+  EXPECT_NEAR(imbalance_ratio({4.0, 0.0, 0.0, 0.0}), 4.0, 1e-12);
+}
+
+TEST(Options, ParseAndFetch) {
+  const char* argv[] = {"net.latency_us=2.5", "pie.fixup=exact",
+                        "loader.patched_glibc=true", "n=42"};
+  Options opts = Options::parse(4, argv);
+  EXPECT_DOUBLE_EQ(opts.get_double("net.latency_us", 0.0), 2.5);
+  EXPECT_EQ(opts.get_string("pie.fixup", ""), "exact");
+  EXPECT_TRUE(opts.get_bool("loader.patched_glibc", false));
+  EXPECT_EQ(opts.get_int("n", 0), 42);
+}
+
+TEST(Options, DefaultsWhenMissing) {
+  Options opts;
+  EXPECT_EQ(opts.get_int("missing", -7), -7);
+  EXPECT_EQ(opts.get_string("missing", "d"), "d");
+  EXPECT_FALSE(opts.has("missing"));
+}
+
+TEST(Options, BoolSpellings) {
+  Options opts;
+  for (const char* v : {"1", "true", "yes", "on"}) {
+    opts.set("k", v);
+    EXPECT_TRUE(opts.get_bool("k", false)) << v;
+  }
+  for (const char* v : {"0", "false", "off", "banana"}) {
+    opts.set("k", v);
+    EXPECT_FALSE(opts.get_bool("k", true)) << v;
+  }
+}
+
+TEST(Options, MalformedTokenThrows) {
+  const char* argv[] = {"novalue"};
+  EXPECT_THROW(Options::parse(1, argv), ApvError);
+  const char* argv2[] = {"=x"};
+  EXPECT_THROW(Options::parse(1, argv2), ApvError);
+}
+
+TEST(Options, SettersRoundTrip) {
+  Options opts;
+  opts.set_int("i", -12);
+  opts.set_double("d", 0.125);
+  opts.set_bool("b", true);
+  EXPECT_EQ(opts.get_int("i", 0), -12);
+  EXPECT_DOUBLE_EQ(opts.get_double("d", 0), 0.125);
+  EXPECT_TRUE(opts.get_bool("b", false));
+}
+
+TEST(Bytes, AlignUp) {
+  EXPECT_EQ(align_up(0, 16), 0u);
+  EXPECT_EQ(align_up(1, 16), 16u);
+  EXPECT_EQ(align_up(16, 16), 16u);
+  EXPECT_EQ(align_up(17, 16), 32u);
+  EXPECT_EQ(align_up(4095, 4096), 4096u);
+}
+
+TEST(Bytes, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(Bytes, ByteBufferRoundTrip) {
+  ByteBuffer buf;
+  buf.put<std::uint32_t>(0xdeadbeef);
+  buf.put<double>(3.25);
+  const char text[] = "hello";
+  buf.put_bytes(text, sizeof text);
+  buf.rewind();
+  EXPECT_EQ(buf.get<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(buf.get<double>(), 3.25);
+  char out[sizeof text];
+  buf.get_bytes(out, sizeof out);
+  EXPECT_STREQ(out, "hello");
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(Bytes, ByteBufferClear) {
+  ByteBuffer buf;
+  buf.put<int>(1);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const double r = rng.next_range(2.0, 5.0);
+    EXPECT_GE(r, 2.0);
+    EXPECT_LT(r, 5.0);
+  }
+}
+
+TEST(Error, CodeNamesAndRequire) {
+  EXPECT_STREQ(error_code_name(ErrorCode::NotSupported), "NotSupported");
+  EXPECT_STREQ(error_code_name(ErrorCode::MigrationRefused),
+               "MigrationRefused");
+  try {
+    require(false, ErrorCode::LimitExceeded, "the detail");
+    FAIL() << "require did not throw";
+  } catch (const ApvError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::LimitExceeded);
+    EXPECT_NE(std::string(e.what()).find("the detail"), std::string::npos);
+  }
+  EXPECT_NO_THROW(require(true, ErrorCode::Internal, "unused"));
+}
