@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_context.dir/ablate_context.cpp.o"
+  "CMakeFiles/ablate_context.dir/ablate_context.cpp.o.d"
+  "ablate_context"
+  "ablate_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

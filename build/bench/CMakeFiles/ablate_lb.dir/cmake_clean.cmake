@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_lb.dir/ablate_lb.cpp.o"
+  "CMakeFiles/ablate_lb.dir/ablate_lb.cpp.o.d"
+  "ablate_lb"
+  "ablate_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_packmode.dir/ablate_packmode.cpp.o"
+  "CMakeFiles/ablate_packmode.dir/ablate_packmode.cpp.o.d"
+  "ablate_packmode"
+  "ablate_packmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_packmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_pie_memory.dir/ablate_pie_memory.cpp.o"
+  "CMakeFiles/ablate_pie_memory.dir/ablate_pie_memory.cpp.o.d"
+  "ablate_pie_memory"
+  "ablate_pie_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pie_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

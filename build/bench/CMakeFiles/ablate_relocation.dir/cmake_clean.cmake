@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_relocation.dir/ablate_relocation.cpp.o"
+  "CMakeFiles/ablate_relocation.dir/ablate_relocation.cpp.o.d"
+  "ablate_relocation"
+  "ablate_relocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_relocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_startup.dir/fig5_startup.cpp.o"
+  "CMakeFiles/fig5_startup.dir/fig5_startup.cpp.o.d"
+  "fig5_startup"
+  "fig5_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_ctxswitch.cpp" "bench/CMakeFiles/fig6_ctxswitch.dir/fig6_ctxswitch.cpp.o" "gcc" "bench/CMakeFiles/fig6_ctxswitch.dir/fig6_ctxswitch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/apv_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/apv_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/apv_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/apv_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/apv_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/isomalloc/CMakeFiles/apv_isomalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ult/CMakeFiles/apv_ult.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

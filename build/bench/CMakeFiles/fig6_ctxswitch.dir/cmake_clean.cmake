@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ctxswitch.dir/fig6_ctxswitch.cpp.o"
+  "CMakeFiles/fig6_ctxswitch.dir/fig6_ctxswitch.cpp.o.d"
+  "fig6_ctxswitch"
+  "fig6_ctxswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ctxswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

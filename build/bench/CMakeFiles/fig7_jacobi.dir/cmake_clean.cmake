@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_jacobi.dir/fig7_jacobi.cpp.o"
+  "CMakeFiles/fig7_jacobi.dir/fig7_jacobi.cpp.o.d"
+  "fig7_jacobi"
+  "fig7_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

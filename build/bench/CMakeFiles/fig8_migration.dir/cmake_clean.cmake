@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_migration.dir/fig8_migration.cpp.o"
+  "CMakeFiles/fig8_migration.dir/fig8_migration.cpp.o.d"
+  "fig8_migration"
+  "fig8_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_table2_adcirc.dir/fig9_table2_adcirc.cpp.o"
+  "CMakeFiles/fig9_table2_adcirc.dir/fig9_table2_adcirc.cpp.o.d"
+  "fig9_table2_adcirc"
+  "fig9_table2_adcirc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_table2_adcirc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_table2_adcirc.
+# This may be replaced when dependencies are built.

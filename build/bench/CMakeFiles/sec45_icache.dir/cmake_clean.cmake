@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec45_icache.dir/sec45_icache.cpp.o"
+  "CMakeFiles/sec45_icache.dir/sec45_icache.cpp.o.d"
+  "sec45_icache"
+  "sec45_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec45_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

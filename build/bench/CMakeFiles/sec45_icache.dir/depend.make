@@ -1,0 +1,2 @@
+# Empty dependencies file for sec45_icache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_3_features.dir/table1_3_features.cpp.o"
+  "CMakeFiles/table1_3_features.dir/table1_3_features.cpp.o.d"
+  "table1_3_features"
+  "table1_3_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_3_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi3d.dir/jacobi3d.cpp.o"
+  "CMakeFiles/jacobi3d.dir/jacobi3d.cpp.o.d"
+  "jacobi3d"
+  "jacobi3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

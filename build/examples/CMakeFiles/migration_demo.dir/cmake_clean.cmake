@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_demo.dir/migration_demo.cpp.o"
+  "CMakeFiles/migration_demo.dir/migration_demo.cpp.o.d"
+  "migration_demo"
+  "migration_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

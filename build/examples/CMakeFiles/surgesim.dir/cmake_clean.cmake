@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgesim.dir/surgesim.cpp.o"
+  "CMakeFiles/surgesim.dir/surgesim.cpp.o.d"
+  "surgesim"
+  "surgesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

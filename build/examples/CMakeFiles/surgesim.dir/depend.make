@@ -1,0 +1,2 @@
+# Empty dependencies file for surgesim.
+# This may be replaced when dependencies are built.

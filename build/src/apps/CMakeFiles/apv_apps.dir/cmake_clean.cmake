@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apv_apps.dir/jacobi.cpp.o"
+  "CMakeFiles/apv_apps.dir/jacobi.cpp.o.d"
+  "CMakeFiles/apv_apps.dir/surge_app.cpp.o"
+  "CMakeFiles/apv_apps.dir/surge_app.cpp.o.d"
+  "libapv_apps.a"
+  "libapv_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apv_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/cluster.cpp" "src/comm/CMakeFiles/apv_comm.dir/cluster.cpp.o" "gcc" "src/comm/CMakeFiles/apv_comm.dir/cluster.cpp.o.d"
+  "/root/repo/src/comm/netmodel.cpp" "src/comm/CMakeFiles/apv_comm.dir/netmodel.cpp.o" "gcc" "src/comm/CMakeFiles/apv_comm.dir/netmodel.cpp.o.d"
+  "/root/repo/src/comm/pe.cpp" "src/comm/CMakeFiles/apv_comm.dir/pe.cpp.o" "gcc" "src/comm/CMakeFiles/apv_comm.dir/pe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/apv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ult/CMakeFiles/apv_ult.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apv_comm.dir/cluster.cpp.o"
+  "CMakeFiles/apv_comm.dir/cluster.cpp.o.d"
+  "CMakeFiles/apv_comm.dir/netmodel.cpp.o"
+  "CMakeFiles/apv_comm.dir/netmodel.cpp.o.d"
+  "CMakeFiles/apv_comm.dir/pe.cpp.o"
+  "CMakeFiles/apv_comm.dir/pe.cpp.o.d"
+  "libapv_comm.a"
+  "libapv_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apv_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

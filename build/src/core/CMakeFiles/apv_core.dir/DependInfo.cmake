@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access.cpp" "src/core/CMakeFiles/apv_core.dir/access.cpp.o" "gcc" "src/core/CMakeFiles/apv_core.dir/access.cpp.o.d"
+  "/root/repo/src/core/capabilities.cpp" "src/core/CMakeFiles/apv_core.dir/capabilities.cpp.o" "gcc" "src/core/CMakeFiles/apv_core.dir/capabilities.cpp.o.d"
+  "/root/repo/src/core/funcptr.cpp" "src/core/CMakeFiles/apv_core.dir/funcptr.cpp.o" "gcc" "src/core/CMakeFiles/apv_core.dir/funcptr.cpp.o.d"
+  "/root/repo/src/core/hls.cpp" "src/core/CMakeFiles/apv_core.dir/hls.cpp.o" "gcc" "src/core/CMakeFiles/apv_core.dir/hls.cpp.o.d"
+  "/root/repo/src/core/methods_basic.cpp" "src/core/CMakeFiles/apv_core.dir/methods_basic.cpp.o" "gcc" "src/core/CMakeFiles/apv_core.dir/methods_basic.cpp.o.d"
+  "/root/repo/src/core/methods_pie.cpp" "src/core/CMakeFiles/apv_core.dir/methods_pie.cpp.o" "gcc" "src/core/CMakeFiles/apv_core.dir/methods_pie.cpp.o.d"
+  "/root/repo/src/core/methods_pipfs.cpp" "src/core/CMakeFiles/apv_core.dir/methods_pipfs.cpp.o" "gcc" "src/core/CMakeFiles/apv_core.dir/methods_pipfs.cpp.o.d"
+  "/root/repo/src/core/privatizer.cpp" "src/core/CMakeFiles/apv_core.dir/privatizer.cpp.o" "gcc" "src/core/CMakeFiles/apv_core.dir/privatizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/apv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ult/CMakeFiles/apv_ult.dir/DependInfo.cmake"
+  "/root/repo/build/src/isomalloc/CMakeFiles/apv_isomalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/apv_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

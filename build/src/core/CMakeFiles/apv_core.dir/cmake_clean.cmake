@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apv_core.dir/access.cpp.o"
+  "CMakeFiles/apv_core.dir/access.cpp.o.d"
+  "CMakeFiles/apv_core.dir/capabilities.cpp.o"
+  "CMakeFiles/apv_core.dir/capabilities.cpp.o.d"
+  "CMakeFiles/apv_core.dir/funcptr.cpp.o"
+  "CMakeFiles/apv_core.dir/funcptr.cpp.o.d"
+  "CMakeFiles/apv_core.dir/hls.cpp.o"
+  "CMakeFiles/apv_core.dir/hls.cpp.o.d"
+  "CMakeFiles/apv_core.dir/methods_basic.cpp.o"
+  "CMakeFiles/apv_core.dir/methods_basic.cpp.o.d"
+  "CMakeFiles/apv_core.dir/methods_pie.cpp.o"
+  "CMakeFiles/apv_core.dir/methods_pie.cpp.o.d"
+  "CMakeFiles/apv_core.dir/methods_pipfs.cpp.o"
+  "CMakeFiles/apv_core.dir/methods_pipfs.cpp.o.d"
+  "CMakeFiles/apv_core.dir/privatizer.cpp.o"
+  "CMakeFiles/apv_core.dir/privatizer.cpp.o.d"
+  "libapv_core.a"
+  "libapv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

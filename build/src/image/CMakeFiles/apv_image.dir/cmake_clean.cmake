@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apv_image.dir/image.cpp.o"
+  "CMakeFiles/apv_image.dir/image.cpp.o.d"
+  "CMakeFiles/apv_image.dir/instance.cpp.o"
+  "CMakeFiles/apv_image.dir/instance.cpp.o.d"
+  "CMakeFiles/apv_image.dir/loader.cpp.o"
+  "CMakeFiles/apv_image.dir/loader.cpp.o.d"
+  "libapv_image.a"
+  "libapv_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apv_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isomalloc/arena.cpp" "src/isomalloc/CMakeFiles/apv_isomalloc.dir/arena.cpp.o" "gcc" "src/isomalloc/CMakeFiles/apv_isomalloc.dir/arena.cpp.o.d"
+  "/root/repo/src/isomalloc/pack.cpp" "src/isomalloc/CMakeFiles/apv_isomalloc.dir/pack.cpp.o" "gcc" "src/isomalloc/CMakeFiles/apv_isomalloc.dir/pack.cpp.o.d"
+  "/root/repo/src/isomalloc/slot_heap.cpp" "src/isomalloc/CMakeFiles/apv_isomalloc.dir/slot_heap.cpp.o" "gcc" "src/isomalloc/CMakeFiles/apv_isomalloc.dir/slot_heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/apv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apv_isomalloc.dir/arena.cpp.o"
+  "CMakeFiles/apv_isomalloc.dir/arena.cpp.o.d"
+  "CMakeFiles/apv_isomalloc.dir/pack.cpp.o"
+  "CMakeFiles/apv_isomalloc.dir/pack.cpp.o.d"
+  "CMakeFiles/apv_isomalloc.dir/slot_heap.cpp.o"
+  "CMakeFiles/apv_isomalloc.dir/slot_heap.cpp.o.d"
+  "libapv_isomalloc.a"
+  "libapv_isomalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apv_isomalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

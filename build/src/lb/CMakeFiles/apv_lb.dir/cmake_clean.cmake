@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apv_lb.dir/strategy.cpp.o"
+  "CMakeFiles/apv_lb.dir/strategy.cpp.o.d"
+  "libapv_lb.a"
+  "libapv_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apv_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/api_shim.cpp" "src/mpi/CMakeFiles/apv_mpi.dir/api_shim.cpp.o" "gcc" "src/mpi/CMakeFiles/apv_mpi.dir/api_shim.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/apv_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/apv_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm_table.cpp" "src/mpi/CMakeFiles/apv_mpi.dir/comm_table.cpp.o" "gcc" "src/mpi/CMakeFiles/apv_mpi.dir/comm_table.cpp.o.d"
+  "/root/repo/src/mpi/lb_glue.cpp" "src/mpi/CMakeFiles/apv_mpi.dir/lb_glue.cpp.o" "gcc" "src/mpi/CMakeFiles/apv_mpi.dir/lb_glue.cpp.o.d"
+  "/root/repo/src/mpi/reduce_ops.cpp" "src/mpi/CMakeFiles/apv_mpi.dir/reduce_ops.cpp.o" "gcc" "src/mpi/CMakeFiles/apv_mpi.dir/reduce_ops.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/mpi/CMakeFiles/apv_mpi.dir/runtime.cpp.o" "gcc" "src/mpi/CMakeFiles/apv_mpi.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/apv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ult/CMakeFiles/apv_ult.dir/DependInfo.cmake"
+  "/root/repo/build/src/isomalloc/CMakeFiles/apv_isomalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/apv_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/apv_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/apv_lb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

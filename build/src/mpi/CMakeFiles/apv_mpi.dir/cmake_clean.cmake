@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apv_mpi.dir/api_shim.cpp.o"
+  "CMakeFiles/apv_mpi.dir/api_shim.cpp.o.d"
+  "CMakeFiles/apv_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/apv_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/apv_mpi.dir/comm_table.cpp.o"
+  "CMakeFiles/apv_mpi.dir/comm_table.cpp.o.d"
+  "CMakeFiles/apv_mpi.dir/lb_glue.cpp.o"
+  "CMakeFiles/apv_mpi.dir/lb_glue.cpp.o.d"
+  "CMakeFiles/apv_mpi.dir/reduce_ops.cpp.o"
+  "CMakeFiles/apv_mpi.dir/reduce_ops.cpp.o.d"
+  "CMakeFiles/apv_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/apv_mpi.dir/runtime.cpp.o.d"
+  "libapv_mpi.a"
+  "libapv_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apv_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

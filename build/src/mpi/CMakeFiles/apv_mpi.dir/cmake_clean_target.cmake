@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapv_mpi.a"
+)

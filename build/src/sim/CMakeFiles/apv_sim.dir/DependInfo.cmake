@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/desim.cpp" "src/sim/CMakeFiles/apv_sim.dir/desim.cpp.o" "gcc" "src/sim/CMakeFiles/apv_sim.dir/desim.cpp.o.d"
+  "/root/repo/src/sim/icache.cpp" "src/sim/CMakeFiles/apv_sim.dir/icache.cpp.o" "gcc" "src/sim/CMakeFiles/apv_sim.dir/icache.cpp.o.d"
+  "/root/repo/src/sim/surge.cpp" "src/sim/CMakeFiles/apv_sim.dir/surge.cpp.o" "gcc" "src/sim/CMakeFiles/apv_sim.dir/surge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/apv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/apv_lb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

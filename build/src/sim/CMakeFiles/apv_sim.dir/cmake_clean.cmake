@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apv_sim.dir/desim.cpp.o"
+  "CMakeFiles/apv_sim.dir/desim.cpp.o.d"
+  "CMakeFiles/apv_sim.dir/icache.cpp.o"
+  "CMakeFiles/apv_sim.dir/icache.cpp.o.d"
+  "CMakeFiles/apv_sim.dir/surge.cpp.o"
+  "CMakeFiles/apv_sim.dir/surge.cpp.o.d"
+  "libapv_sim.a"
+  "libapv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/ult/context_x86_64.S" "/root/repo/build/src/ult/CMakeFiles/apv_ult.dir/context_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# Preprocessor definitions for this target.
+set(CMAKE_TARGET_DEFINITIONS_ASM
+  "APV_HAVE_ASM_CONTEXT=1"
+  )
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ult/context.cpp" "src/ult/CMakeFiles/apv_ult.dir/context.cpp.o" "gcc" "src/ult/CMakeFiles/apv_ult.dir/context.cpp.o.d"
+  "/root/repo/src/ult/scheduler.cpp" "src/ult/CMakeFiles/apv_ult.dir/scheduler.cpp.o" "gcc" "src/ult/CMakeFiles/apv_ult.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/apv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

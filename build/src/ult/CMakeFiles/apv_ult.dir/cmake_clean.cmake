@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apv_ult.dir/context.cpp.o"
+  "CMakeFiles/apv_ult.dir/context.cpp.o.d"
+  "CMakeFiles/apv_ult.dir/context_x86_64.S.o"
+  "CMakeFiles/apv_ult.dir/scheduler.cpp.o"
+  "CMakeFiles/apv_ult.dir/scheduler.cpp.o.d"
+  "libapv_ult.a"
+  "libapv_ult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/apv_ult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apv_util.dir/error.cpp.o"
+  "CMakeFiles/apv_util.dir/error.cpp.o.d"
+  "CMakeFiles/apv_util.dir/log.cpp.o"
+  "CMakeFiles/apv_util.dir/log.cpp.o.d"
+  "CMakeFiles/apv_util.dir/options.cpp.o"
+  "CMakeFiles/apv_util.dir/options.cpp.o.d"
+  "CMakeFiles/apv_util.dir/stats.cpp.o"
+  "CMakeFiles/apv_util.dir/stats.cpp.o.d"
+  "CMakeFiles/apv_util.dir/timer.cpp.o"
+  "CMakeFiles/apv_util.dir/timer.cpp.o.d"
+  "libapv_util.a"
+  "libapv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

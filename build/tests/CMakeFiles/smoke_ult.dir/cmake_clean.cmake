@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_ult.dir/smoke_ult.cpp.o"
+  "CMakeFiles/smoke_ult.dir/smoke_ult.cpp.o.d"
+  "smoke_ult"
+  "smoke_ult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_ult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

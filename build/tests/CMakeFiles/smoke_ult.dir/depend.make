@@ -1,0 +1,2 @@
+# Empty dependencies file for smoke_ult.
+# This may be replaced when dependencies are built.

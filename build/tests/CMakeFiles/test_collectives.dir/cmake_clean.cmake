@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collectives.dir/mpi/test_collectives.cpp.o"
+  "CMakeFiles/test_collectives.dir/mpi/test_collectives.cpp.o.d"
+  "test_collectives"
+  "test_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

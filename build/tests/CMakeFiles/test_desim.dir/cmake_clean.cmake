@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_desim.dir/sim/test_desim.cpp.o"
+  "CMakeFiles/test_desim.dir/sim/test_desim.cpp.o.d"
+  "test_desim"
+  "test_desim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_desim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

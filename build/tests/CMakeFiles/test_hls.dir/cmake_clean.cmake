@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls.dir/core/test_hls.cpp.o"
+  "CMakeFiles/test_hls.dir/core/test_hls.cpp.o.d"
+  "test_hls"
+  "test_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_icache.dir/sim/test_icache.cpp.o"
+  "CMakeFiles/test_icache.dir/sim/test_icache.cpp.o.d"
+  "test_icache"
+  "test_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isomalloc.dir/isomalloc/test_isomalloc.cpp.o"
+  "CMakeFiles/test_isomalloc.dir/isomalloc/test_isomalloc.cpp.o.d"
+  "test_isomalloc"
+  "test_isomalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isomalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jacobi.dir/mpi/test_jacobi.cpp.o"
+  "CMakeFiles/test_jacobi.dir/mpi/test_jacobi.cpp.o.d"
+  "test_jacobi"
+  "test_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kinds_matrix.dir/core/test_kinds_matrix.cpp.o"
+  "CMakeFiles/test_kinds_matrix.dir/core/test_kinds_matrix.cpp.o.d"
+  "test_kinds_matrix"
+  "test_kinds_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kinds_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_misc.dir/mpi/test_runtime_misc.cpp.o"
+  "CMakeFiles/test_runtime_misc.dir/mpi/test_runtime_misc.cpp.o.d"
+  "test_runtime_misc"
+  "test_runtime_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

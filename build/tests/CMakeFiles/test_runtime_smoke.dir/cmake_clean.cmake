@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_smoke.dir/mpi/test_runtime_smoke.cpp.o"
+  "CMakeFiles/test_runtime_smoke.dir/mpi/test_runtime_smoke.cpp.o.d"
+  "test_runtime_smoke"
+  "test_runtime_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

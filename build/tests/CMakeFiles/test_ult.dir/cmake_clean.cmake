@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ult.dir/ult/test_ult.cpp.o"
+  "CMakeFiles/test_ult.dir/ult/test_ult.cpp.o.d"
+  "test_ult"
+  "test_ult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
