@@ -19,6 +19,10 @@ struct JacobiParams {
   int iters = 20;
   double alpha = 1.0 / 6.0;
   int residual_every = 10;
+  /// Take a collective buddy checkpoint (Env::checkpoint_all) every N
+  /// iterations; 0 disables. With a fault injector armed this makes the
+  /// solver survive a PE kill mid-run (fault-tolerance tier).
+  int checkpoint_every = 0;
   /// Emulated machine-code footprint; the paper's standalone Jacobi-3D had
   /// a ~3 MB PIE code segment.
   std::size_t code_bytes = std::size_t{3} << 20;

@@ -17,6 +17,9 @@ Cluster::Cluster(const Config& config)
   for (int i = 0; i < total; ++i) {
     pes_.push_back(std::make_unique<Pe>(i, node_of(i), config.backend));
   }
+  failed_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) failed_[i].store(false);
 }
 
 Cluster::~Cluster() { stop_and_join(); }
@@ -52,12 +55,92 @@ PeId Cluster::location(RankId rank) const {
 void Cluster::send(Message&& msg) {
   require(msg.dst_pe >= 0 && msg.dst_pe < num_pes(),
           ErrorCode::InvalidArgument, "message to invalid PE");
+  if (failed_[msg.dst_pe].load(std::memory_order_acquire)) {
+    divert(std::move(msg));
+    return;
+  }
   sent_.fetch_add(1, std::memory_order_relaxed);
   if (msg.src_pe != kInvalidPe && node_of(msg.src_pe) != node_of(msg.dst_pe)) {
     internode_.fetch_add(1, std::memory_order_relaxed);
     net_.pace(msg.size_bytes());
   }
   pes_[msg.dst_pe]->post(std::move(msg));
+}
+
+void Cluster::divert(Message&& msg) {
+  if (msg.kind == Message::Kind::UserData && msg.dst_rank >= 0 &&
+      msg.dst_rank < num_ranks_) {
+    const PeId loc = location(msg.dst_rank);
+    if (loc != kInvalidPe && loc != msg.dst_pe &&
+        !failed_[loc].load(std::memory_order_acquire)) {
+      // The rank has already been re-homed: forward to its live host.
+      msg.dst_pe = loc;
+      send(std::move(msg));
+      return;
+    }
+    // The rank is (still) mapped to a dead PE: park the message until the
+    // recovery protocol re-homes the rank and flushes the queue.
+    std::lock_guard<std::mutex> lock(dead_mutex_);
+    dead_letters_.push_back(std::move(msg));
+    return;
+  }
+  // Control and migration traffic addressed to a dead PE is lost with it.
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  APV_WARN("cluster", "dropped %s message to failed PE %d",
+           msg.kind == Message::Kind::Control ? "control" : "migration",
+           msg.dst_pe);
+}
+
+void Cluster::fail_pe(PeId pe) {
+  require(pe >= 0 && pe < num_pes(), ErrorCode::InvalidArgument,
+          "PE id out of range");
+  bool expected = false;
+  if (!failed_[pe].compare_exchange_strong(expected, true)) return;
+  failed_count_.fetch_add(1, std::memory_order_release);
+  pes_[pe]->fail();
+}
+
+bool Cluster::pe_failed(PeId pe) const {
+  require(pe >= 0 && pe < num_pes(), ErrorCode::InvalidArgument,
+          "PE id out of range");
+  return failed_[pe].load(std::memory_order_acquire);
+}
+
+std::vector<bool> Cluster::alive_mask() const {
+  std::vector<bool> alive(static_cast<std::size_t>(num_pes()));
+  for (int p = 0; p < num_pes(); ++p) {
+    alive[static_cast<std::size_t>(p)] =
+        !failed_[p].load(std::memory_order_acquire);
+  }
+  return alive;
+}
+
+std::size_t Cluster::flush_dead_letters() {
+  std::deque<Message> pending;
+  {
+    std::lock_guard<std::mutex> lock(dead_mutex_);
+    pending.swap(dead_letters_);
+  }
+  std::size_t delivered = 0;
+  for (auto& msg : pending) {
+    const PeId loc = msg.dst_rank >= 0 && msg.dst_rank < num_ranks_
+                         ? location(msg.dst_rank)
+                         : kInvalidPe;
+    if (loc == kInvalidPe || failed_[loc].load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(dead_mutex_);
+      dead_letters_.push_back(std::move(msg));
+      continue;
+    }
+    msg.dst_pe = loc;
+    send(std::move(msg));
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t Cluster::dead_letter_count() const {
+  std::lock_guard<std::mutex> lock(dead_mutex_);
+  return dead_letters_.size();
 }
 
 void Cluster::start() {

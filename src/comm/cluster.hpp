@@ -1,7 +1,9 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -54,8 +56,34 @@ class Cluster {
 
   /// Routes a message to msg.dst_pe: inter-node hops pay the NetModel
   /// pacing on the calling thread, then the message lands in the
-  /// destination PE's mailbox.
+  /// destination PE's mailbox. Messages to a failed PE are diverted: user
+  /// data follows its destination rank's location (or waits in the
+  /// dead-letter queue until the rank is re-homed); control and migration
+  /// traffic is dropped — it was addressed to a machine that no longer
+  /// exists.
   void send(Message&& msg);
+
+  // --- failure injection (fault-tolerance tier) ---------------------------
+
+  /// Declares a PE dead: its loop drains the backlog it already accepted
+  /// and halts, and all further traffic to it is diverted (see send).
+  /// Idempotent.
+  void fail_pe(PeId pe);
+  bool pe_failed(PeId pe) const;
+  int num_live_pes() const noexcept {
+    return num_pes() - failed_count_.load(std::memory_order_acquire);
+  }
+  /// pe -> not failed, indexed by PeId.
+  std::vector<bool> alive_mask() const;
+
+  /// Re-sends every dead-lettered user message to its destination rank's
+  /// current location. Messages whose rank still maps to a failed PE stay
+  /// queued. Called by the recovery leader after re-homing the lost ranks.
+  /// Returns the number delivered.
+  std::size_t flush_dead_letters();
+  std::size_t dead_letter_count() const;
+  /// Control/migration messages lost because their destination PE died.
+  std::uint64_t dropped_messages() const noexcept { return dropped_.load(); }
 
   /// Launches one OS thread per PE running Pe::run_loop. Dispatchers must
   /// already be installed on every PE.
@@ -72,6 +100,8 @@ class Cluster {
   }
 
  private:
+  void divert(Message&& msg);
+
   Config config_;
   NetModel net_;
   std::vector<std::unique_ptr<Pe>> pes_;
@@ -81,6 +111,12 @@ class Cluster {
   bool started_ = false;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> internode_{0};
+
+  std::unique_ptr<std::atomic<bool>[]> failed_;
+  std::atomic<int> failed_count_{0};
+  mutable std::mutex dead_mutex_;
+  std::deque<Message> dead_letters_;
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 }  // namespace apv::comm

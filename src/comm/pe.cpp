@@ -73,14 +73,17 @@ void Pe::run_loop() {
     const bool ran = sched_.run_one();
     if (had_msgs || ran) continue;
     if (idle_hook_) idle_hook_();
-    if (stop_.load()) {
+    if (stop_.load() || failed_.load()) {
       // Exit only when really quiescent: a message may have raced in.
       std::lock_guard<std::mutex> lock(mail_mutex_);
       if (mailbox_.empty() && sched_.ready_count() == 0) break;
       continue;
     }
-    sched_.idle_wait([this] { return stop_.load() || mailbox_depth() > 0; },
-                     200);
+    sched_.idle_wait(
+        [this] {
+          return stop_.load() || failed_.load() || mailbox_depth() > 0;
+        },
+        200);
   }
   running_.store(false);
   g_current_pe = nullptr;
@@ -89,5 +92,11 @@ void Pe::run_loop() {
 }
 
 void Pe::stop() { stop_.store(true); sched_.ready_notify(); }
+
+void Pe::fail() {
+  failed_.store(true);
+  sched_.ready_notify();
+  APV_WARN("pe", "PE %d declared failed; draining backlog and halting", id_);
+}
 
 }  // namespace apv::comm

@@ -49,6 +49,17 @@ class Pe {
   /// Requests loop exit once the mailbox and ready queue drain.
   void stop();
 
+  /// Simulates a crash of this PE (fault injection). The loop finishes the
+  /// work it has already accepted — backlog messages and ready ULTs — then
+  /// exits; fresh traffic must be cut off at the routing layer
+  /// (Cluster::fail_pe does both). The drain keeps the crash point well
+  /// defined for the recovery protocol: commands posted before the failure
+  /// (like the victim ranks' own checkpoint packs) still execute.
+  void fail();
+
+  /// True once fail() has been called.
+  bool failed() const noexcept { return failed_.load(); }
+
   /// True while run_loop is executing.
   bool running() const noexcept { return running_.load(); }
 
@@ -69,6 +80,7 @@ class Pe {
   mutable std::mutex mail_mutex_;
   std::deque<Message> mailbox_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> failed_{false};
   std::atomic<bool> running_{false};
   std::uint64_t processed_ = 0;
 };

@@ -1,0 +1,123 @@
+#include "ft/checkpoint_store.hpp"
+
+#include <algorithm>
+
+namespace apv::ft {
+
+void CheckpointStore::put(int rank, std::uint32_t epoch,
+                          comm::PeId resident_pe,
+                          const std::vector<comm::PeId>& owners,
+                          util::ByteBuffer image) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& copies = images_[Key{rank, epoch}];
+  copies.clear();  // re-pack of the same epoch replaces, never accumulates
+  for (comm::PeId owner : owners) {
+    if (dead_owners_.count(owner) != 0) continue;
+    Copy c;
+    c.meta.rank = rank;
+    c.meta.epoch = epoch;
+    c.meta.resident_pe = resident_pe;
+    c.meta.owner_pe = owner;
+    c.meta.bytes = image.size();
+    c.data.put_bytes(image.data(), image.size());
+    copies.push_back(std::move(c));
+  }
+  ++puts_;
+  if (copies.empty()) images_.erase(Key{rank, epoch});
+}
+
+std::uint32_t CheckpointStore::latest_epoch(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint32_t best = 0;
+  for (const auto& [key, copies] : images_) {
+    if (key.first == rank && !copies.empty()) best = std::max(best, key.second);
+  }
+  return best;
+}
+
+bool CheckpointStore::has(int rank, std::uint32_t epoch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = images_.find(Key{rank, epoch});
+  return it != images_.end() && !it->second.empty();
+}
+
+bool CheckpointStore::fetch(int rank, std::uint32_t epoch,
+                            util::ByteBuffer& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = images_.find(Key{rank, epoch});
+  if (it == images_.end() || it->second.empty()) return false;
+  const Copy& c = it->second.front();
+  out.clear();
+  out.put_bytes(c.data.data(), c.data.size());
+  out.rewind();
+  ++fetches_;
+  return true;
+}
+
+std::vector<CheckpointMeta> CheckpointStore::copies(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CheckpointMeta> out;
+  for (const auto& [key, copies] : images_) {
+    if (key.first != rank) continue;
+    for (const Copy& c : copies) out.push_back(c.meta);
+  }
+  return out;
+}
+
+void CheckpointStore::lose_pe(comm::PeId pe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dead_owners_.insert(pe);
+  for (auto it = images_.begin(); it != images_.end();) {
+    auto& copies = it->second;
+    copies.erase(std::remove_if(copies.begin(), copies.end(),
+                                [pe](const Copy& c) {
+                                  return c.meta.owner_pe == pe;
+                                }),
+                 copies.end());
+    it = copies.empty() ? images_.erase(it) : std::next(it);
+  }
+}
+
+void CheckpointStore::retire_before(std::uint32_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = images_.begin(); it != images_.end();) {
+    it = it->first.second < epoch ? images_.erase(it) : std::next(it);
+  }
+}
+
+void CheckpointStore::retire_rank_before(int rank, std::uint32_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = images_.begin(); it != images_.end();) {
+    it = (it->first.first == rank && it->first.second < epoch)
+             ? images_.erase(it)
+             : std::next(it);
+  }
+}
+
+std::size_t CheckpointStore::copy_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, copies] : images_) n += copies.size();
+  return n;
+}
+
+std::size_t CheckpointStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, copies] : images_) {
+    for (const Copy& c : copies) n += c.data.size();
+  }
+  return n;
+}
+
+std::uint64_t CheckpointStore::puts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return puts_;
+}
+
+std::uint64_t CheckpointStore::fetches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fetches_;
+}
+
+}  // namespace apv::ft

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "comm/message.hpp"
+#include "util/bytes.hpp"
+
+namespace apv::ft {
+
+/// Metadata of one stored checkpoint copy.
+struct CheckpointMeta {
+  int rank = -1;
+  std::uint32_t epoch = 0;                    ///< collective epoch number
+  comm::PeId resident_pe = comm::kInvalidPe;  ///< the rank's host at pack time
+  comm::PeId owner_pe = comm::kInvalidPe;     ///< whose memory holds the copy
+  std::size_t bytes = 0;
+};
+
+/// Versioned in-memory checkpoint store — the double in-memory checkpoint
+/// scheme: each rank's packed slot image is kept in the memory of its own
+/// PE *and* a buddy PE, so losing any single PE leaves a surviving copy of
+/// every rank. All copies live in this shared store but are tagged with
+/// their owner PE; a copy owned by a failed PE counts as destroyed (its
+/// host memory is gone) and is never served again. Images are additionally
+/// tagged with the epoch and the rank's resident PE at pack time, which is
+/// what makes checkpoint-after-migrate and checkpoint-after-restore safe:
+/// lookups always name an epoch, and stale epochs are retired explicitly
+/// once a newer one has committed.
+///
+/// Placing a buddy copy is modeled as a synchronous remote put into the
+/// buddy's memory (the emulator's shared address space stands in for RDMA);
+/// fetch() models pulling the image over to the consuming PE by copying it
+/// out.
+class CheckpointStore {
+ public:
+  /// Stores `image` once per owner in `owners` (self + buddy under the
+  /// buddy scheme; just self for single-copy checkpoints). Owners that have
+  /// already failed are skipped — a dead PE's memory cannot be written.
+  void put(int rank, std::uint32_t epoch, comm::PeId resident_pe,
+           const std::vector<comm::PeId>& owners, util::ByteBuffer image);
+
+  /// Newest epoch for which a surviving copy of `rank` exists; 0 if none.
+  std::uint32_t latest_epoch(int rank) const;
+
+  /// True if a surviving copy of (rank, epoch) exists.
+  bool has(int rank, std::uint32_t epoch) const;
+
+  /// Copies a surviving image of (rank, epoch) into `out` (cleared and
+  /// rewound). Returns false if every copy is gone.
+  bool fetch(int rank, std::uint32_t epoch, util::ByteBuffer& out) const;
+
+  /// Surviving copies of `rank`, all epochs (test/bench introspection).
+  std::vector<CheckpointMeta> copies(int rank) const;
+
+  /// Marks a PE's memory as lost: every copy it owned is destroyed and
+  /// future puts naming it as owner are ignored.
+  void lose_pe(comm::PeId pe);
+
+  /// Drops all copies (every rank) from epochs older than `epoch` — called
+  /// once the epoch has committed globally, so the previous epoch's images
+  /// are no longer the fallback.
+  void retire_before(std::uint32_t epoch);
+
+  /// Drops one rank's copies from epochs older than `epoch` (single-rank,
+  /// non-collective checkpoints version independently).
+  void retire_rank_before(int rank, std::uint32_t epoch);
+
+  std::size_t copy_count() const;
+  std::size_t total_bytes() const;
+  std::uint64_t puts() const;
+  std::uint64_t fetches() const;
+
+ private:
+  struct Copy {
+    CheckpointMeta meta;
+    util::ByteBuffer data;
+  };
+  using Key = std::pair<int, std::uint32_t>;  ///< (rank, epoch)
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::vector<Copy>> images_;
+  std::set<comm::PeId> dead_owners_;
+  std::uint64_t puts_ = 0;
+  mutable std::uint64_t fetches_ = 0;
+};
+
+}  // namespace apv::ft

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "comm/message.hpp"
+#include "util/options.hpp"
+
+namespace apv::ft {
+
+/// Deterministic fault injection for the checkpoint/recovery protocol.
+///
+/// Faults are declared at epoch commit points: right after every rank's
+/// image for an epoch has been packed, each rank asks the injector whether
+/// a PE dies "now". Because the kill plan is resolved once at construction
+/// (from the config or a seeded PRNG), every rank asking about the same
+/// epoch gets the same answer on any thread, at any time — including after
+/// the kill has already been delivered. That idempotence is what keeps the
+/// protocol race-free: survivors, victims, and late arrivals all agree on
+/// the victim without any extra synchronization.
+///
+/// One injector delivers at most one kill (a single-failure model, matching
+/// the buddy store's single-copy redundancy).
+class FaultInjector {
+ public:
+  enum class Policy {
+    None,     ///< never kill
+    AtEpoch,  ///< kill PE `pe` when epoch `epoch` commits
+    Random,   ///< kill a seeded-random PE at a seeded-random epoch
+  };
+
+  struct Config {
+    Policy policy = Policy::None;
+    comm::PeId pe = 0;          ///< AtEpoch: the PE to kill
+    std::uint32_t epoch = 1;    ///< AtEpoch: the epoch at which it dies
+    std::uint64_t seed = 1;     ///< Random: PRNG seed
+    std::uint32_t horizon = 4;  ///< Random: kill epoch drawn from [1, horizon]
+  };
+
+  /// Reads ft.policy ("none" | "epoch" | "random"), ft.pe, ft.epoch,
+  /// ft.seed, ft.horizon from the option bag.
+  static Config config_from_options(const util::Options& opts);
+
+  /// Resolves the kill plan. Throws InvalidArgument if a kill is configured
+  /// with fewer than two PEs (killing the only PE leaves nothing to recover
+  /// on) or with a zero epoch/horizon.
+  FaultInjector(const Config& config, int num_pes);
+
+  /// The PE that dies when `epoch` commits, or kInvalidPe. Idempotent per
+  /// epoch (see class comment). The first call for the kill epoch records
+  /// the kill as delivered.
+  comm::PeId victim_for_epoch(std::uint32_t epoch);
+
+  /// Kill plan introspection (tests/benches).
+  Policy policy() const noexcept { return policy_; }
+  comm::PeId planned_pe() const noexcept { return plan_pe_; }
+  std::uint32_t planned_epoch() const noexcept { return plan_epoch_; }
+  /// Number of kills delivered so far (0 or 1).
+  int kills() const;
+
+ private:
+  Policy policy_ = Policy::None;
+  comm::PeId plan_pe_ = comm::kInvalidPe;
+  std::uint32_t plan_epoch_ = 0;
+
+  mutable std::mutex mutex_;
+  bool fired_ = false;
+};
+
+}  // namespace apv::ft

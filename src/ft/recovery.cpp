@@ -1,0 +1,32 @@
+#include "ft/recovery.hpp"
+
+#include "util/error.hpp"
+
+namespace apv::ft {
+
+using util::ErrorCode;
+using util::require;
+
+RecoveryPlan plan_recovery(const lb::Strategy& strategy,
+                           const lb::LbStats& stats,
+                           const std::vector<bool>& pe_alive) {
+  require(static_cast<int>(pe_alive.size()) == stats.num_pes,
+          ErrorCode::InvalidArgument, "alive mask size != num_pes");
+  RecoveryPlan plan;
+  for (int r = 0; r < stats.num_ranks(); ++r) {
+    const int pe = stats.rank_pe[static_cast<std::size_t>(r)];
+    (pe_alive[static_cast<std::size_t>(pe)] ? plan.survivors : plan.victims)
+        .push_back(r);
+  }
+  plan.leader = plan.survivors.empty() ? -1 : plan.survivors.front();
+  if (plan.victims.empty()) return plan;
+
+  const lb::Assignment assignment =
+      lb::assign_on_live(strategy, stats, pe_alive);
+  for (int v : plan.victims) {
+    plan.placement[v] = assignment[static_cast<std::size_t>(v)];
+  }
+  return plan;
+}
+
+}  // namespace apv::ft

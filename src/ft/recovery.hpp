@@ -1,0 +1,31 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "comm/message.hpp"
+#include "lb/strategy.hpp"
+
+namespace apv::ft {
+
+/// The deterministic decision a failure recovery is built from: who was
+/// lost, who survives, who coordinates, and where the lost ranks go.
+struct RecoveryPlan {
+  std::vector<int> victims;    ///< ranks whose host PE died (ascending)
+  std::vector<int> survivors;  ///< ranks still hosted by live PEs (ascending)
+  int leader = -1;             ///< lowest surviving rank; -1 if none survive
+  /// victim rank -> new host PE (always a live PE).
+  std::map<int, comm::PeId> placement;
+};
+
+/// Plans the re-placement of ranks stranded on dead PEs. `stats` carries the
+/// pre-failure placement and measured loads; `pe_alive[pe]` says which PEs
+/// survive. The strategy runs in the compacted live-PE space (see
+/// lb::assign_on_live), but only victims take its answer — survivors stay
+/// where they are, because moving a survivor during recovery would need the
+/// full migration machinery at the worst possible time.
+RecoveryPlan plan_recovery(const lb::Strategy& strategy,
+                           const lb::LbStats& stats,
+                           const std::vector<bool>& pe_alive);
+
+}  // namespace apv::ft

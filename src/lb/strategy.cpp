@@ -149,6 +149,47 @@ Assignment NullLb::assign(const LbStats& stats) const {
   return Assignment(stats.rank_pe.begin(), stats.rank_pe.end());
 }
 
+Assignment assign_on_live(const Strategy& strategy, const LbStats& stats,
+                          const std::vector<bool>& pe_alive) {
+  validate(stats);
+  require(static_cast<int>(pe_alive.size()) == stats.num_pes,
+          ErrorCode::InvalidArgument, "alive mask size != num_pes");
+  std::vector<int> live;                  // compact index -> real PE id
+  std::vector<int> compact(static_cast<std::size_t>(stats.num_pes), -1);
+  for (int pe = 0; pe < stats.num_pes; ++pe) {
+    if (!pe_alive[static_cast<std::size_t>(pe)]) continue;
+    compact[static_cast<std::size_t>(pe)] = static_cast<int>(live.size());
+    live.push_back(pe);
+  }
+  require(!live.empty(), ErrorCode::InvalidArgument, "no live PE");
+  if (static_cast<int>(live.size()) == stats.num_pes)
+    return strategy.assign(stats);
+
+  LbStats sub = stats;
+  sub.num_pes = static_cast<int>(live.size());
+  std::vector<double> load(live.size(), 0.0);
+  for (int r = 0; r < stats.num_ranks(); ++r) {
+    const int c = compact[static_cast<std::size_t>(
+        stats.rank_pe[static_cast<std::size_t>(r)])];
+    if (c >= 0)
+      load[static_cast<std::size_t>(c)] +=
+          stats.rank_load[static_cast<std::size_t>(r)];
+  }
+  for (int r = 0; r < stats.num_ranks(); ++r) {
+    int c = compact[static_cast<std::size_t>(
+        stats.rank_pe[static_cast<std::size_t>(r)])];
+    if (c < 0) {  // stranded on a dead PE: seed on the least-loaded live PE
+      c = argmin(load);
+      load[static_cast<std::size_t>(c)] +=
+          stats.rank_load[static_cast<std::size_t>(r)];
+    }
+    sub.rank_pe[static_cast<std::size_t>(r)] = c;
+  }
+  Assignment out = strategy.assign(sub);
+  for (auto& pe : out) pe = live[static_cast<std::size_t>(pe)];
+  return out;
+}
+
 std::unique_ptr<Strategy> make_strategy(const std::string& name) {
   if (name == "greedy") return std::make_unique<GreedyLb>();
   if (name == "greedyrefine" || name == "greedyrefinelb")

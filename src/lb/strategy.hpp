@@ -89,6 +89,16 @@ class NullLb final : public Strategy {
 /// Throws InvalidArgument for unknown names.
 std::unique_ptr<Strategy> make_strategy(const std::string& name);
 
+/// Runs `strategy` over only the PEs marked alive: loads and placements are
+/// compacted onto the live PEs, the strategy runs in that compacted space,
+/// and the result is expanded back to real PE ids. Ranks currently placed
+/// on a dead PE are seeded onto the least-loaded live PE first, so
+/// placement-refining strategies (GreedyRefine) start from a valid
+/// placement. With every PE alive this is exactly strategy.assign(stats).
+/// Throws InvalidArgument if no PE is alive or the mask size disagrees.
+Assignment assign_on_live(const Strategy& strategy, const LbStats& stats,
+                          const std::vector<bool>& pe_alive);
+
 /// max/mean PE load ratio of an assignment (1.0 = perfect balance).
 double assignment_imbalance(const LbStats& stats,
                             const Assignment& assignment);

@@ -228,9 +228,13 @@ void api_load_balance(Env* e, const char* strategy) {
 
 int api_checkpoint(Env* e) { return rt(e).do_checkpoint(rm(e)); }
 
+int api_checkpoint_all(Env* e) { return rt(e).do_checkpoint_all(rm(e)); }
+
 int api_my_pe(Env* e) { return rm(e).resident_pe; }
 
 int api_num_pes(Env* e) { return rt(e).cluster().num_pes(); }
+
+int api_num_live_pes(Env* e) { return rt(e).cluster().num_live_pes(); }
 
 int api_my_node(Env* e) {
   return rt(e).cluster().node_of(rm(e).resident_pe);

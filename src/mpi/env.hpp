@@ -161,8 +161,17 @@ class Env {
   /// Collective in-memory checkpoint. Returns 0 when the checkpoint was
   /// taken, 1 when execution resumed here from a restore.
   int checkpoint() { return api_->checkpoint(this); }
+  /// Collective buddy checkpoint (fault-tolerance tier): every rank's
+  /// packed image is stored on its own PE and a buddy PE, and a PE failure
+  /// declared at this epoch is recovered automatically — survivors adopt
+  /// the lost ranks from buddy copies. Returns 0 when the checkpoint was
+  /// taken fault-free, 1 when execution resumed here after a recovery.
+  /// Throws CheckpointRefused under PIPglobals/FSglobals.
+  int checkpoint_all() { return api_->checkpoint_all(this); }
   int my_pe() const { return api_->my_pe(self()); }
   int num_pes() const { return api_->num_pes(self()); }
+  /// PEs not lost to (injected) failures.
+  int num_live_pes() const { return api_->num_live_pes(self()); }
   int my_node() const { return api_->my_node(self()); }
   /// Adds explicit load to this rank's balance metric.
   void add_load(double seconds) { api_->add_load(this, seconds); }

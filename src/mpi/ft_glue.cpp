@@ -1,0 +1,203 @@
+// Collective buddy checkpointing and automatic failure recovery (the
+// fault-tolerance tier glued onto the MPI runtime).
+//
+// Protocol shape, per epoch E (all ranks execute do_checkpoint_all):
+//
+//   barrier(world)                 — quiesce: transport is eager and
+//                                    mailboxes are FIFO, so after this no
+//                                    user message from before E is in
+//                                    flight; everything is matched or
+//                                    queued in rank state
+//   pack                           — each rank's PE packs its slot; the
+//                                    store places the image in the owner's
+//                                    and the buddy PE's memory
+//   commit point                   — every rank asks the FaultInjector
+//                                    whether a PE dies at E (idempotent:
+//                                    all ranks get the same answer)
+//   no fault:   barrier; retire epochs < E; return 0
+//   fault at E: victims park message-free and are adopted elsewhere;
+//               survivors run recover_from_failure (below); everyone
+//               rejoins at the epoch state and returns 1
+//
+// Survivors never rewind: the fault is declared at the commit point, while
+// every rank is still exactly at its epoch state — nothing ran in between.
+// Victims are rewound trivially: the adopted image *is* the epoch state.
+// That is what makes recovered runs bit-identical to fault-free runs.
+//
+// Recovery traffic is tagged with the epoch (kCollFtRecover), never with
+// per-communicator collective sequence numbers: victims' coll_seq counters
+// must stay untouched so the post-recovery barrier lines up across all
+// ranks.
+
+#include <string>
+#include <vector>
+
+#include "ft/fault_injector.hpp"
+#include "ft/recovery.hpp"
+#include "lb/strategy.hpp"
+#include "mpi/runtime.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace apv::mpi {
+
+using util::ApvError;
+using util::ErrorCode;
+using util::require;
+
+int Runtime::do_checkpoint_all(RankMpi& rm) {
+  const comm::NodeId node = cluster_->node_of(rm.resident_pe);
+  auto& priv = *privs_[static_cast<std::size_t>(node)];
+  require(priv.supports_migration(), ErrorCode::CheckpointRefused,
+          std::string(core::method_name(priv.kind())) +
+              " cannot take recoverable checkpoints: adoption restores a "
+              "rank through the migration path, and its segment copies were "
+              "allocated by the dynamic linker, not Isomalloc");
+  rm.restored = false;
+  const std::uint32_t epoch = ++rm.ft_epoch;
+
+  do_barrier(rm, kCommWorld);
+
+  rm.ckpt_pending = true;
+  comm::Message ctl;
+  ctl.kind = comm::Message::Kind::Control;
+  ctl.opcode = kCtlFtCheckpoint;
+  ctl.tag = static_cast<std::int32_t>(epoch);
+  ctl.dst_pe = rm.resident_pe;
+  ctl.dst_rank = rm.world_rank;
+  // Post straight into the resident PE's mailbox (this rank runs on that
+  // very thread) instead of routing through Cluster::send: a concurrent
+  // fail_pe on this PE must not divert the victim's own pack command —
+  // the dying PE drains its mailbox before halting, so a posted pack
+  // always executes and the leader's wait below always terminates.
+  cluster_->pe(rm.resident_pe).post(std::move(ctl));
+  while (rm.ckpt_pending) block_current(rm);
+
+  if (!rm.restored) {
+    const comm::PeId victim =
+        injector_ ? injector_->victim_for_epoch(epoch) : comm::kInvalidPe;
+    if (victim == comm::kInvalidPe) {
+      do_barrier(rm, kCommWorld);
+      // Epoch E is globally committed; the previous epoch's images are no
+      // longer the fallback.
+      ckpt_store_->retire_before(epoch);
+      return 0;
+    }
+    if (rm.resident_pe == victim) {
+      // This rank just lost its host. Check that someone survives to run
+      // the recovery, then park without touching the network: a survivor
+      // PE adopts this ULT, unpacks the epoch image over the slot, and
+      // execution rewinds to the pack suspension above with rm.restored
+      // set — this park never "returns".
+      bool any_survivor = false;
+      for (int r = 0; r < config_.vps; ++r) {
+        if (cluster_->location(r) != victim) {
+          any_survivor = true;
+          break;
+        }
+      }
+      require(any_survivor, ErrorCode::BadState,
+              "fault killed the PE hosting every rank: no survivor left to "
+              "run recovery");
+      rm.restore_pending = true;
+      rm.waiting = true;
+      ult::current_scheduler()->suspend();
+      rm.waiting = false;
+      throw ApvError(ErrorCode::Internal,
+                     "adopted rank resumed past the rewound stack frame");
+    }
+    recover_from_failure(rm, victim, epoch);
+    // Survivors were already at the epoch state when the fault was
+    // declared, so no self-rewind is needed — just flag the resume.
+    rm.restored = true;
+  }
+  // Fault path rejoin: adopted ranks resume above with rm.restored set and
+  // meet the survivors here, all at the consistent epoch state.
+  do_barrier(rm, kCommWorld);
+  return 1;
+}
+
+void Runtime::recover_from_failure(RankMpi& rm, comm::PeId victim,
+                                   std::uint32_t epoch) {
+  // Survivor/victim sets are derived from the location table, which is
+  // stable during the collective — every survivor computes the same sets
+  // and the same leader (lowest surviving rank) without communicating.
+  std::vector<int> victims, survivors;
+  for (int r = 0; r < config_.vps; ++r) {
+    (cluster_->location(r) == victim ? victims : survivors).push_back(r);
+  }
+  const int me = rm.world_rank;
+  const int leader = survivors.front();
+  const int gather_tag = internal_tag(kCollFtRecover, 0, epoch);
+  const int release_tag = internal_tag(kCollFtRecover, 1, epoch);
+
+  char token = 1;
+  if (me != leader) {
+    // Flat survivor barrier: report in, then wait for the leader to finish
+    // re-homing the lost ranks before resuming.
+    coll_send(rm, leader, gather_tag, &token, sizeof token, kCommWorld);
+    coll_recv(rm, leader, release_tag, &token, sizeof token, kCommWorld);
+    return;
+  }
+
+  for (std::size_t i = 1; i < survivors.size(); ++i) {
+    coll_recv(rm, survivors[i], gather_tag, &token, sizeof token, kCommWorld);
+  }
+
+  // Declare the PE dead: its loop drains the backlog (which includes the
+  // victim ranks' own pack commands) and halts; new traffic is diverted.
+  cluster_->fail_pe(victim);
+  // Its memory is gone — and with it every checkpoint copy it owned.
+  ckpt_store_->lose_pe(victim);
+
+  // Wait for each lost rank to finish packing its epoch image (on the
+  // dying PE's thread) and park. After this, every victim has a surviving
+  // buddy copy and a suspended ULT ready for adoption.
+  for (int lost : victims) {
+    RankMpi& lm = rank_state(lost);
+    while (!(lm.restore_pending &&
+             lm.rc->ult->state() == ult::UltState::Blocked &&
+             ckpt_store_->has(lost, epoch))) {
+      do_yield(rm);
+    }
+  }
+
+  // Re-place the lost ranks over the surviving PEs with the LB strategy
+  // (GreedyRefine: survivors stay put, victims fill the least-loaded gaps).
+  lb::LbStats stats;
+  stats.num_pes = cluster_->num_pes();
+  stats.rank_load.resize(static_cast<std::size_t>(config_.vps));
+  stats.rank_pe.resize(static_cast<std::size_t>(config_.vps));
+  for (int r = 0; r < config_.vps; ++r) {
+    stats.rank_load[static_cast<std::size_t>(r)] = ranks_[
+        static_cast<std::size_t>(r)]->busy_time_s;
+    stats.rank_pe[static_cast<std::size_t>(r)] = cluster_->location(r);
+  }
+  const ft::RecoveryPlan plan = ft::plan_recovery(
+      lb::GreedyRefineLb(), stats, cluster_->alive_mask());
+
+  // Publish the new homes first so diverted and future traffic routes to
+  // them, then release the stranded messages and dispatch the adoptions.
+  for (const auto& [lost, dest] : plan.placement) {
+    cluster_->set_location(lost, dest);
+  }
+  cluster_->flush_dead_letters();
+  for (const auto& [lost, dest] : plan.placement) {
+    comm::Message adopt;
+    adopt.kind = comm::Message::Kind::Control;
+    adopt.opcode = kCtlFtAdopt;
+    adopt.tag = static_cast<std::int32_t>(epoch);
+    adopt.dst_pe = dest;
+    adopt.dst_rank = lost;
+    cluster_->send(std::move(adopt));
+  }
+  APV_INFO("ft", "recovery at epoch %u: PE %d died, %zu rank(s) re-placed "
+                 "across %d live PE(s)",
+           epoch, victim, victims.size(), cluster_->num_live_pes());
+
+  for (std::size_t i = 1; i < survivors.size(); ++i) {
+    coll_send(rm, survivors[i], release_tag, &token, sizeof token, kCommWorld);
+  }
+}
+
+}  // namespace apv::mpi

@@ -52,7 +52,10 @@ void Runtime::do_load_balance(RankMpi& rm, const std::string& strategy) {
     stats.rank_pe[static_cast<std::size_t>(i)] =
         all[static_cast<std::size_t>(i)].pe;
   }
-  const lb::Assignment dest = lb::make_strategy(strategy)->assign(stats);
+  // Dead PEs (fault injection) must never be assignment targets; with all
+  // PEs alive this is exactly strategy->assign(stats).
+  const lb::Assignment dest = lb::assign_on_live(
+      *lb::make_strategy(strategy), stats, cluster_->alive_mask());
 
   if (me == 0) {
     APV_DEBUG("lb", "strategy %s: imbalance %.3f -> %.3f, %d migrations",

@@ -64,6 +64,10 @@ struct RankMpi {
   bool ckpt_pending = false;     ///< checkpoint pack requested, not yet done
   bool restore_pending = false;  ///< restore unpack requested, not yet done
   bool restored = false;  ///< set by checkpoint-restore before resuming
+  /// Monotonic checkpoint epoch counter. Lives here (ordinary heap, not in
+  /// the slot) deliberately: a restore rewinds the slot but not this
+  /// counter, so epochs taken after a rewind still version forward.
+  std::uint32_t ft_epoch = 0;
 
   // Load-balancing instrumentation.
   double busy_time_s = 0.0;
@@ -120,6 +124,9 @@ enum CollOp : int {
   kCollScan,
   kCollCommSetup,
   kCollLb,
+  kCollFtRecover,  ///< survivor barrier during failure recovery; the "seq"
+                   ///< bits carry the checkpoint epoch, not a coll_seq —
+                   ///< victims' sequence counters must stay untouched
 };
 
 }  // namespace apv::mpi

@@ -37,6 +37,12 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
   cluster_ = std::make_unique<comm::Cluster>(cc);
 
   comms_ = std::make_unique<CommTable>(config_.vps);
+  ckpt_store_ = std::make_unique<ft::CheckpointStore>();
+  const ft::FaultInjector::Config fic =
+      ft::FaultInjector::config_from_options(config_.options);
+  if (fic.policy != ft::FaultInjector::Policy::None) {
+    injector_ = std::make_unique<ft::FaultInjector>(fic, cluster_->num_pes());
+  }
   pack_mode_ = config_.options.get_string("iso.pack", "touched") == "full"
                    ? iso::PackMode::FullSlot
                    : iso::PackMode::Touched;
@@ -503,6 +509,8 @@ void Runtime::combine_on_pe(comm::PeId pe, const Op& op, Datatype dt,
 void Runtime::do_migrate_to(RankMpi& rm, comm::PeId dest) {
   require(dest >= 0 && dest < cluster_->num_pes(), ErrorCode::InvalidArgument,
           "migration destination PE out of range");
+  require(!cluster_->pe_failed(dest), ErrorCode::InvalidArgument,
+          "migration destination PE " + std::to_string(dest) + " has failed");
   if (dest == rm.resident_pe) return;
   const comm::NodeId src_node = cluster_->node_of(rm.resident_pe);
   auto& priv = *privs_[static_cast<std::size_t>(src_node)];
@@ -523,15 +531,22 @@ void Runtime::do_migrate_to(RankMpi& rm, comm::PeId dest) {
 }
 
 void Runtime::handle_control(comm::PeId pe, comm::Message&& msg) {
+  const auto epoch = static_cast<std::uint32_t>(msg.tag);
   switch (msg.opcode) {
     case kCtlDoMigrate:
       perform_migration_departure(pe, msg.dst_rank);
       return;
     case kCtlDoCheckpoint:
-      perform_checkpoint_pack(pe, msg.dst_rank);
+      perform_checkpoint_pack(pe, msg.dst_rank, epoch, /*buddy=*/false);
       return;
     case kCtlDoRestore:
-      perform_restore_unpack(pe, msg.dst_rank);
+      perform_restore_unpack(pe, msg.dst_rank, epoch);
+      return;
+    case kCtlFtCheckpoint:
+      perform_checkpoint_pack(pe, msg.dst_rank, epoch, /*buddy=*/true);
+      return;
+    case kCtlFtAdopt:
+      perform_ft_adopt(pe, msg.dst_rank, epoch);
       return;
     default:
       throw ApvError(ErrorCode::Internal, "unknown control opcode");
@@ -602,9 +617,11 @@ void Runtime::handle_migration_arrival(comm::PeId pe, comm::Message&& msg) {
 int Runtime::do_checkpoint(RankMpi& rm) {
   rm.restored = false;
   rm.ckpt_pending = true;
+  const std::uint32_t epoch = ++rm.ft_epoch;
   comm::Message ctl;
   ctl.kind = comm::Message::Kind::Control;
   ctl.opcode = kCtlDoCheckpoint;
+  ctl.tag = static_cast<std::int32_t>(epoch);
   ctl.dst_pe = rm.resident_pe;
   ctl.dst_rank = rm.world_rank;
   cluster_->send(std::move(ctl));
@@ -615,7 +632,8 @@ int Runtime::do_checkpoint(RankMpi& rm) {
   return rm.restored ? 1 : 0;
 }
 
-void Runtime::perform_checkpoint_pack(comm::PeId pe, comm::RankId rank) {
+void Runtime::perform_checkpoint_pack(comm::PeId pe, comm::RankId rank,
+                                      std::uint32_t epoch, bool buddy) {
   auto& ps = pe_state_[static_cast<std::size_t>(pe)];
   auto it = ps.resident.find(rank);
   require(it != ps.resident.end(), ErrorCode::Internal,
@@ -624,7 +642,8 @@ void Runtime::perform_checkpoint_pack(comm::PeId pe, comm::RankId rank) {
   if (!rank_parked(rm)) {
     comm::Message retry;
     retry.kind = comm::Message::Kind::Control;
-    retry.opcode = kCtlDoCheckpoint;
+    retry.opcode = buddy ? kCtlFtCheckpoint : kCtlDoCheckpoint;
+    retry.tag = static_cast<std::int32_t>(epoch);
     retry.dst_pe = pe;
     retry.dst_rank = rank;
     cluster_->pe(pe).post(std::move(retry));
@@ -632,25 +651,31 @@ void Runtime::perform_checkpoint_pack(comm::PeId pe, comm::RankId rank) {
   }
   util::ByteBuffer buf;
   iso::pack_slot(*arena_, rm.rc->slot, pack_mode_, buf);
-  {
-    std::lock_guard<std::mutex> lock(ckpt_mutex_);
-    checkpoints_[rank] = std::move(buf);
+  std::vector<comm::PeId> owners{pe};
+  if (buddy) {
+    const comm::PeId b = buddy_of(pe);
+    if (b != pe) owners.push_back(b);
+  }
+  ckpt_store_->put(rank, epoch, pe, owners, std::move(buf));
+  if (!buddy) {
+    // Non-collective checkpoints version per rank: the image just taken
+    // supersedes this rank's older epochs immediately. Collective epochs
+    // retire globally once the whole epoch commits (do_checkpoint_all).
+    ckpt_store_->retire_rank_before(rank, epoch);
   }
   rm.ckpt_pending = false;
   cluster_->pe(pe).scheduler().ready(rm.rc->ult);
 }
 
 int Runtime::do_restore(RankMpi& rm) {
-  {
-    std::lock_guard<std::mutex> lock(ckpt_mutex_);
-    require(checkpoints_.count(rm.world_rank) != 0, ErrorCode::NotFound,
-            "no checkpoint taken for rank " +
-                std::to_string(rm.world_rank));
-  }
+  const std::uint32_t epoch = ckpt_store_->latest_epoch(rm.world_rank);
+  require(epoch != 0, ErrorCode::NotFound,
+          "no checkpoint taken for rank " + std::to_string(rm.world_rank));
   rm.restore_pending = true;
   comm::Message ctl;
   ctl.kind = comm::Message::Kind::Control;
   ctl.opcode = kCtlDoRestore;
+  ctl.tag = static_cast<std::int32_t>(epoch);
   ctl.dst_pe = rm.resident_pe;
   ctl.dst_rank = rm.world_rank;
   cluster_->send(std::move(ctl));
@@ -664,7 +689,8 @@ int Runtime::do_restore(RankMpi& rm) {
                  "restore resumed past the rewound stack frame");
 }
 
-void Runtime::perform_restore_unpack(comm::PeId pe, comm::RankId rank) {
+void Runtime::perform_restore_unpack(comm::PeId pe, comm::RankId rank,
+                                     std::uint32_t epoch) {
   auto& ps = pe_state_[static_cast<std::size_t>(pe)];
   auto it = ps.resident.find(rank);
   require(it != ps.resident.end(), ErrorCode::Internal,
@@ -674,22 +700,77 @@ void Runtime::perform_restore_unpack(comm::PeId pe, comm::RankId rank) {
     comm::Message retry;
     retry.kind = comm::Message::Kind::Control;
     retry.opcode = kCtlDoRestore;
+    retry.tag = static_cast<std::int32_t>(epoch);
     retry.dst_pe = pe;
     retry.dst_rank = rank;
     cluster_->pe(pe).post(std::move(retry));
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(ckpt_mutex_);
-    util::ByteBuffer& saved = checkpoints_[rank];
-    saved.rewind();
-    iso::unpack_slot(*arena_, rm.rc->slot, saved);
-  }
+  util::ByteBuffer saved;
+  require(ckpt_store_->fetch(rank, epoch, saved), ErrorCode::NotFound,
+          "checkpoint image lost for rank " + std::to_string(rank) +
+              " epoch " + std::to_string(epoch));
+  iso::unpack_slot(*arena_, rm.rc->slot, saved);
   // The ULT (stack, context, heap) is now exactly as it was inside the
   // checkpoint suspension. Flag the resume as a restore and wake it.
   rm.restored = true;
   rm.ckpt_pending = false;
   rm.restore_pending = false;
+  cluster_->pe(pe).scheduler().ready(rm.rc->ult);
+}
+
+comm::PeId Runtime::buddy_of(comm::PeId pe) const {
+  const int n = cluster_->num_pes();
+  for (int d = 1; d < n; ++d) {
+    const comm::PeId b = (pe + d) % n;
+    if (!cluster_->pe_failed(b)) return b;
+  }
+  return pe;  // single live PE: no distinct buddy exists
+}
+
+void Runtime::perform_ft_adopt(comm::PeId pe, comm::RankId rank,
+                               std::uint32_t epoch) {
+  RankMpi& rm = rank_state(rank);
+  // The victim packs and parks on the dying PE's thread while we run here;
+  // retry (requeue behind our own mailbox) until its epoch image exists and
+  // the ULT is genuinely suspended.
+  if (!(rm.restore_pending && rank_parked(rm) &&
+        ckpt_store_->has(rank, epoch))) {
+    comm::Message retry;
+    retry.kind = comm::Message::Kind::Control;
+    retry.opcode = kCtlFtAdopt;
+    retry.tag = static_cast<std::int32_t>(epoch);
+    retry.dst_pe = pe;
+    retry.dst_rank = rank;
+    cluster_->pe(pe).post(std::move(retry));
+    return;
+  }
+  const comm::PeId old_pe = rm.resident_pe;
+  const comm::NodeId old_node = cluster_->node_of(old_pe);
+  privs_[static_cast<std::size_t>(old_node)]->rank_departed(rm.rc);
+  pe_state_[static_cast<std::size_t>(old_pe)].resident.erase(rank);
+
+  // Pull the surviving buddy copy over and unpack it over the slot: the
+  // rank is now bit-for-bit at the epoch state, hosted here.
+  util::ByteBuffer img;
+  require(ckpt_store_->fetch(rank, epoch, img), ErrorCode::Internal,
+          "buddy checkpoint copy vanished during adoption");
+  iso::unpack_slot(*arena_, rm.rc->slot, img);
+
+  const comm::NodeId node = cluster_->node_of(pe);
+  privs_[static_cast<std::size_t>(node)]->rank_arrived(rm.rc);
+  rm.resident_pe = pe;
+  pe_state_[static_cast<std::size_t>(pe)].resident[rank] = &rm;
+  cluster_->set_location(rank, pe);
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  recovery_bytes_.fetch_add(img.size(), std::memory_order_relaxed);
+
+  rm.restored = true;
+  rm.ckpt_pending = false;
+  rm.restore_pending = false;
+  APV_INFO("ft", "rank %d adopted by PE %d from buddy copy (epoch %u, "
+                 "%zu bytes)",
+           rank, pe, epoch, img.size());
   cluster_->pe(pe).scheduler().ready(rm.rc->ult);
 }
 

@@ -10,6 +10,8 @@
 
 #include "comm/cluster.hpp"
 #include "core/privatizer.hpp"
+#include "ft/checkpoint_store.hpp"
+#include "ft/fault_injector.hpp"
 #include "image/image.hpp"
 #include "image/loader.hpp"
 #include "isomalloc/arena.hpp"
@@ -79,6 +81,15 @@ class Runtime {
   std::uint64_t forward_count() const noexcept { return forwards_; }
   std::uint64_t total_context_switches() const;
 
+  // --- fault tolerance -----------------------------------------------------
+  ft::CheckpointStore& checkpoint_store() noexcept { return *ckpt_store_; }
+  /// The configured fault injector, or nullptr when ft.policy is "none".
+  ft::FaultInjector* fault_injector() noexcept { return injector_.get(); }
+  /// Ranks adopted onto a new PE by failure recovery.
+  std::uint64_t recovery_count() const noexcept { return recoveries_; }
+  /// Checkpoint-image bytes fetched from buddy copies during recovery.
+  std::uint64_t recovery_bytes() const noexcept { return recovery_bytes_; }
+
   /// Applies a (possibly user-defined) reduction operator "on a PE" the way
   /// AMPI's message combining does: through the code copy of some rank
   /// resident on that PE. Reproduces the paper's documented failure mode —
@@ -136,6 +147,12 @@ class Runtime {
   /// Collective restore: every rank rewinds to its last checkpoint.
   /// Must be invoked from rank context (all ranks call it).
   int do_restore(RankMpi& rm);
+  /// Collective buddy checkpoint + failure commit point (implemented in
+  /// ft_glue.cpp). Every rank packs an epoch image stored on two PEs; if
+  /// the fault injector kills a PE at this epoch, survivors recover the
+  /// lost ranks from buddy copies and everyone resumes at the epoch state.
+  /// Returns 0 for a plain checkpoint, 1 when resuming after a recovery.
+  int do_checkpoint_all(RankMpi& rm);
   void do_compute(RankMpi& rm, double seconds);
 
   const CommInfo& comm_info(CommId id) const { return comms_->info(id); }
@@ -172,8 +189,18 @@ class Runtime {
 
   void close_run_slice(comm::PeId pe);
   void perform_migration_departure(comm::PeId pe, comm::RankId rank);
-  void perform_checkpoint_pack(comm::PeId pe, comm::RankId rank);
-  void perform_restore_unpack(comm::PeId pe, comm::RankId rank);
+  void perform_checkpoint_pack(comm::PeId pe, comm::RankId rank,
+                               std::uint32_t epoch, bool buddy);
+  void perform_restore_unpack(comm::PeId pe, comm::RankId rank,
+                              std::uint32_t epoch);
+  void perform_ft_adopt(comm::PeId pe, comm::RankId rank, std::uint32_t epoch);
+  /// Survivor-side recovery protocol (ft_glue.cpp): survivor barrier, then
+  /// the leader declares the PE dead, re-places the lost ranks via the LB
+  /// strategy, and dispatches adopt commands to their new hosts.
+  void recover_from_failure(RankMpi& rm, comm::PeId victim,
+                            std::uint32_t epoch);
+  /// The next live PE after `pe` (cyclic): where its buddy copies go.
+  comm::PeId buddy_of(comm::PeId pe) const;
 
   const img::ProgramImage* image_;
   RuntimeConfig config_;
@@ -200,9 +227,11 @@ class Runtime {
   std::atomic<std::uint64_t> migration_bytes_{0};
   std::atomic<std::uint64_t> forwards_{0};
 
-  // In-memory checkpoint store: rank -> packed slot.
-  std::mutex ckpt_mutex_;
-  std::map<int, util::ByteBuffer> checkpoints_;
+  // Fault tolerance: versioned buddy checkpoint store + optional injector.
+  std::unique_ptr<ft::CheckpointStore> ckpt_store_;
+  std::unique_ptr<ft::FaultInjector> injector_;
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> recovery_bytes_{0};
 
   friend class Env;
 };
@@ -210,8 +239,12 @@ class Runtime {
 /// Control-message opcodes (comm::Message::opcode when kind == Control).
 enum CtlOp : int {
   kCtlDoMigrate = 1,    ///< source PE: pack + ship the suspended rank
-  kCtlDoCheckpoint,     ///< PE: pack the suspended rank into the store
-  kCtlDoRestore,        ///< PE: unpack the stored image over the slot
+  kCtlDoCheckpoint,     ///< PE: pack the suspended rank (single copy);
+                        ///< msg.tag carries the epoch
+  kCtlDoRestore,        ///< PE: unpack the epoch image (msg.tag) over the slot
+  kCtlFtCheckpoint,     ///< PE: pack + store on self and buddy (msg.tag=epoch)
+  kCtlFtAdopt,          ///< new host PE: adopt a victim rank from its buddy
+                        ///< checkpoint copy (msg.tag=epoch)
 };
 
 }  // namespace apv::mpi

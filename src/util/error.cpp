@@ -15,6 +15,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::BadState: return "BadState";
     case ErrorCode::CorruptImage: return "CorruptImage";
     case ErrorCode::MigrationRefused: return "MigrationRefused";
+    case ErrorCode::CheckpointRefused: return "CheckpointRefused";
     case ErrorCode::ReductionOnEmptyPe: return "ReductionOnEmptyPe";
     case ErrorCode::Internal: return "Internal";
   }

@@ -21,6 +21,7 @@ enum class ErrorCode : std::uint32_t {
   BadState,          ///< API called in the wrong lifecycle phase
   CorruptImage,      ///< program-image validation failure
   MigrationRefused,  ///< privatization method cannot migrate this rank
+  CheckpointRefused, ///< method cannot take recoverable (buddy) checkpoints
   ReductionOnEmptyPe,///< PIEglobals user-op applied on a PE with no ranks
   Internal,
 };

@@ -1,0 +1,408 @@
+// Fault-tolerance tier tests: buddy checkpoint placement, versioned store
+// semantics, deterministic fault injection, dead-letter rerouting, recovery
+// planning, and the end-to-end kill-a-PE-and-recover protocol.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <thread>
+
+#include "apps/jacobi.hpp"
+#include "comm/cluster.hpp"
+#include "ft/checkpoint_store.hpp"
+#include "ft/fault_injector.hpp"
+#include "ft/recovery.hpp"
+#include "mpi/runtime.hpp"
+#include "util/error.hpp"
+
+using namespace apv;
+
+namespace {
+
+mpi::RuntimeConfig cfg_pes(core::Method method, int vps, int pes,
+                           int nodes = 0) {
+  mpi::RuntimeConfig cfg;
+  cfg.nodes = nodes > 0 ? nodes : pes;  // default: one PE per node
+  cfg.pes_per_node = nodes > 0 ? pes / nodes : 1;
+  cfg.vps = vps;
+  cfg.method = method;
+  cfg.slot_bytes = std::size_t{16} << 20;
+  cfg.options.set("fs.latency_us", "0");
+  return cfg;
+}
+
+img::ProgramImage build_entry(const char* name, img::NativeFn fn) {
+  img::ImageBuilder b(name);
+  b.add_global<int>("unused", 0);
+  b.add_function("mpi_main", fn);
+  return b.build();
+}
+
+}  // namespace
+
+// --- fault injector (unit) --------------------------------------------------
+
+TEST(FaultInjector, ConfigFromOptions) {
+  util::Options o;
+  o.set("ft.policy", "epoch");
+  o.set("ft.pe", "2");
+  o.set("ft.epoch", "3");
+  const auto c = ft::FaultInjector::config_from_options(o);
+  EXPECT_EQ(c.policy, ft::FaultInjector::Policy::AtEpoch);
+  EXPECT_EQ(c.pe, 2);
+  EXPECT_EQ(c.epoch, 3u);
+
+  util::Options bad;
+  bad.set("ft.policy", "sometimes");
+  EXPECT_THROW(ft::FaultInjector::config_from_options(bad), util::ApvError);
+}
+
+TEST(FaultInjector, AtEpochIsIdempotentPerEpoch) {
+  ft::FaultInjector::Config c;
+  c.policy = ft::FaultInjector::Policy::AtEpoch;
+  c.pe = 1;
+  c.epoch = 2;
+  ft::FaultInjector inj(c, /*num_pes=*/4);
+  EXPECT_EQ(inj.victim_for_epoch(1), comm::kInvalidPe);
+  EXPECT_EQ(inj.victim_for_epoch(2), 1);
+  // Every rank asks independently; all must get the same answer, and the
+  // kill is counted once.
+  EXPECT_EQ(inj.victim_for_epoch(2), 1);
+  EXPECT_EQ(inj.victim_for_epoch(3), comm::kInvalidPe);
+  EXPECT_EQ(inj.kills(), 1);
+}
+
+TEST(FaultInjector, RandomPlanIsSeedDeterministic) {
+  ft::FaultInjector::Config c;
+  c.policy = ft::FaultInjector::Policy::Random;
+  c.seed = 42;
+  c.horizon = 6;
+  ft::FaultInjector a(c, 8);
+  ft::FaultInjector b(c, 8);
+  EXPECT_EQ(a.planned_pe(), b.planned_pe());
+  EXPECT_EQ(a.planned_epoch(), b.planned_epoch());
+  EXPECT_GE(a.planned_epoch(), 1u);
+  EXPECT_LE(a.planned_epoch(), 6u);
+  EXPECT_GE(a.planned_pe(), 0);
+  EXPECT_LT(a.planned_pe(), 8);
+}
+
+TEST(FaultInjector, RefusesSinglePeKillPlans) {
+  ft::FaultInjector::Config c;
+  c.policy = ft::FaultInjector::Policy::AtEpoch;
+  c.pe = 0;
+  EXPECT_THROW(ft::FaultInjector(c, 1), util::ApvError);
+}
+
+// --- recovery planning (unit) -----------------------------------------------
+
+TEST(RecoveryPlan, VictimsGoToLivePesSurvivorsStay) {
+  lb::LbStats stats;
+  stats.num_pes = 3;
+  stats.rank_load = {1.0, 2.0, 3.0, 1.0};
+  stats.rank_pe = {0, 1, 1, 2};
+  const std::vector<bool> alive = {true, false, true};
+  const ft::RecoveryPlan plan =
+      ft::plan_recovery(lb::GreedyRefineLb(), stats, alive);
+  EXPECT_EQ(plan.victims, (std::vector<int>{1, 2}));
+  EXPECT_EQ(plan.survivors, (std::vector<int>{0, 3}));
+  EXPECT_EQ(plan.leader, 0);
+  ASSERT_EQ(plan.placement.size(), 2u);
+  for (const auto& [rank, pe] : plan.placement) {
+    EXPECT_TRUE(alive[static_cast<std::size_t>(pe)])
+        << "victim " << rank << " placed on dead PE " << pe;
+  }
+}
+
+TEST(RecoveryPlan, NoVictimsMeansEmptyPlacement) {
+  lb::LbStats stats;
+  stats.num_pes = 2;
+  stats.rank_load = {1.0, 1.0};
+  stats.rank_pe = {0, 1};
+  const ft::RecoveryPlan plan =
+      ft::plan_recovery(lb::GreedyRefineLb(), stats, {true, true});
+  EXPECT_TRUE(plan.victims.empty());
+  EXPECT_TRUE(plan.placement.empty());
+  EXPECT_EQ(plan.leader, 0);
+}
+
+// --- checkpoint store (unit) ------------------------------------------------
+
+TEST(CheckpointStore, BuddyCopiesAndVersioning) {
+  ft::CheckpointStore store;
+  util::ByteBuffer img;
+  const char payload[] = "epoch-one";
+  img.put_bytes(payload, sizeof payload);
+  store.put(/*rank=*/0, /*epoch=*/1, /*resident_pe=*/0, {0, 1},
+            std::move(img));
+  EXPECT_EQ(store.copy_count(), 2u);
+  EXPECT_EQ(store.latest_epoch(0), 1u);
+
+  util::ByteBuffer img2;
+  const char payload2[] = "epoch-two";
+  img2.put_bytes(payload2, sizeof payload2);
+  store.put(0, 2, /*resident_pe=*/1, {1, 0}, std::move(img2));
+  store.retire_before(2);
+  EXPECT_EQ(store.latest_epoch(0), 2u);
+  for (const auto& m : store.copies(0)) {
+    EXPECT_EQ(m.epoch, 2u);
+    EXPECT_EQ(m.resident_pe, 1);
+  }
+
+  // Losing one owner leaves the buddy copy serving fetches.
+  store.lose_pe(1);
+  EXPECT_TRUE(store.has(0, 2));
+  util::ByteBuffer out;
+  ASSERT_TRUE(store.fetch(0, 2, out));
+  char got[sizeof payload2];
+  out.get_bytes(got, sizeof got);
+  EXPECT_EQ(std::memcmp(got, payload2, sizeof got), 0);
+
+  // Losing the second owner destroys the last copy, and a dead PE can
+  // never be written again.
+  store.lose_pe(0);
+  EXPECT_FALSE(store.has(0, 2));
+  util::ByteBuffer img3;
+  img3.put_bytes(payload, sizeof payload);
+  store.put(0, 3, 0, {0, 1}, std::move(img3));
+  EXPECT_EQ(store.copy_count(), 0u);
+}
+
+// --- dead-letter routing (comm unit) ----------------------------------------
+
+TEST(DeadLetter, UserMessagesFollowRecoveredRank) {
+  comm::Cluster::Config cc;
+  cc.nodes = 2;
+  cc.pes_per_node = 1;
+  comm::Cluster cluster(cc);
+  std::atomic<int> delivered{0};
+  for (int pe = 0; pe < 2; ++pe) {
+    cluster.pe(pe).set_dispatcher([&delivered](comm::Message&& m) {
+      if (m.kind == comm::Message::Kind::UserData && m.tag == 7) ++delivered;
+    });
+  }
+  cluster.resize_location_table(2);
+  cluster.set_location(0, 0);
+  cluster.set_location(1, 1);
+  cluster.start();
+  cluster.fail_pe(1);
+  EXPECT_TRUE(cluster.pe_failed(1));
+  EXPECT_EQ(cluster.num_live_pes(), 1);
+  EXPECT_EQ(cluster.alive_mask(), (std::vector<bool>{true, false}));
+
+  // User data addressed to the dead PE waits for its rank to be re-homed.
+  comm::Message user;
+  user.kind = comm::Message::Kind::UserData;
+  user.src_pe = 0;
+  user.dst_pe = 1;
+  user.dst_rank = 1;
+  user.tag = 7;
+  cluster.send(std::move(user));
+  EXPECT_EQ(cluster.dead_letter_count(), 1u);
+  EXPECT_EQ(delivered.load(), 0);
+
+  // Control traffic to a dead machine is simply lost.
+  comm::Message ctl;
+  ctl.kind = comm::Message::Kind::Control;
+  ctl.dst_pe = 1;
+  cluster.send(std::move(ctl));
+  EXPECT_EQ(cluster.dropped_messages(), 1u);
+
+  // Re-home rank 1 onto the survivor and flush: the message is delivered.
+  cluster.set_location(1, 0);
+  EXPECT_EQ(cluster.flush_dead_letters(), 1u);
+  EXPECT_EQ(cluster.dead_letter_count(), 0u);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (delivered.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(delivered.load(), 1);
+  cluster.stop_and_join();
+}
+
+// --- buddy placement (runtime) ----------------------------------------------
+
+namespace {
+
+void* buddy_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  int* data = env->rank_alloc_array<int>(1024);
+  for (int i = 0; i < 1024; ++i) data[i] = env->rank() * 10000 + i;
+  const int restored = env->checkpoint_all();
+  env->rank_free(data);
+  env->barrier();
+  return reinterpret_cast<void*>(static_cast<std::intptr_t>(restored));
+}
+
+}  // namespace
+
+TEST(BuddyCheckpoint, EveryRankStoredOnSelfAndNextPe) {
+  const img::ProgramImage image = build_entry("buddy", &buddy_main);
+  mpi::Runtime rt(image, cfg_pes(core::Method::PIEglobals, 4, 4));
+  rt.run();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(r)), 0)
+        << "rank " << r << " saw a restore in a fault-free run";
+  }
+  ft::CheckpointStore& store = rt.checkpoint_store();
+  EXPECT_EQ(store.copy_count(), 8u);  // 4 ranks x 2 copies
+  EXPECT_GT(store.total_bytes(), 0u);
+  for (int r = 0; r < 4; ++r) {
+    const auto copies = store.copies(r);
+    ASSERT_EQ(copies.size(), 2u) << "rank " << r;
+    const comm::PeId home = copies[0].resident_pe;
+    std::set<comm::PeId> owners;
+    for (const auto& m : copies) {
+      EXPECT_EQ(m.epoch, 1u);
+      EXPECT_EQ(m.resident_pe, home);
+      EXPECT_GT(m.bytes, 0u);
+      owners.insert(m.owner_pe);
+    }
+    EXPECT_EQ(owners, (std::set<comm::PeId>{home, (home + 1) % 4}))
+        << "rank " << r;
+  }
+}
+
+// --- versioned restore (runtime) --------------------------------------------
+
+namespace {
+
+// Checkpoint at epoch 1, mutate, migrate, checkpoint at epoch 2, mutate
+// again, then rewind: the restore must land on the *post-migration* epoch-2
+// image, and the store must have retired every epoch-1 copy.
+void* versioned_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  int* counter = env->rank_alloc_array<int>(1);
+  *counter = 10;
+  const int r1 = env->checkpoint_all();  // epoch 1
+  *counter = 20;
+  env->migrate_to((env->my_pe() + 1) % env->num_pes());
+  const int r2 = env->checkpoint_all();  // epoch 2: retires epoch 1
+  if (r2 == 0) {
+    *counter = 999;
+    env->barrier();
+    env->runtime().do_restore(env->state());  // collective rewind
+    return nullptr;                           // unreachable
+  }
+  // Resumed from the epoch-2 image: the counter mutation is gone, and the
+  // replayed stack still remembers epoch 1 completing fault-free.
+  const std::intptr_t ok = (*counter == 20 && r1 == 0) ? 1 : 0;
+  env->barrier();
+  return reinterpret_cast<void*>(ok);
+}
+
+}  // namespace
+
+TEST(BuddyCheckpoint, RestoreUsesLatestEpochAfterMigration) {
+  const img::ProgramImage image = build_entry("versioned", &versioned_main);
+  mpi::Runtime rt(image, cfg_pes(core::Method::PIEglobals, 2, 2));
+  rt.run();
+  EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(0)), 1);
+  EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(1)), 1);
+  ft::CheckpointStore& store = rt.checkpoint_store();
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(store.latest_epoch(r), 2u);
+    for (const auto& m : store.copies(r)) {
+      EXPECT_EQ(m.epoch, 2u) << "stale epoch-1 copy survived for rank " << r;
+      // Both ranks migrated off their starting PE before epoch 2.
+      EXPECT_EQ(m.resident_pe, (r + 1) % 2);
+    }
+  }
+}
+
+// --- PIP/FS refuse (runtime) ------------------------------------------------
+
+namespace {
+
+void* refuse_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  env->checkpoint_all();  // must throw CheckpointRefused
+  env->barrier();
+  return nullptr;
+}
+
+}  // namespace
+
+class CheckpointRefusedPerMethod
+    : public ::testing::TestWithParam<core::Method> {};
+
+TEST_P(CheckpointRefusedPerMethod, PipAndFsRefuseBuddyCheckpoints) {
+  // Recovery restores a rank through the migration path, which PIPglobals
+  // and FSglobals cannot take; the refusal surfaces as a rank failure.
+  const img::ProgramImage image = build_entry("refuse", &refuse_main);
+  mpi::Runtime rt(image, cfg_pes(GetParam(), 2, 2));
+  EXPECT_THROW(rt.run(), util::ApvError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NonMigratableMethods, CheckpointRefusedPerMethod,
+    ::testing::Values(core::Method::PIPglobals, core::Method::FSglobals),
+    [](const ::testing::TestParamInfo<core::Method>& info) {
+      return core::method_name(info.param);
+    });
+
+// --- end-to-end recovery (runtime + jacobi) ---------------------------------
+
+namespace {
+
+double run_ft_jacobi(core::Method method, bool inject) {
+  apps::JacobiParams params;
+  params.nx = 12;
+  params.ny = 12;
+  params.nz = 24;
+  params.iters = 8;
+  params.residual_every = 4;
+  params.checkpoint_every = 2;
+  params.code_bytes = 1 << 20;
+  params.tag_tls = method == core::Method::TLSglobals;
+  const img::ProgramImage image = apps::build_jacobi(params);
+
+  mpi::RuntimeConfig cfg = cfg_pes(method, 4, 4);
+  if (inject) {
+    // Kill PE 1 at the second checkpoint (iteration 4 of 8): half the
+    // solve runs on the degraded machine.
+    cfg.options.set("ft.policy", "epoch");
+    cfg.options.set("ft.pe", "1");
+    cfg.options.set("ft.epoch", "2");
+  }
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+  if (inject) {
+    EXPECT_GT(rt.recovery_count(), 0u);
+    EXPECT_GT(rt.recovery_bytes(), 0u);
+    EXPECT_EQ(rt.cluster().num_live_pes(), 3);
+    EXPECT_NE(rt.fault_injector(), nullptr);
+    if (rt.fault_injector() != nullptr) {
+      EXPECT_EQ(rt.fault_injector()->kills(), 1);
+    }
+  }
+  const double residual = apps::jacobi_result(rt.rank_return(0));
+  EXPECT_TRUE(std::isfinite(residual));
+  EXPECT_GT(residual, 0.0);
+  return residual;
+}
+
+}  // namespace
+
+class RecoveryPerMethod : public ::testing::TestWithParam<core::Method> {};
+
+TEST_P(RecoveryPerMethod, KillOnePeAndRecoverBitIdentical) {
+  const double clean = run_ft_jacobi(GetParam(), /*inject=*/false);
+  const double recovered = run_ft_jacobi(GetParam(), /*inject=*/true);
+  // Recovery rewinds every rank to the last epoch and replays: arithmetic
+  // is unchanged, so the residual must match the fault-free run exactly.
+  EXPECT_EQ(recovered, clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MigratableMethods, RecoveryPerMethod,
+    ::testing::Values(core::Method::TLSglobals, core::Method::PIEglobals),
+    [](const ::testing::TestParamInfo<core::Method>& info) {
+      return core::method_name(info.param);
+    });
