@@ -9,7 +9,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
+#include "comm/payload.hpp"
 #include "image/image.hpp"
 #include "mpi/runtime.hpp"
 
@@ -55,8 +57,14 @@ img::ProgramImage build_program(int heap_mb, int reps,
   return b.build();
 }
 
-double run_case(core::Method method, int heap_mb, std::size_t code_bytes) {
-  const int reps = 6;
+struct CaseResult {
+  double per_move_ms = 0.0;
+  std::uint64_t pool_bytes_copied = 0;  // payload-to-payload copies: must
+                                        // stay 0 on the migration path
+};
+
+CaseResult run_case(core::Method method, int heap_mb, std::size_t code_bytes,
+                    int reps) {
   const img::ProgramImage image = build_program(
       heap_mb, reps, code_bytes, method == core::Method::TLSglobals);
   mpi::RuntimeConfig cfg;
@@ -67,31 +75,73 @@ double run_case(core::Method method, int heap_mb, std::size_t code_bytes) {
   cfg.slot_bytes = std::size_t{192} << 20;  // 100 MB heap + 14 MB segments
   cfg.options.set_bool("net.enabled", true);  // InfiniBand-like pacing
   mpi::Runtime rt(image, cfg);
+  comm::pool::reset_stats();
   rt.run();
-  double ms;
+  CaseResult r;
   void* ret = rt.rank_return(0);
-  std::memcpy(&ms, &ret, sizeof ms);
-  return ms;
+  std::memcpy(&r.per_move_ms, &ret, sizeof r.per_move_ms);
+  r.pool_bytes_copied = comm::pool::stats().bytes_copied;
+  return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
   // 14 MB models the ADCIRC binary's code segment (paper §4.4); the
   // standalone Jacobi-3D was ~3 MB.
   const std::size_t code_bytes = std::size_t{14} << 20;
+  const int reps = quick ? 3 : 6;
+  const std::vector<int> heaps =
+      quick ? std::vector<int>{1, 10} : std::vector<int>{1, 10, 100};
   std::printf("Figure 8: per-migration time vs rank heap size "
               "(code segment %zu MB under PIEglobals)\n\n",
               code_bytes >> 20);
   std::printf("%-10s %16s %16s %12s\n", "heap (MB)", "tlsglobals (ms)",
               "pieglobals (ms)", "pie/tls");
-  for (int heap_mb : {1, 10, 100}) {
-    const double tls = run_case(core::Method::TLSglobals, heap_mb,
-                                code_bytes);
-    const double pie = run_case(core::Method::PIEglobals, heap_mb,
-                                code_bytes);
-    std::printf("%-10d %16.3f %16.3f %11.2fx\n", heap_mb, tls, pie,
-                pie / tls);
+
+  std::FILE* json = std::fopen("BENCH_migration.json", "w");
+  if (json) {
+    std::fprintf(json, "{\n  \"bench\": \"migration\",\n  \"quick\": %s,\n"
+                 "  \"code_mb\": %zu,\n  \"reps\": %d,\n  \"cases\": [\n",
+                 quick ? "true" : "false", code_bytes >> 20, reps);
+  }
+  bool first_case = true;
+  for (int heap_mb : heaps) {
+    const CaseResult tls =
+        run_case(core::Method::TLSglobals, heap_mb, code_bytes, reps);
+    const CaseResult pie =
+        run_case(core::Method::PIEglobals, heap_mb, code_bytes, reps);
+    std::printf("%-10d %16.3f %16.3f %11.2fx\n", heap_mb, tls.per_move_ms,
+                pie.per_move_ms, pie.per_move_ms / tls.per_move_ms);
+    if (json) {
+      if (!first_case) std::fprintf(json, ",\n");
+      first_case = false;
+      const std::size_t tls_bytes = static_cast<std::size_t>(heap_mb) << 20;
+      const std::size_t pie_bytes = tls_bytes + code_bytes;
+      std::fprintf(
+          json,
+          "    {\"heap_mb\": %d,\n"
+          "     \"tlsglobals\": {\"per_move_ms\": %.3f,"
+          " \"moves_per_s\": %.2f, \"approx_bytes_moved\": %zu,"
+          " \"pool_bytes_copied\": %llu},\n"
+          "     \"pieglobals\": {\"per_move_ms\": %.3f,"
+          " \"moves_per_s\": %.2f, \"approx_bytes_moved\": %zu,"
+          " \"pool_bytes_copied\": %llu},\n"
+          "     \"pie_over_tls\": %.3f}",
+          heap_mb, tls.per_move_ms, 1e3 / tls.per_move_ms, tls_bytes,
+          static_cast<unsigned long long>(tls.pool_bytes_copied),
+          pie.per_move_ms, 1e3 / pie.per_move_ms, pie_bytes,
+          static_cast<unsigned long long>(pie.pool_bytes_copied),
+          pie.per_move_ms / tls.per_move_ms);
+    }
+  }
+  if (json) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_migration.json\n");
   }
   std::printf(
       "\n(the PIEglobals gap is the code+data segment transfer; its share\n"

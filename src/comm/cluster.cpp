@@ -1,5 +1,8 @@
 #include "comm/cluster.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -8,15 +11,65 @@ namespace apv::comm {
 using util::ErrorCode;
 using util::require;
 
+namespace {
+
+// Single-writer counter bump: the owning PE thread is the only writer of its
+// PeTx slot, so a plain load+store keeps concurrent readers race-free without
+// a lock-prefixed RMW per message on the hot path.
+inline void bump(std::atomic<std::uint64_t>& c, std::uint64_t d = 1) {
+  c.store(c.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+}
+
+inline void bump32(std::atomic<std::uint32_t>& c) {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void CommCounters::merge(const CommCounters& o) noexcept {
+  sends += o.sends;
+  bytes += o.bytes;
+  aggregated += o.aggregated;
+  agg_envelopes += o.agg_envelopes;
+  flushes_size += o.flushes_size;
+  flushes_order += o.flushes_order;
+  flushes_idle += o.flushes_idle;
+}
+
 Cluster::Cluster(const Config& config)
     : config_(config), net_(config.options) {
   require(config.nodes >= 1 && config.pes_per_node >= 1,
           ErrorCode::InvalidArgument, "cluster needs >= 1 node and PE");
+  const auto& opt = config.options;
+  pool::set_enabled(opt.get_bool("comm.pool", true));
+  agg_threshold_ = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, opt.get_int("comm.agg_threshold", 512)));
+  agg_max_bytes_ = static_cast<std::size_t>(
+      std::max<std::int64_t>(64, opt.get_int("comm.agg_max_bytes", 16384)));
+
+  Pe::Config pe_cfg;
+  pe_cfg.mailbox.mode = opt.get_string("comm.mailbox", "ring") == "mutex"
+                            ? Mailbox::Mode::Mutex
+                            : Mailbox::Mode::Ring;
+  pe_cfg.mailbox.slots = static_cast<std::size_t>(
+      std::max<std::int64_t>(2, opt.get_int("comm.mailbox_slots", 1024)));
+  pe_cfg.drain_batch = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, opt.get_int("comm.drain_batch", 64)));
+
   const int total = config.nodes * config.pes_per_node;
   pes_.reserve(total);
+  tx_.reserve(total + 1);
   for (int i = 0; i < total; ++i) {
-    pes_.push_back(std::make_unique<Pe>(i, node_of(i), config.backend));
+    pes_.push_back(std::make_unique<Pe>(i, node_of(i), config.backend,
+                                        pe_cfg));
+    tx_.push_back(std::make_unique<PeTx>());
+    tx_.back()->bins.resize(static_cast<std::size_t>(total));
+    // The aggregation bins owned by this PE are flushed whenever its loop
+    // goes idle — the hook runs on the owning thread, so bins stay
+    // single-writer.
+    pes_.back()->add_idle_hook([this, i] { flush_aggregation(i); });
   }
+  tx_.push_back(std::make_unique<PeTx>());  // sends from non-PE threads
   failed_ = std::make_unique<std::atomic<bool>[]>(
       static_cast<std::size_t>(total));
   for (int i = 0; i < total; ++i) failed_[i].store(false);
@@ -52,22 +105,162 @@ PeId Cluster::location(RankId rank) const {
   return locations_[rank].load(std::memory_order_acquire);
 }
 
+Cluster::PeTx* Cluster::owned_tx(const Message& msg) {
+  Pe* cur = Pe::current();
+  if (cur == nullptr || msg.src_pe < 0 || msg.src_pe >= num_pes()) {
+    return nullptr;
+  }
+  if (pes_[msg.src_pe].get() != cur) return nullptr;  // other cluster / PE
+  return tx_[msg.src_pe].get();
+}
+
 void Cluster::send(Message&& msg) {
   require(msg.dst_pe >= 0 && msg.dst_pe < num_pes(),
           ErrorCode::InvalidArgument, "message to invalid PE");
+  if (msg.src_pe == kInvalidPe) {
+    // Producers are supposed to stamp their PE; fill it in when the caller
+    // is a PE loop thread of this cluster so the envelope contract holds.
+    Pe* cur = Pe::current();
+    if (cur != nullptr && cur->id() >= 0 && cur->id() < num_pes() &&
+        pes_[cur->id()].get() == cur) {
+      msg.src_pe = cur->id();
+    }
+  }
   if (failed_[msg.dst_pe].load(std::memory_order_acquire)) {
     divert(std::move(msg));
     return;
   }
-  sent_.fetch_add(1, std::memory_order_relaxed);
+  PeTx* tx = owned_tx(msg);
+  if (tx != nullptr) {
+    bump(tx->sends);
+    bump(tx->bytes, msg.payload.size());
+  } else {
+    PeTx& shared = *tx_[static_cast<std::size_t>(num_pes())];
+    shared.sends.fetch_add(1, std::memory_order_relaxed);
+    shared.bytes.fetch_add(msg.payload.size(), std::memory_order_relaxed);
+  }
+  if (tx != nullptr && msg.kind == Message::Kind::UserData &&
+      msg.dst_pe != msg.src_pe && agg_threshold_ > 0 &&
+      msg.payload.size() < agg_threshold_) {
+    bump(tx->aggregated);
+    append_to_bin(*tx, std::move(msg));
+    return;
+  }
+  if (tx != nullptr && tx->bins[static_cast<std::size_t>(msg.dst_pe)]
+                               .count.load(std::memory_order_relaxed) > 0) {
+    // A non-bundled message is about to overtake the bin for the same
+    // destination; flush first so the (sender, destination) FIFO holds.
+    bump(tx->flushes_order);
+    flush_bin(*tx, msg.src_pe, msg.dst_pe);
+  }
+  deliver(std::move(msg));
+}
+
+void Cluster::append_to_bin(PeTx& tx, Message&& msg) {
+  const PeId dst = msg.dst_pe;
+  AggBin& bin = tx.bins[static_cast<std::size_t>(dst)];
+  const std::size_t entry = agg_entry_bytes(msg.payload.size());
+  if (bin.count.load(std::memory_order_relaxed) > 0 &&
+      bin.used + entry > bin.buf.size()) {
+    bump(tx.flushes_size);
+    flush_bin(tx, msg.src_pe, dst);
+  }
+  if (bin.buf.empty()) {
+    bin.buf = Payload::acquire(std::max(agg_max_bytes_, entry));
+    bin.used = 0;
+  }
+  AggSubHeader h{};
+  h.src_rank = msg.src_rank;
+  h.dst_rank = msg.dst_rank;
+  h.comm_id = msg.comm_id;
+  h.tag = msg.tag;
+  h.seq = msg.seq;
+  h.bytes = static_cast<std::uint32_t>(msg.payload.size());
+  std::memcpy(bin.buf.data() + bin.used, &h, sizeof h);
+  if (!msg.payload.empty()) {
+    std::memcpy(bin.buf.data() + bin.used + sizeof h, msg.payload.data(),
+                msg.payload.size());
+  }
+  bin.used += entry;
+  bump32(bin.count);
+  bin.payload_bytes += msg.payload.size();
+  if (bin.used + sizeof(AggSubHeader) >= bin.buf.size()) {
+    bump(tx.flushes_size);
+    flush_bin(tx, msg.src_pe, dst);
+  }
+}
+
+void Cluster::flush_bin(PeTx& tx, PeId src, PeId dst) {
+  AggBin& bin = tx.bins[static_cast<std::size_t>(dst)];
+  const std::uint32_t n = bin.count.load(std::memory_order_relaxed);
+  if (n == 0) return;
+  Message env;
+  env.kind = Message::Kind::Aggregate;
+  env.src_pe = src;
+  env.dst_pe = dst;
+  env.opcode = static_cast<std::int32_t>(n);
+  env.seq = bin.payload_bytes;
+  env.payload = std::move(bin.buf);
+  env.payload.resize_down(bin.used);
+  bin.used = 0;
+  bin.count.store(0, std::memory_order_relaxed);
+  bin.payload_bytes = 0;
+  bump(tx.agg_envelopes);
+  deliver(std::move(env));
+}
+
+void Cluster::flush_aggregation(PeId src) {
+  if (src < 0 || src >= num_pes()) return;
+  PeTx& tx = *tx_[src];
+  for (PeId dst = 0; dst < num_pes(); ++dst) {
+    if (tx.bins[static_cast<std::size_t>(dst)].count.load(
+            std::memory_order_relaxed) == 0)
+      continue;
+    bump(tx.flushes_idle);
+    flush_bin(tx, src, dst);
+  }
+}
+
+std::size_t Cluster::pending_aggregated(PeId src) const {
+  if (src < 0 || src >= num_pes()) return 0;
+  const PeTx& tx = *tx_[src];
+  std::size_t n = 0;
+  for (const AggBin& bin : tx.bins) {
+    n += bin.count.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void Cluster::deliver(Message&& msg) {
+  if (failed_[msg.dst_pe].load(std::memory_order_acquire)) {
+    divert(std::move(msg));
+    return;
+  }
   if (msg.src_pe != kInvalidPe && node_of(msg.src_pe) != node_of(msg.dst_pe)) {
-    internode_.fetch_add(1, std::memory_order_relaxed);
-    net_.pace(msg.size_bytes());
+    if (msg.kind == Message::Kind::Aggregate) {
+      // Charge the bundle as its constituent messages: bundling is a
+      // software-overhead optimization and must not change the modelled
+      // network cost (paper figure shapes depend on per-message latency).
+      const auto n = static_cast<std::size_t>(msg.opcode);
+      internode_.fetch_add(n, std::memory_order_relaxed);
+      net_.pace_n(n, n * sizeof(Message) + static_cast<std::size_t>(msg.seq));
+    } else {
+      internode_.fetch_add(1, std::memory_order_relaxed);
+      net_.pace(msg.size_bytes());
+    }
   }
   pes_[msg.dst_pe]->post(std::move(msg));
 }
 
 void Cluster::divert(Message&& msg) {
+  if (msg.kind == Message::Kind::Aggregate) {
+    // Bundled messages are plain UserData; divert each one. The sub-payloads
+    // are views into the envelope's buffer, so parked messages keep it alive
+    // without copying.
+    unbundle(std::move(msg),
+             [this](Message&& sub) { divert(std::move(sub)); });
+    return;
+  }
   if (msg.kind == Message::Kind::UserData && msg.dst_rank >= 0 &&
       msg.dst_rank < num_ranks_) {
     const PeId loc = location(msg.dst_rank);
@@ -122,18 +315,26 @@ std::size_t Cluster::flush_dead_letters() {
     pending.swap(dead_letters_);
   }
   std::size_t delivered = 0;
+  std::deque<Message> still_dead;
   for (auto& msg : pending) {
     const PeId loc = msg.dst_rank >= 0 && msg.dst_rank < num_ranks_
                          ? location(msg.dst_rank)
                          : kInvalidPe;
     if (loc == kInvalidPe || failed_[loc].load(std::memory_order_acquire)) {
-      std::lock_guard<std::mutex> lock(dead_mutex_);
-      dead_letters_.push_back(std::move(msg));
+      still_dead.push_back(std::move(msg));
       continue;
     }
     msg.dst_pe = loc;
     send(std::move(msg));
     ++delivered;
+  }
+  if (!still_dead.empty()) {
+    // Re-park the leftovers in one critical section, ahead of anything
+    // diverted while we were flushing (the leftovers are older).
+    std::lock_guard<std::mutex> lock(dead_mutex_);
+    for (auto it = still_dead.rbegin(); it != still_dead.rend(); ++it) {
+      dead_letters_.push_front(std::move(*it));
+    }
   }
   return delivered;
 }
@@ -162,6 +363,68 @@ void Cluster::stop_and_join() {
   }
   threads_.clear();
   started_ = false;
+}
+
+CommCounters Cluster::counters(PeId pe) const {
+  require(pe >= 0 && pe < num_pes(), ErrorCode::InvalidArgument,
+          "PE id out of range");
+  const PeTx& tx = *tx_[pe];
+  CommCounters c;
+  c.sends = tx.sends.load(std::memory_order_relaxed);
+  c.bytes = tx.bytes.load(std::memory_order_relaxed);
+  c.aggregated = tx.aggregated.load(std::memory_order_relaxed);
+  c.agg_envelopes = tx.agg_envelopes.load(std::memory_order_relaxed);
+  c.flushes_size = tx.flushes_size.load(std::memory_order_relaxed);
+  c.flushes_order = tx.flushes_order.load(std::memory_order_relaxed);
+  c.flushes_idle = tx.flushes_idle.load(std::memory_order_relaxed);
+  return c;
+}
+
+CommCounters Cluster::counters_total() const {
+  CommCounters total;
+  for (const auto& tx : tx_) {
+    CommCounters c;
+    c.sends = tx->sends.load(std::memory_order_relaxed);
+    c.bytes = tx->bytes.load(std::memory_order_relaxed);
+    c.aggregated = tx->aggregated.load(std::memory_order_relaxed);
+    c.agg_envelopes = tx->agg_envelopes.load(std::memory_order_relaxed);
+    c.flushes_size = tx->flushes_size.load(std::memory_order_relaxed);
+    c.flushes_order = tx->flushes_order.load(std::memory_order_relaxed);
+    c.flushes_idle = tx->flushes_idle.load(std::memory_order_relaxed);
+    total.merge(c);
+  }
+  return total;
+}
+
+util::Counters Cluster::stat_counters() const {
+  util::Counters out;
+  const CommCounters c = counters_total();
+  out.set("comm.sends", c.sends);
+  out.set("comm.bytes", c.bytes);
+  out.set("comm.aggregated", c.aggregated);
+  out.set("comm.agg_envelopes", c.agg_envelopes);
+  out.set("comm.flushes_size", c.flushes_size);
+  out.set("comm.flushes_order", c.flushes_order);
+  out.set("comm.flushes_idle", c.flushes_idle);
+  out.set("comm.send_calls", c.sends);
+  out.set("comm.internode", internode_.load(std::memory_order_relaxed));
+  out.set("comm.dropped", dropped_.load(std::memory_order_relaxed));
+  std::uint64_t ring = 0;
+  std::uint64_t overflow = 0;
+  for (const auto& pe : pes_) {
+    ring += pe->mailbox().ring_pushes();
+    overflow += pe->mailbox().overflow_pushes();
+  }
+  out.set("comm.mailbox_ring_pushes", ring);
+  out.set("comm.mailbox_overflow_pushes", overflow);
+  const PoolStats p = pool::stats();
+  out.set("pool.hits", p.hits);
+  out.set("pool.misses", p.misses);
+  out.set("pool.adopted", p.adopted);
+  out.set("pool.returns", p.returns);
+  out.set("pool.drops", p.drops);
+  out.set("pool.bytes_copied", p.bytes_copied);
+  return out;
 }
 
 }  // namespace apv::comm

@@ -11,19 +11,44 @@
 #include "comm/netmodel.hpp"
 #include "comm/pe.hpp"
 #include "util/options.hpp"
+#include "util/stats.hpp"
 
 namespace apv::comm {
+
+/// Per-source-PE transport counters (snapshot; see Cluster::counters).
+struct CommCounters {
+  std::uint64_t sends = 0;          ///< messages accepted from the layer above
+  std::uint64_t bytes = 0;          ///< payload bytes accepted
+  std::uint64_t aggregated = 0;     ///< messages that travelled bundled
+  std::uint64_t agg_envelopes = 0;  ///< aggregate envelopes shipped
+  std::uint64_t flushes_size = 0;   ///< bin flushes forced by the size cap
+  std::uint64_t flushes_order = 0;  ///< flushes forced by a non-bundled send
+                                    ///< to the same PE (FIFO preservation)
+  std::uint64_t flushes_idle = 0;   ///< flushes from the PE idle hook
+
+  void merge(const CommCounters& o) noexcept;
+};
 
 /// The emulated machine: `nodes` OS processes × `pes_per_node` PEs each
 /// (paper Figure 1's layout). All nodes live in this OS process; node
 /// boundaries are made real by the per-node Privatizer/Loader state above
 /// this layer and by the NetModel pacing inter-node messages here.
+///
+/// Transport options (util::Options, `comm.*` keys):
+///  - comm.mailbox        "ring" (default) or "mutex" (legacy A/B baseline)
+///  - comm.mailbox_slots  ring capacity per PE (default 1024)
+///  - comm.drain_batch    envelopes per batched drain pass (default 64)
+///  - comm.pool           payload buffer pooling on/off (default true)
+///  - comm.agg_threshold  bundle UserData below this many payload bytes
+///                        (default 512; 0 disables aggregation)
+///  - comm.agg_max_bytes  flush a bin when it holds this much (default 16384)
 class Cluster {
  public:
   struct Config {
     int nodes = 1;
     int pes_per_node = 1;
-    util::Options options;  ///< net.* keys feed the NetModel
+    util::Options options;  ///< net.* keys feed the NetModel, comm.* the
+                            ///< transport fast path
     ult::ContextBackend backend = ult::default_context_backend();
   };
 
@@ -56,12 +81,25 @@ class Cluster {
 
   /// Routes a message to msg.dst_pe: inter-node hops pay the NetModel
   /// pacing on the calling thread, then the message lands in the
-  /// destination PE's mailbox. Messages to a failed PE are diverted: user
-  /// data follows its destination rank's location (or waits in the
-  /// dead-letter queue until the rank is re-homed); control and migration
-  /// traffic is dropped — it was addressed to a machine that no longer
-  /// exists.
+  /// destination PE's mailbox. Small UserData messages sent from a PE
+  /// thread are coalesced per destination PE and shipped as aggregate
+  /// envelopes (flushed by size, by a later non-bundled message to the same
+  /// PE, or by the sending PE going idle); the per-(sender, destination)
+  /// FIFO order is preserved across all of it. Messages to a failed PE are
+  /// diverted: user data follows its destination rank's location (or waits
+  /// in the dead-letter queue until the rank is re-homed); control and
+  /// migration traffic is dropped — it was addressed to a machine that no
+  /// longer exists.
   void send(Message&& msg);
+
+  /// Flushes the aggregation bins owned by `src`. Called from `src`'s own
+  /// PE thread (the idle hook does this automatically once started).
+  void flush_aggregation(PeId src);
+
+  /// Messages currently sitting unflushed in `src`'s aggregation bins
+  /// (approximate — safe to call from any thread; used by deadlock
+  /// diagnostics).
+  std::size_t pending_aggregated(PeId src) const;
 
   // --- failure injection (fault-tolerance tier) ---------------------------
 
@@ -94,22 +132,72 @@ class Cluster {
 
   bool started() const noexcept { return started_; }
 
-  std::uint64_t messages_sent() const noexcept { return sent_.load(); }
+  std::uint64_t messages_sent() const { return counters_total().sends; }
   std::uint64_t internode_messages() const noexcept {
     return internode_.load();
   }
 
+  /// Transport counters for sends issued from one PE's loop thread. Sends
+  /// issued from any other thread land in a shared extra slot that only
+  /// counters_total() includes.
+  CommCounters counters(PeId pe) const;
+  CommCounters counters_total() const;
+  /// All transport + payload-pool counters as a flat named set (benchmark
+  /// surfacing; pool numbers are process-wide).
+  util::Counters stat_counters() const;
+
  private:
+  struct AggBin {
+    Payload buf;
+    std::size_t used = 0;
+    // Written only by the owning PE thread (plain load+store); atomic so the
+    // timeout diagnostics can read a bin's depth from the main thread.
+    std::atomic<std::uint32_t> count{0};
+    std::uint64_t payload_bytes = 0;
+
+    AggBin() = default;
+    AggBin(AggBin&& o) noexcept
+        : buf(std::move(o.buf)),
+          used(o.used),
+          count(o.count.load(std::memory_order_relaxed)),
+          payload_bytes(o.payload_bytes) {}
+  };
+  // Counter discipline: tx_[i] (i < num_pes) is written ONLY by PE i's loop
+  // thread, so its counters are single-writer and bumped with plain
+  // load+store (no lock-prefixed RMW on the hot path). Sends issued from
+  // any other thread are attributed to the extra shared slot tx_[num_pes],
+  // which uses fetch_add.
+  struct alignas(64) PeTx {
+    std::vector<AggBin> bins;  // indexed by destination PE
+    std::atomic<std::uint64_t> sends{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> aggregated{0};
+    std::atomic<std::uint64_t> agg_envelopes{0};
+    std::atomic<std::uint64_t> flushes_size{0};
+    std::atomic<std::uint64_t> flushes_order{0};
+    std::atomic<std::uint64_t> flushes_idle{0};
+  };
+
+  /// The tx state of msg.src_pe iff the calling thread is that PE's loop
+  /// thread of *this* cluster (bins are single-writer); nullptr otherwise.
+  PeTx* owned_tx(const Message& msg);
+  void append_to_bin(PeTx& tx, Message&& msg);
+  void flush_bin(PeTx& tx, PeId src, PeId dst);
+  /// The post-aggregation delivery path: divert-if-dead, counters,
+  /// netmodel pacing, mailbox post.
+  void deliver(Message&& msg);
   void divert(Message&& msg);
 
   Config config_;
   NetModel net_;
   std::vector<std::unique_ptr<Pe>> pes_;
+  std::vector<std::unique_ptr<PeTx>> tx_;
   std::vector<std::thread> threads_;
   std::unique_ptr<std::atomic<PeId>[]> locations_;
   int num_ranks_ = 0;
   bool started_ = false;
-  std::atomic<std::uint64_t> sent_{0};
+  std::size_t agg_threshold_ = 512;
+  std::size_t agg_max_bytes_ = 16384;
   std::atomic<std::uint64_t> internode_{0};
 
   std::unique_ptr<std::atomic<bool>[]> failed_;

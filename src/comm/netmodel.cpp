@@ -16,9 +16,12 @@ double NetModel::cost_us(std::size_t bytes) const noexcept {
   return us;
 }
 
-void NetModel::pace(std::size_t bytes) const noexcept {
-  if (!enabled_) return;
-  const double us = cost_us(bytes);
+void NetModel::pace(std::size_t bytes) const noexcept { pace_n(1, bytes); }
+
+void NetModel::pace_n(std::size_t msgs, std::size_t bytes) const noexcept {
+  if (!enabled_ || msgs == 0) return;
+  const double us =
+      cost_us(bytes) + latency_us_ * static_cast<double>(msgs - 1);
   const std::uint64_t until =
       util::wall_time_ns() + static_cast<std::uint64_t>(us * 1e3);
   while (util::wall_time_ns() < until) {

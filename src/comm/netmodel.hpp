@@ -33,6 +33,13 @@ class NetModel {
   /// sending thread for inter-node messages.
   void pace(std::size_t bytes) const noexcept;
 
+  /// Busy-waits for the cost of `msgs` messages totalling `bytes`: one
+  /// latency term per message plus the shared bandwidth term. Aggregated
+  /// envelopes are charged through this so that bundling changes software
+  /// overhead, never the modelled network cost — the paper's figure shapes
+  /// (message counts × per-message latency) are preserved exactly.
+  void pace_n(std::size_t msgs, std::size_t bytes) const noexcept;
+
  private:
   bool enabled_;
   double latency_us_;

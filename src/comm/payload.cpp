@@ -1,0 +1,355 @@
+#include "comm/payload.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <iterator>
+#include <mutex>
+#include <new>
+
+namespace apv::comm {
+
+namespace {
+
+// Size classes for pooled chunks. Acquires above the largest class fall back
+// to adopted vectors (rare: only pathological user messages; migration images
+// arrive pre-adopted and never touch the classes).
+constexpr std::size_t kClassSizes[] = {64,        256,        1024,
+                                       4096,      16384,      65536,
+                                       262144,    1048576};
+constexpr int kNumClasses = static_cast<int>(std::size(kClassSizes));
+constexpr int kThreadCacheCap = 16;   // chunks per class per thread
+constexpr int kGlobalCap = 256;       // chunks per class in the shared list
+
+std::atomic<bool> g_pool_enabled{true};
+std::atomic<std::uint64_t> g_misses{0}, g_adopted{0}, g_drops{0}, g_copied{0};
+
+// Hit/return counters are on the per-message fast path, so each thread keeps
+// its own block (plain load+store, single writer) and stats() sums the live
+// blocks plus the totals retired by exited threads. reset_stats() zeroing a
+// block races benignly with its owner only if called mid-traffic; callers
+// reset between runs.
+struct ThreadStatBlock {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> returns{0};
+};
+
+struct StatRegistry {
+  std::mutex mutex;
+  std::vector<ThreadStatBlock*> live;
+  std::uint64_t retired_hits = 0;
+  std::uint64_t retired_returns = 0;
+};
+StatRegistry& stat_registry() {
+  static StatRegistry reg;
+  return reg;
+}
+
+inline void bump(std::atomic<std::uint64_t>& c) {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+int class_for(std::size_t n) noexcept {
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (n <= kClassSizes[c]) return c;
+  }
+  return -1;
+}
+
+}  // namespace
+
+struct Payload::Chunk {
+  std::atomic<std::uint32_t> refs{1};
+  std::int32_t size_class = -1;           // -1: vector-backed (adopted)
+  std::size_t capacity = 0;
+  std::byte* mem = nullptr;               // pooled storage, owned
+  std::vector<std::byte> vec;             // adopted storage
+  Chunk* next_free = nullptr;             // freelist link while recycled
+
+  std::byte* bytes() noexcept { return size_class >= 0 ? mem : vec.data(); }
+
+  ~Chunk() { delete[] mem; }
+};
+
+namespace {
+
+// Global per-class freelists (intrusive, mutex-guarded) backing the
+// per-thread caches below.
+struct GlobalFreelist {
+  std::mutex mutex;
+  Payload::Chunk* head = nullptr;
+  int count = 0;
+};
+GlobalFreelist g_freelists[kNumClasses];
+
+// Per-thread chunk cache: the steady-state acquire/release path touches no
+// lock at all — a PE thread ping-ponging small messages recycles through
+// its own cache. Spills/refills hit the global list in batches of one.
+struct ThreadCache {
+  Payload::Chunk* slots[kNumClasses][kThreadCacheCap] = {};
+  int counts[kNumClasses] = {};
+  ThreadStatBlock* stats_block;
+
+  ThreadCache() : stats_block(new ThreadStatBlock) {
+    StatRegistry& reg = stat_registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.live.push_back(stats_block);
+  }
+
+  ~ThreadCache() {
+    {
+      StatRegistry& reg = stat_registry();
+      std::lock_guard<std::mutex> lock(reg.mutex);
+      reg.retired_hits += stats_block->hits.load(std::memory_order_relaxed);
+      reg.retired_returns +=
+          stats_block->returns.load(std::memory_order_relaxed);
+      reg.live.erase(
+          std::find(reg.live.begin(), reg.live.end(), stats_block));
+      delete stats_block;
+    }
+    for (int c = 0; c < kNumClasses; ++c) {
+      for (int i = 0; i < counts[c]; ++i) {
+        GlobalFreelist& gl = g_freelists[c];
+        std::lock_guard<std::mutex> lock(gl.mutex);
+        if (gl.count < kGlobalCap) {
+          slots[c][i]->next_free = gl.head;
+          gl.head = slots[c][i];
+          ++gl.count;
+        } else {
+          delete slots[c][i];
+        }
+      }
+      counts[c] = 0;
+    }
+  }
+};
+thread_local ThreadCache t_cache;
+
+Payload::Chunk* pool_get(int cls) {
+  ThreadCache& tc = t_cache;
+  if (tc.counts[cls] > 0) {
+    bump(tc.stats_block->hits);
+    return tc.slots[cls][--tc.counts[cls]];
+  }
+  GlobalFreelist& gl = g_freelists[cls];
+  {
+    std::lock_guard<std::mutex> lock(gl.mutex);
+    if (gl.head != nullptr) {
+      Payload::Chunk* c = gl.head;
+      gl.head = c->next_free;
+      --gl.count;
+      c->next_free = nullptr;
+      bump(tc.stats_block->hits);
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+void pool_put(Payload::Chunk* c) {
+  const int cls = c->size_class;
+  ThreadCache& tc = t_cache;
+  if (tc.counts[cls] < kThreadCacheCap) {
+    tc.slots[cls][tc.counts[cls]++] = c;
+    bump(tc.stats_block->returns);
+    return;
+  }
+  GlobalFreelist& gl = g_freelists[cls];
+  {
+    std::lock_guard<std::mutex> lock(gl.mutex);
+    if (gl.count < kGlobalCap) {
+      c->next_free = gl.head;
+      gl.head = c;
+      ++gl.count;
+      bump(tc.stats_block->returns);
+      return;
+    }
+  }
+  g_drops.fetch_add(1, std::memory_order_relaxed);
+  delete c;
+}
+
+}  // namespace
+
+Payload::Payload(const Payload& other) noexcept
+    : chunk_(other.chunk_), data_(other.data_), size_(other.size_) {
+  if (chunk_ != nullptr)
+    chunk_->refs.fetch_add(1, std::memory_order_relaxed);
+}
+
+Payload& Payload::operator=(const Payload& other) noexcept {
+  if (this == &other) return *this;
+  if (other.chunk_ != nullptr)
+    other.chunk_->refs.fetch_add(1, std::memory_order_relaxed);
+  release();
+  chunk_ = other.chunk_;
+  data_ = other.data_;
+  size_ = other.size_;
+  return *this;
+}
+
+Payload::Payload(Payload&& other) noexcept
+    : chunk_(other.chunk_), data_(other.data_), size_(other.size_) {
+  other.chunk_ = nullptr;
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+Payload& Payload::operator=(Payload&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  chunk_ = other.chunk_;
+  data_ = other.data_;
+  size_ = other.size_;
+  other.chunk_ = nullptr;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+void Payload::release() noexcept {
+  Chunk* c = chunk_;
+  chunk_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+  if (c == nullptr) return;
+  // Sole-owner fast path: refs can only grow through an existing handle, so
+  // observing 1 from the holder of a handle means no other handle exists and
+  // none can appear — the RMW decrement is unnecessary.
+  if (c->refs.load(std::memory_order_acquire) != 1) {
+    if (c->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    c->refs.store(1, std::memory_order_relaxed);
+  }
+  if (c->size_class >= 0 && g_pool_enabled.load(std::memory_order_relaxed)) {
+    pool_put(c);
+  } else {
+    delete c;
+  }
+}
+
+Payload Payload::acquire(std::size_t n) {
+  if (n == 0) return Payload{};
+  const int cls = g_pool_enabled.load(std::memory_order_relaxed)
+                      ? class_for(n)
+                      : -1;
+  if (cls >= 0) {
+    Chunk* c = pool_get(cls);
+    if (c == nullptr) {
+      g_misses.fetch_add(1, std::memory_order_relaxed);
+      c = new Chunk;
+      c->size_class = cls;
+      c->capacity = kClassSizes[cls];
+      c->mem = new std::byte[c->capacity];
+    }
+    Payload p;
+    p.chunk_ = c;
+    p.data_ = c->mem;
+    p.size_ = n;
+    return p;
+  }
+  // Pool disabled, or larger than the largest class: fresh vector backing.
+  g_misses.fetch_add(1, std::memory_order_relaxed);
+  return adopt(std::vector<std::byte>(n));
+}
+
+Payload Payload::adopt(std::vector<std::byte>&& bytes) {
+  if (bytes.empty()) return Payload{};
+  g_adopted.fetch_add(1, std::memory_order_relaxed);
+  Chunk* c = new Chunk;
+  c->vec = std::move(bytes);
+  c->capacity = c->vec.size();
+  Payload p;
+  p.chunk_ = c;
+  p.data_ = c->vec.data();
+  p.size_ = c->vec.size();
+  return p;
+}
+
+Payload Payload::view(const Payload& parent, std::size_t off,
+                      std::size_t len) {
+  if (parent.chunk_ == nullptr || len == 0 ||
+      off + len > parent.size_)
+    return Payload{};
+  parent.chunk_->refs.fetch_add(1, std::memory_order_relaxed);
+  Payload p;
+  p.chunk_ = parent.chunk_;
+  p.data_ = parent.data_ + off;
+  p.size_ = len;
+  return p;
+}
+
+void Payload::resize_down(std::size_t n) {
+  if (n <= size_) size_ = n;
+}
+
+bool Payload::unique() const noexcept {
+  return chunk_ != nullptr &&
+         chunk_->refs.load(std::memory_order_acquire) == 1;
+}
+
+std::vector<std::byte> Payload::take_vector() {
+  if (chunk_ == nullptr) return {};
+  if (chunk_->size_class < 0 && unique() && data_ == chunk_->vec.data() &&
+      size_ == chunk_->vec.size()) {
+    std::vector<std::byte> out = std::move(chunk_->vec);
+    release();
+    return out;
+  }
+  // Shared, pooled, or a sub-view: must duplicate (counted — the fast paths
+  // are designed so this never runs for intra-PE delivery or migration).
+  g_copied.fetch_add(size_, std::memory_order_relaxed);
+  std::vector<std::byte> out(size_);
+  if (size_ > 0) std::memcpy(out.data(), data_, size_);
+  release();
+  return out;
+}
+
+namespace pool {
+
+void set_enabled(bool enabled) noexcept {
+  g_pool_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept {
+  return g_pool_enabled.load(std::memory_order_relaxed);
+}
+
+PoolStats stats() noexcept {
+  PoolStats s;
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  s.adopted = g_adopted.load(std::memory_order_relaxed);
+  s.drops = g_drops.load(std::memory_order_relaxed);
+  s.bytes_copied = g_copied.load(std::memory_order_relaxed);
+  StatRegistry& reg = stat_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  s.hits = reg.retired_hits;
+  s.returns = reg.retired_returns;
+  for (const ThreadStatBlock* b : reg.live) {
+    s.hits += b->hits.load(std::memory_order_relaxed);
+    s.returns += b->returns.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void reset_stats() noexcept {
+  g_misses.store(0, std::memory_order_relaxed);
+  g_adopted.store(0, std::memory_order_relaxed);
+  g_drops.store(0, std::memory_order_relaxed);
+  g_copied.store(0, std::memory_order_relaxed);
+  StatRegistry& reg = stat_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.retired_hits = 0;
+  reg.retired_returns = 0;
+  for (ThreadStatBlock* b : reg.live) {
+    b->hits.store(0, std::memory_order_relaxed);
+    b->returns.store(0, std::memory_order_relaxed);
+  }
+}
+
+void count_copied(std::size_t bytes) noexcept {
+  g_copied.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace pool
+
+}  // namespace apv::comm

@@ -10,12 +10,28 @@ using util::require;
 
 namespace {
 thread_local Pe* g_current_pe = nullptr;
+
+// Consecutive scheduler slices with an empty mailbox before the loop runs
+// its idle hooks even though a ULT is still ready (see run_loop). Small
+// enough that a spin-waiting peer stalls only microseconds; large enough
+// that bins still batch across bursts of back-to-back sends.
+constexpr std::size_t kQuietSlicesBeforeFlush = 64;
 }
 
 Pe* Pe::current() noexcept { return g_current_pe; }
 
 Pe::Pe(PeId id, NodeId node, ult::ContextBackend backend)
-    : id_(id), node_(node), sched_(backend) {}
+    : Pe(id, node, backend, Config{}) {}
+
+Pe::Pe(PeId id, NodeId node, ult::ContextBackend backend,
+       const Config& config)
+    : id_(id),
+      node_(node),
+      sched_(backend),
+      mailbox_(config.mailbox),
+      drain_batch_(config.drain_batch == 0 ? 1 : config.drain_batch) {
+  drain_buf_.reserve(drain_batch_);
+}
 
 void Pe::set_dispatcher(Dispatcher dispatcher) {
   require(!running_.load(), ErrorCode::BadState,
@@ -23,43 +39,43 @@ void Pe::set_dispatcher(Dispatcher dispatcher) {
   dispatcher_ = std::move(dispatcher);
 }
 
-void Pe::set_idle_hook(IdleHook hook) {
+void Pe::add_idle_hook(IdleHook hook) {
   require(!running_.load(), ErrorCode::BadState,
-          "cannot change idle hook while the PE loop runs");
-  idle_hook_ = std::move(hook);
+          "cannot add idle hooks while the PE loop runs");
+  idle_hooks_.push_back(std::move(hook));
 }
 
 void Pe::post(Message&& msg) {
-  {
-    std::lock_guard<std::mutex> lock(mail_mutex_);
-    mailbox_.push_back(std::move(msg));
-  }
+  mailbox_.push(std::move(msg));
   // Wake the scheduler's idle wait; ready() notification path is reused by
   // sharing its condition variable via a zero-cost trick: idle_wait also
   // re-checks the mailbox through the stop predicate we pass in run_loop.
   sched_.ready_notify();
 }
 
-std::size_t Pe::mailbox_depth() const {
-  std::lock_guard<std::mutex> lock(mail_mutex_);
-  return mailbox_.size();
+bool Pe::drain_mailbox() {
+  // One batched pass: swap up to drain_batch_ envelopes out of the ring
+  // (lock-free), then dispatch them with the mailbox untouched. The loop
+  // interleaves passes with run_one(), so a flood cannot starve the ULTs.
+  drain_buf_.clear();
+  if (mailbox_.pop_batch(drain_buf_, drain_batch_) == 0) return false;
+  for (Message& msg : drain_buf_) {
+    if (msg.kind == Message::Kind::Aggregate) {
+      unbundle(std::move(msg), [this](Message&& sub) {
+        ++processed_;
+        dispatcher_(std::move(sub));
+      });
+    } else {
+      ++processed_;
+      dispatcher_(std::move(msg));
+    }
+  }
+  drain_buf_.clear();
+  return true;
 }
 
-bool Pe::drain_mailbox() {
-  bool any = false;
-  for (;;) {
-    Message msg;
-    {
-      std::lock_guard<std::mutex> lock(mail_mutex_);
-      if (mailbox_.empty()) break;
-      msg = std::move(mailbox_.front());
-      mailbox_.pop_front();
-    }
-    any = true;
-    ++processed_;
-    if (dispatcher_) dispatcher_(std::move(msg));
-  }
-  return any;
+void Pe::run_idle_hooks() {
+  for (const IdleHook& hook : idle_hooks_) hook();
 }
 
 void Pe::run_loop() {
@@ -68,14 +84,31 @@ void Pe::run_loop() {
   g_current_pe = this;
   running_.store(true);
   APV_DEBUG("pe", "PE %d (node %d) loop starting", id_, node_);
+  std::size_t quiet_streak = 0;
   for (;;) {
     const bool had_msgs = drain_mailbox();
     const bool ran = sched_.run_one();
-    if (had_msgs || ran) continue;
-    if (idle_hook_) idle_hook_();
+    if (had_msgs || ran) {
+      // A ULT can keep the scheduler busy forever while logically waiting on
+      // remote progress (e.g. a recovery leader spin-yielding on a peer). If
+      // such a spin left a message in an aggregation bin, the peer in turn
+      // may be blocked on exactly that message — so bins must not ride out a
+      // busy scheduler indefinitely. After a bounded streak of slices where
+      // the mailbox stayed empty, run the idle hooks anyway; streaks with
+      // traffic reset the clock, so bulk streams still batch by size.
+      if (had_msgs) {
+        quiet_streak = 0;
+      } else if (++quiet_streak >= kQuietSlicesBeforeFlush) {
+        quiet_streak = 0;
+        run_idle_hooks();
+      }
+      continue;
+    }
+    quiet_streak = 0;
+    run_idle_hooks();
     if (stop_.load() || failed_.load()) {
-      // Exit only when really quiescent: a message may have raced in.
-      std::lock_guard<std::mutex> lock(mail_mutex_);
+      // Exit only when really quiescent: a message may have raced in (and
+      // the idle hooks above may have flushed aggregation bins our way).
       if (mailbox_.empty() && sched_.ready_count() == 0) break;
       continue;
     }

@@ -1,12 +1,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <mutex>
+#include <vector>
 
+#include "comm/mailbox.hpp"
 #include "comm/message.hpp"
 #include "ult/scheduler.hpp"
 
@@ -19,6 +18,10 @@ namespace apv::comm {
 /// and running ready ULTs. This "messages wake ranks on their own PE"
 /// discipline is what makes blocking MPI calls race-free: a rank only
 /// suspends and resumes on its resident PE's thread.
+///
+/// The mailbox is a lock-light MPSC ring (see Mailbox); the loop drains it
+/// in batches of `drain_batch` envelopes per pass, and aggregate envelopes
+/// are unbundled here — the dispatcher above only ever sees plain messages.
 class Pe {
  public:
   /// Runs on the PE thread for every received message.
@@ -26,8 +29,15 @@ class Pe {
   /// Runs once per idle loop iteration (progress hook for the upper layer).
   using IdleHook = std::function<void()>;
 
+  struct Config {
+    Mailbox::Config mailbox;
+    std::size_t drain_batch = 64;  ///< envelopes moved out per drain pass
+  };
+
   Pe(PeId id, NodeId node,
      ult::ContextBackend backend = ult::default_context_backend());
+  Pe(PeId id, NodeId node, ult::ContextBackend backend,
+     const Config& config);
 
   PeId id() const noexcept { return id_; }
   NodeId node() const noexcept { return node_; }
@@ -35,12 +45,17 @@ class Pe {
 
   /// Installs the message dispatcher. Must happen before the loop starts.
   void set_dispatcher(Dispatcher dispatcher);
-  void set_idle_hook(IdleHook hook);
+  /// Registers an idle hook; all hooks run, in registration order, once per
+  /// idle loop iteration (before the loop considers sleeping or exiting).
+  /// The comm layer uses one to flush aggregation bins; the MPI layer uses
+  /// one to close load-accounting slices.
+  void add_idle_hook(IdleHook hook);
 
   /// Thread-safe: enqueues a message and wakes the PE if idle.
   void post(Message&& msg);
 
-  std::size_t mailbox_depth() const;
+  std::size_t mailbox_depth() const { return mailbox_.size_approx(); }
+  const Mailbox& mailbox() const noexcept { return mailbox_; }
 
   /// The PE loop body; Cluster runs this on a dedicated thread. Returns
   /// when stop() has been called and no work remains.
@@ -70,15 +85,17 @@ class Pe {
 
  private:
   bool drain_mailbox();
+  void run_idle_hooks();
 
   PeId id_;
   NodeId node_;
   ult::Scheduler sched_;
   Dispatcher dispatcher_;
-  IdleHook idle_hook_;
+  std::vector<IdleHook> idle_hooks_;
 
-  mutable std::mutex mail_mutex_;
-  std::deque<Message> mailbox_;
+  Mailbox mailbox_;
+  std::size_t drain_batch_;
+  std::vector<Message> drain_buf_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> failed_{false};
   std::atomic<bool> running_{false};

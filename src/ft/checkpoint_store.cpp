@@ -11,6 +11,7 @@ void CheckpointStore::put(int rank, std::uint32_t epoch,
   std::lock_guard<std::mutex> lock(mutex_);
   auto& copies = images_[Key{rank, epoch}];
   copies.clear();  // re-pack of the same epoch replaces, never accumulates
+  const std::size_t bytes = image.size();
   for (comm::PeId owner : owners) {
     if (dead_owners_.count(owner) != 0) continue;
     Copy c;
@@ -18,8 +19,15 @@ void CheckpointStore::put(int rank, std::uint32_t epoch,
     c.meta.epoch = epoch;
     c.meta.resident_pe = resident_pe;
     c.meta.owner_pe = owner;
-    c.meta.bytes = image.size();
-    c.data.put_bytes(image.data(), image.size());
+    c.meta.bytes = bytes;
+    if (copies.empty()) {
+      // The packed image moves into the first surviving owner's copy;
+      // only genuine replication (the buddy) duplicates bytes.
+      c.data = util::ByteBuffer(image.take());
+    } else {
+      c.data.put_bytes(copies.front().data.data(),
+                       copies.front().data.size());
+    }
     copies.push_back(std::move(c));
   }
   ++puts_;

@@ -63,6 +63,7 @@ int Runtime::do_checkpoint_all(RankMpi& rm) {
   ctl.kind = comm::Message::Kind::Control;
   ctl.opcode = kCtlFtCheckpoint;
   ctl.tag = static_cast<std::int32_t>(epoch);
+  ctl.src_pe = rm.resident_pe;
   ctl.dst_pe = rm.resident_pe;
   ctl.dst_rank = rm.world_rank;
   // Post straight into the resident PE's mailbox (this rank runs on that
@@ -144,15 +145,15 @@ void Runtime::recover_from_failure(RankMpi& rm, comm::PeId victim,
     coll_recv(rm, survivors[i], gather_tag, &token, sizeof token, kCommWorld);
   }
 
-  // Declare the PE dead: its loop drains the backlog (which includes the
-  // victim ranks' own pack commands) and halts; new traffic is diverted.
-  cluster_->fail_pe(victim);
-  // Its memory is gone — and with it every checkpoint copy it owned.
-  ckpt_store_->lose_pe(victim);
-
-  // Wait for each lost rank to finish packing its epoch image (on the
-  // dying PE's thread) and park. After this, every victim has a surviving
-  // buddy copy and a suspended ULT ready for adoption.
+  // Wait for each lost rank to reach its own commit point, pack its epoch
+  // image (the store places the buddy copy synchronously), and park. The
+  // victim PE must stay alive through this: it may still be receiving
+  // barrier tokens of this very epoch — we exited the dissemination barrier
+  // knowing only that our own receives completed, not that the victim's
+  // did. Declaring the PE dead first would divert those tokens to the
+  // dead-letter queue (or strand them: a sender parked in a yield loop
+  // holds its aggregation bins), and the victim would never finish the
+  // barrier, never pack, and never park.
   for (int lost : victims) {
     RankMpi& lm = rank_state(lost);
     while (!(lm.restore_pending &&
@@ -161,6 +162,14 @@ void Runtime::recover_from_failure(RankMpi& rm, comm::PeId victim,
       do_yield(rm);
     }
   }
+
+  // Every victim now has a buddy copy and a suspended ULT ready for
+  // adoption, and needs no further traffic. Declare the PE dead: its loop
+  // drains whatever backlog it already accepted and halts; new traffic is
+  // diverted.
+  cluster_->fail_pe(victim);
+  // Its memory is gone — and with it every checkpoint copy it owned.
+  ckpt_store_->lose_pe(victim);
 
   // Re-place the lost ranks over the surviving PEs with the LB strategy
   // (GreedyRefine: survivors stay put, victims fill the least-loaded gaps).
@@ -187,6 +196,7 @@ void Runtime::recover_from_failure(RankMpi& rm, comm::PeId victim,
     adopt.kind = comm::Message::Kind::Control;
     adopt.opcode = kCtlFtAdopt;
     adopt.tag = static_cast<std::int32_t>(epoch);
+    adopt.src_pe = rm.resident_pe;
     adopt.dst_pe = dest;
     adopt.dst_rank = lost;
     cluster_->send(std::move(adopt));

@@ -1,6 +1,8 @@
 #include "mpi/runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include "mpi/api_shim.hpp"
@@ -108,7 +110,7 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
     });
     pe.set_dispatcher(
         [this, p](comm::Message&& msg) { dispatch(p, std::move(msg)); });
-    pe.set_idle_hook([this, p] { close_run_slice(p); });
+    pe.add_idle_hook([this, p] { close_run_slice(p); });
   }
 
   init_time_s_ = init_timer.elapsed_s();
@@ -202,12 +204,17 @@ void Runtime::start() {
 void Runtime::wait_finish() {
   require(started_, ErrorCode::BadState, "runtime not started");
   {
+    const auto timeout_s = static_cast<long>(std::max<std::int64_t>(
+        1, config_.options.get_int("mpi.timeout_s", 300)));
     std::unique_lock<std::mutex> lock(finish_mutex_);
     const bool done = finish_cv_.wait_for(
-        lock, std::chrono::seconds(300),
+        lock, std::chrono::seconds(timeout_s),
         [this] { return live_ranks_.load() == 0; });
-    require(done, ErrorCode::Internal,
-            "job timed out: some rank never finished (deadlock?)");
+    if (!done) {
+      dump_stuck_state();
+      throw ApvError(ErrorCode::Internal,
+                     "job timed out: some rank never finished (deadlock?)");
+    }
   }
   cluster_->stop_and_join();
   started_ = false;
@@ -224,6 +231,32 @@ void Runtime::run() {
   wait_finish();
 }
 
+void Runtime::dump_stuck_state() {
+  std::fprintf(stderr, "[apv:mpi] job timeout post-mortem:\n");
+  for (const auto& rm : ranks_) {
+    std::fprintf(stderr,
+                 "[apv:mpi]   rank %d on PE %d: finished=%d waiting=%d "
+                 "ckpt_pending=%d restore_pending=%d restored=%d "
+                 "posted=%zu unexpected=%zu epoch=%u\n",
+                 rm->world_rank, rm->resident_pe, rm->finished ? 1 : 0,
+                 rm->waiting ? 1 : 0, rm->ckpt_pending ? 1 : 0,
+                 rm->restore_pending ? 1 : 0, rm->restored ? 1 : 0,
+                 rm->posted.size(), rm->unexpected.size(), rm->ft_epoch);
+  }
+  for (int p = 0; p < cluster_->num_pes(); ++p) {
+    std::fprintf(stderr,
+                 "[apv:mpi]   PE %d: failed=%d mailbox=%zu ready=%zu "
+                 "binned=%zu\n",
+                 p, cluster_->pe_failed(p) ? 1 : 0,
+                 cluster_->pe(p).mailbox().size_approx(),
+                 cluster_->pe(p).scheduler().ready_count(),
+                 cluster_->pending_aggregated(p));
+  }
+  std::fprintf(stderr, "[apv:mpi]   dead_letters=%zu dropped=%llu\n",
+               cluster_->dead_letter_count(),
+               static_cast<unsigned long long>(cluster_->dropped_messages()));
+}
+
 // ---------------------------------------------------------------------------
 // Message dispatch (always on the destination PE's thread)
 
@@ -238,6 +271,11 @@ void Runtime::dispatch(comm::PeId pe, comm::Message&& msg) {
     case comm::Message::Kind::Migration:
       handle_migration_arrival(pe, std::move(msg));
       return;
+    case comm::Message::Kind::Aggregate:
+      // Aggregates are unbundled by Pe::drain_mailbox; the dispatcher only
+      // ever sees the constituent messages.
+      throw ApvError(ErrorCode::Internal,
+                     "aggregate envelope reached the dispatcher");
   }
 }
 
@@ -255,6 +293,10 @@ void Runtime::deliver_user(comm::PeId pe, comm::Message&& msg) {
       return;
     }
     msg.dst_pe = loc;
+    // Re-stamp the envelope: from here on *this* PE is the sender (the
+    // netmodel and aggregation bins key off src_pe, and the original
+    // sender's hop was already paid).
+    msg.src_pe = pe;
     forwards_.fetch_add(1, std::memory_order_relaxed);
     cluster_->send(std::move(msg));
     return;
@@ -349,7 +391,9 @@ void Runtime::do_send(RankMpi& rm, const void* buf, std::size_t bytes,
   m.dst_rank = dst_world;
   m.comm_id = comm;
   m.tag = tag;
-  m.payload.resize(bytes);
+  // One pooled buffer, filled once from the user's bytes; from here the
+  // payload moves (or is view-shared) unmodified to the matching receive.
+  m.payload = comm::Payload::acquire(bytes);
   if (bytes > 0) std::memcpy(m.payload.data(), buf, bytes);
   m.dst_pe = cluster_->location(dst_world);
   ++rm.sends;
@@ -426,7 +470,7 @@ void Runtime::coll_send(RankMpi& rm, int dst_world, int tag, const void* data,
   m.dst_rank = dst_world;
   m.comm_id = comm;
   m.tag = tag;
-  m.payload.resize(bytes);
+  m.payload = comm::Payload::acquire(bytes);
   if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
   m.dst_pe = cluster_->location(dst_world);
   cluster_->send(std::move(m));
@@ -571,6 +615,7 @@ void Runtime::perform_migration_departure(comm::PeId pe, comm::RankId rank) {
     comm::Message retry;
     retry.kind = comm::Message::Kind::Control;
     retry.opcode = kCtlDoMigrate;
+    retry.src_pe = pe;
     retry.dst_pe = pe;
     retry.dst_rank = rank;
     cluster_->pe(pe).post(std::move(retry));
@@ -589,10 +634,11 @@ void Runtime::perform_migration_departure(comm::PeId pe, comm::RankId rank) {
   mig.src_pe = pe;
   mig.dst_pe = dest;
   mig.dst_rank = rank;
-  mig.payload.resize(buf.size());
-  std::memcpy(mig.payload.data(), buf.data(), buf.size());
-  migrations_.fetch_add(1, std::memory_order_relaxed);
+  // The packed image moves into the payload — the bytes pack_slot produced
+  // are the bytes the destination unpacks, with no intermediate copy.
   migration_bytes_.fetch_add(buf.size(), std::memory_order_relaxed);
+  mig.payload = comm::Payload::adopt(buf.take());
+  migrations_.fetch_add(1, std::memory_order_relaxed);
   // Update the location *before* the state ships so forwards head to the
   // destination and queue behind the migration message.
   cluster_->set_location(rank, dest);
@@ -601,9 +647,9 @@ void Runtime::perform_migration_departure(comm::PeId pe, comm::RankId rank) {
 
 void Runtime::handle_migration_arrival(comm::PeId pe, comm::Message&& msg) {
   RankMpi& rm = rank_state(msg.dst_rank);
-  util::ByteBuffer buf;
-  buf.put_bytes(msg.payload.data(), msg.payload.size());
-  buf.rewind();
+  // take_vector() releases the adopted pack image without copying (the
+  // migration envelope holds the only reference).
+  util::ByteBuffer buf(msg.payload.take_vector());
   iso::unpack_slot(*arena_, rm.rc->slot, buf);
 
   const comm::NodeId node = cluster_->node_of(pe);
@@ -622,6 +668,7 @@ int Runtime::do_checkpoint(RankMpi& rm) {
   ctl.kind = comm::Message::Kind::Control;
   ctl.opcode = kCtlDoCheckpoint;
   ctl.tag = static_cast<std::int32_t>(epoch);
+  ctl.src_pe = rm.resident_pe;
   ctl.dst_pe = rm.resident_pe;
   ctl.dst_rank = rm.world_rank;
   cluster_->send(std::move(ctl));
@@ -644,6 +691,7 @@ void Runtime::perform_checkpoint_pack(comm::PeId pe, comm::RankId rank,
     retry.kind = comm::Message::Kind::Control;
     retry.opcode = buddy ? kCtlFtCheckpoint : kCtlDoCheckpoint;
     retry.tag = static_cast<std::int32_t>(epoch);
+    retry.src_pe = pe;
     retry.dst_pe = pe;
     retry.dst_rank = rank;
     cluster_->pe(pe).post(std::move(retry));
@@ -676,6 +724,7 @@ int Runtime::do_restore(RankMpi& rm) {
   ctl.kind = comm::Message::Kind::Control;
   ctl.opcode = kCtlDoRestore;
   ctl.tag = static_cast<std::int32_t>(epoch);
+  ctl.src_pe = rm.resident_pe;
   ctl.dst_pe = rm.resident_pe;
   ctl.dst_rank = rm.world_rank;
   cluster_->send(std::move(ctl));
@@ -701,6 +750,7 @@ void Runtime::perform_restore_unpack(comm::PeId pe, comm::RankId rank,
     retry.kind = comm::Message::Kind::Control;
     retry.opcode = kCtlDoRestore;
     retry.tag = static_cast<std::int32_t>(epoch);
+    retry.src_pe = pe;
     retry.dst_pe = pe;
     retry.dst_rank = rank;
     cluster_->pe(pe).post(std::move(retry));
@@ -740,6 +790,7 @@ void Runtime::perform_ft_adopt(comm::PeId pe, comm::RankId rank,
     retry.kind = comm::Message::Kind::Control;
     retry.opcode = kCtlFtAdopt;
     retry.tag = static_cast<std::int32_t>(epoch);
+    retry.src_pe = pe;
     retry.dst_pe = pe;
     retry.dst_rank = rank;
     cluster_->pe(pe).post(std::move(retry));

@@ -187,6 +187,11 @@ class Runtime {
   /// Suspends the calling ULT until woken by the dispatcher.
   void block_current(RankMpi& rm);
 
+  /// Prints every rank's wait state and every PE's queue depths to stderr.
+  /// Called from the wait_finish timeout path so a wedged job leaves a
+  /// usable post-mortem instead of a bare "deadlock?" error.
+  void dump_stuck_state();
+
   void close_run_slice(comm::PeId pe);
   void perform_migration_departure(comm::PeId pe, comm::RankId rank);
   void perform_checkpoint_pack(comm::PeId pe, comm::RankId rank,

@@ -23,6 +23,23 @@ constexpr bool is_pow2(std::size_t value) {
 /// architecture by construction in this runtime.
 class ByteBuffer {
  public:
+  ByteBuffer() = default;
+
+  /// Adopts an existing byte vector as the buffer contents (cursor at the
+  /// start) — the zero-copy ingest for packed images arriving as message
+  /// payloads.
+  explicit ByteBuffer(std::vector<std::byte>&& bytes) noexcept
+      : data_(std::move(bytes)) {}
+
+  /// Releases the underlying vector without copying (the buffer is left
+  /// empty). Lets a packed image move into a message payload.
+  std::vector<std::byte> take() noexcept {
+    std::vector<std::byte> out = std::move(data_);
+    data_.clear();
+    cursor_ = 0;
+    return out;
+  }
+
   void put_bytes(const void* src, std::size_t n) {
     const auto* p = static_cast<const std::byte*>(src);
     data_.insert(data_.end(), p, p + n);

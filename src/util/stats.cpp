@@ -5,6 +5,35 @@
 
 namespace apv::util {
 
+void Counters::add(const std::string& name, std::uint64_t delta) {
+  values_[name] += delta;
+}
+
+void Counters::set(const std::string& name, std::uint64_t value) {
+  values_[name] = value;
+}
+
+std::uint64_t Counters::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+void Counters::merge(const Counters& other) {
+  for (const auto& [name, value] : other.values_) values_[name] += value;
+}
+
+std::string Counters::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "}";
+  return out;
+}
+
 void RunningStats::add(double x) noexcept {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -1,9 +1,33 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 namespace apv::util {
+
+/// Ordered set of named monotonic counters — the surfacing format for
+/// subsystem instrumentation (comm transport, payload pool). Cheap to
+/// snapshot, mergeable across PEs, and serializable for benchmark output.
+class Counters {
+ public:
+  void add(const std::string& name, std::uint64_t delta);
+  void set(const std::string& name, std::uint64_t value);
+  std::uint64_t get(const std::string& name) const;  ///< 0 if absent
+
+  /// Sums `other` into this (per-PE -> total reductions).
+  void merge(const Counters& other);
+
+  /// {"name":123,...} with keys in sorted order.
+  std::string to_json() const;
+
+  const std::map<std::string, std::uint64_t>& all() const { return values_; }
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
 /// Used by benchmark harnesses and the load-balancing database.

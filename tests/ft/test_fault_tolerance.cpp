@@ -406,3 +406,62 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<core::Method>& info) {
       return core::method_name(info.param);
     });
+
+// --- recovery under small-message aggregation -------------------------------
+
+namespace {
+
+// Two ranks, two PEs, kill the victim at the second epoch. This is the
+// tightest shape for the commit-point race: with only two ranks the
+// dissemination barrier lets the leader exit the instant the victim's token
+// arrives, while the leader's own token to the victim may still be sitting
+// in its PE's aggregation bin (the recovery leader then spin-yields, which
+// keeps its scheduler busy). Regression for the deadlock where fail_pe was
+// declared before the victim finished the epoch barrier and the binned
+// token was diverted to the dead-letter queue.
+void* two_rank_kill_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  const int me = env->rank();
+  // Large enough that the pack/idle timing matches the failing shape: the
+  // race never showed with toy heaps, reliably did from ~10 MB up.
+  constexpr std::size_t kBytes = 10 << 20;
+  auto* buf = static_cast<unsigned char*>(env->rank_malloc(kBytes));
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    buf[i] = static_cast<unsigned char>(i * 17 + me);
+  }
+  const int r1 = env->checkpoint_all();  // epoch 1: fault-free
+  const int r2 = env->checkpoint_all();  // epoch 2: PE 1 dies here
+  bool intact = true;
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    if (buf[i] != static_cast<unsigned char>(i * 17 + me)) intact = false;
+  }
+  env->rank_free(buf);
+  env->barrier();
+  return reinterpret_cast<void*>(
+      static_cast<std::intptr_t>(intact && r1 == 0 && r2 == 1 ? 1 : 0));
+}
+
+}  // namespace
+
+TEST(Recovery, TwoRankEpochKillWithAggregation) {
+  // A couple of repetitions: the original hang was a scheduling race.
+  for (int rep = 0; rep < 2; ++rep) {
+    const img::ProgramImage image =
+        build_entry("tworank", &two_rank_kill_main);
+    mpi::RuntimeConfig cfg =
+        cfg_pes(core::Method::PIEglobals, 2, 2, /*nodes=*/2);
+    cfg.slot_bytes = std::size_t{64} << 20;
+    cfg.options.set("ft.policy", "epoch");
+    cfg.options.set("ft.pe", "1");
+    cfg.options.set("ft.epoch", "2");
+    cfg.options.set("mpi.timeout_s", "60");
+    mpi::Runtime rt(image, cfg);
+    rt.run();
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(r)), 1)
+          << "rep " << rep << " rank " << r;
+    }
+    EXPECT_EQ(rt.recovery_count(), 1u) << "rep " << rep;
+    EXPECT_EQ(rt.cluster().num_live_pes(), 1) << "rep " << rep;
+  }
+}
