@@ -2,6 +2,7 @@
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/sigstack.hpp"
 
 namespace apv::comm {
 
@@ -82,6 +83,10 @@ void Pe::run_loop() {
   require(dispatcher_ != nullptr, ErrorCode::BadState,
           "PE loop needs a dispatcher");
   g_current_pe = this;
+  // ULT stacks live inside isomalloc slots; when the dirty tracker arms a
+  // slot read-only, the first push after resume faults *on the stack being
+  // protected* — the SIGSEGV frame needs an alternate stack to land on.
+  util::ensure_sigaltstack();
   running_.store(true);
   APV_DEBUG("pe", "PE %d (node %d) loop starting", id_, node_);
   std::size_t quiet_streak = 0;

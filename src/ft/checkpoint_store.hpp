@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "comm/message.hpp"
+#include "comm/payload.hpp"
 #include "util/bytes.hpp"
 
 namespace apv::ft {
@@ -19,6 +20,8 @@ struct CheckpointMeta {
   comm::PeId resident_pe = comm::kInvalidPe;  ///< the rank's host at pack time
   comm::PeId owner_pe = comm::kInvalidPe;     ///< whose memory holds the copy
   std::size_t bytes = 0;
+  bool is_delta = false;          ///< delta image against base_epoch
+  std::uint32_t base_epoch = 0;   ///< predecessor epoch (deltas only)
 };
 
 /// Versioned in-memory checkpoint store — the double in-memory checkpoint
@@ -32,27 +35,59 @@ struct CheckpointMeta {
 /// lookups always name an epoch, and stale epochs are retired explicitly
 /// once a newer one has committed.
 ///
-/// Placing a buddy copy is modeled as a synchronous remote put into the
-/// buddy's memory (the emulator's shared address space stands in for RDMA);
-/// fetch() models pulling the image over to the consuming PE by copying it
-/// out.
+/// Copies are ref-counted comm::Payload handles: the buddy "duplicate" in
+/// put() shares the chunk (the emulator's shared address space stands in
+/// for RDMA, so replication is a refcount bump, not a memcpy), and fetch()
+/// hands out views / copies *outside* the store mutex.
+///
+/// Epochs form delta chains: put() stores a full image, put_delta() stores
+/// only the pages dirtied since `base_epoch`. An epoch is *materializable*
+/// if it and every link back to a full base survive; has()/latest_epoch()
+/// answer in those terms, and the retire_* calls keep chain links alive
+/// while any retained epoch still depends on them. A chain-length bound
+/// (set_chain_limit) triggers in-store consolidation: the oldest delta is
+/// folded into its base (iso::fold_delta_into_full) outside the mutex,
+/// shortening the chain without touching any live slot.
 class CheckpointStore {
  public:
-  /// Stores `image` once per owner in `owners` (self + buddy under the
-  /// buddy scheme; just self for single-copy checkpoints). Owners that have
-  /// already failed are skipped — a dead PE's memory cannot be written.
+  /// Stores a full `image` once per owner in `owners` (self + buddy under
+  /// the buddy scheme; just self for single-copy checkpoints). Owners that
+  /// have already failed are skipped — a dead PE's memory cannot be
+  /// written.
   void put(int rank, std::uint32_t epoch, comm::PeId resident_pe,
            const std::vector<comm::PeId>& owners, util::ByteBuffer image);
 
-  /// Newest epoch for which a surviving copy of `rank` exists; 0 if none.
+  /// Stores a delta image that applies on top of (rank, base_epoch). May
+  /// trigger chain consolidation (the fold runs outside the mutex).
+  void put_delta(int rank, std::uint32_t epoch, std::uint32_t base_epoch,
+                 comm::PeId resident_pe,
+                 const std::vector<comm::PeId>& owners,
+                 util::ByteBuffer image);
+
+  /// Newest epoch of `rank` that can be materialized (all chain links back
+  /// to a full base survive); 0 if none. O(1) via a per-rank newest-epoch
+  /// index; falls back to a rescan only after a loss invalidated the index
+  /// entry.
   std::uint32_t latest_epoch(int rank) const;
 
-  /// True if a surviving copy of (rank, epoch) exists.
+  /// True if (rank, epoch) survives and its whole chain is materializable.
   bool has(int rank, std::uint32_t epoch) const;
 
-  /// Copies a surviving image of (rank, epoch) into `out` (cleared and
-  /// rewound). Returns false if every copy is gone.
+  /// Copies the stored stream of (rank, epoch) into `out` (cleared and
+  /// rewound); the copy happens outside the store mutex. For deltas this
+  /// is that epoch's *delta stream* — use fetch_chain to materialize.
+  /// Returns false if every copy is gone.
   bool fetch(int rank, std::uint32_t epoch, util::ByteBuffer& out) const;
+
+  /// Zero-copy: hands out a ref-counted view of (rank, epoch)'s stored
+  /// stream. Returns false if gone.
+  bool fetch_view(int rank, std::uint32_t epoch, comm::Payload& out) const;
+
+  /// Zero-copy chain fetch: views of every stream needed to materialize
+  /// (rank, epoch), in application order (full base first, then deltas by
+  /// ascending epoch). Returns false if the chain is broken.
+  bool fetch_chain(int rank, std::uint32_t epoch,
+                   std::vector<comm::Payload>& out) const;
 
   /// Surviving copies of `rank`, all epochs (test/bench introspection).
   std::vector<CheckpointMeta> copies(int rank) const;
@@ -61,32 +96,60 @@ class CheckpointStore {
   /// future puts naming it as owner are ignored.
   void lose_pe(comm::PeId pe);
 
-  /// Drops all copies (every rank) from epochs older than `epoch` — called
-  /// once the epoch has committed globally, so the previous epoch's images
-  /// are no longer the fallback.
+  /// Drops copies (every rank) from epochs older than `epoch` — except
+  /// chain links that a surviving epoch >= `epoch` still depends on.
   void retire_before(std::uint32_t epoch);
 
-  /// Drops one rank's copies from epochs older than `epoch` (single-rank,
-  /// non-collective checkpoints version independently).
+  /// Per-rank version of retire_before (single-rank, non-collective
+  /// checkpoints version independently).
   void retire_rank_before(int rank, std::uint32_t epoch);
+
+  /// Bounds delta chain length (number of deltas on top of a full base);
+  /// longer chains are consolidated on put_delta. 0 disables (default).
+  void set_chain_limit(std::size_t limit);
+
+  /// Number of deltas stacked on top of (rank, epoch)'s full base,
+  /// counting the named epoch itself if it is a delta.
+  std::size_t chain_length(int rank, std::uint32_t epoch) const;
 
   std::size_t copy_count() const;
   std::size_t total_bytes() const;
   std::uint64_t puts() const;
   std::uint64_t fetches() const;
+  std::uint64_t consolidations() const;
 
  private:
+  enum class ImageKind : std::uint8_t { Full, Delta };
   struct Copy {
     CheckpointMeta meta;
-    util::ByteBuffer data;
+    comm::Payload data;
+  };
+  struct Entry {
+    ImageKind kind = ImageKind::Full;
+    std::uint32_t prev_epoch = 0;  ///< deltas: epoch this applies on top of
+    std::vector<Copy> copies;
   };
   using Key = std::pair<int, std::uint32_t>;  ///< (rank, epoch)
 
+  void put_entry(int rank, std::uint32_t epoch, ImageKind kind,
+                 std::uint32_t prev_epoch, comm::PeId resident_pe,
+                 const std::vector<comm::PeId>& owners,
+                 util::ByteBuffer image);
+  void consolidate(int rank, std::uint32_t epoch);
+  bool materializable_locked(int rank, std::uint32_t epoch) const;
+  std::size_t chain_length_locked(int rank, std::uint32_t epoch) const;
+  void rebuild_newest_locked();
+
   mutable std::mutex mutex_;
-  std::map<Key, std::vector<Copy>> images_;
+  std::map<Key, Entry> images_;
   std::set<comm::PeId> dead_owners_;
+  /// Per-rank newest materializable epoch. An entry may go stale only via
+  /// lose_pe (which rebuilds it) — put/retire keep it exact.
+  mutable std::map<int, std::uint32_t> newest_;
+  std::size_t chain_limit_ = 0;
   std::uint64_t puts_ = 0;
   mutable std::uint64_t fetches_ = 0;
+  std::uint64_t consolidations_ = 0;
 };
 
 }  // namespace apv::ft

@@ -1,0 +1,285 @@
+#include "isomalloc/dirty_tracker.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "isomalloc/slot_heap.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/sigstack.hpp"
+
+namespace apv::iso {
+
+using util::ErrorCode;
+using util::require;
+
+// Friend glue so handle_fault stays private to the class while the
+// file-local signal handler can reach it.
+struct DirtyTrackerSignalGlue {
+  static bool dispatch(DirtyTracker* t, void* addr) noexcept;
+};
+
+namespace {
+
+// Registry the SIGSEGV handler walks to find the tracker owning a faulting
+// address. Fixed-size and lock-free: the handler may run at any instant on
+// any thread and can only read pre-existing state. One tracker per arena;
+// more than one arena per process is a test-only situation.
+constexpr std::size_t kMaxTrackers = 4;
+std::atomic<DirtyTracker*> g_trackers[kMaxTrackers];
+
+// Scoped install: the barrier handler is live only while at least one slot
+// anywhere is armed; outside that window SIGSEGV keeps whatever disposition
+// the process had (so unrelated crashes, sanitizers, and debuggers see the
+// fault first-hand).
+std::mutex g_install_mutex;
+std::size_t g_armed_slots = 0;
+struct sigaction g_old_action;
+
+void on_segv(int sig, siginfo_t* info, void* ucontext);
+
+void install_barrier_locked() {
+  struct sigaction sa{};
+  sa.sa_sigaction = &on_segv;
+  sa.sa_flags = SA_SIGINFO | SA_ONSTACK | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGSEGV, &sa, &g_old_action);
+}
+
+void restore_old_handler() { sigaction(SIGSEGV, &g_old_action, nullptr); }
+
+void on_segv(int sig, siginfo_t* info, void* ucontext) {
+  (void)sig;
+  (void)ucontext;
+  void* addr = info->si_addr;
+  for (auto& entry : g_trackers) {
+    DirtyTracker* t = entry.load(std::memory_order_acquire);
+    if (t != nullptr && DirtyTrackerSignalGlue::dispatch(t, addr)) return;
+  }
+  // Foreign fault (a genuine bug, not the write barrier): put the previous
+  // disposition back and return. The faulting instruction re-executes,
+  // faults again, and dies under the original handler — the crash stays as
+  // loud as it would have been without us. No locking here: g_old_action
+  // was written once at install time, and a racing disarm writes the same
+  // value.
+  restore_old_handler();
+}
+
+}  // namespace
+
+bool DirtyTrackerSignalGlue::dispatch(DirtyTracker* t, void* addr) noexcept {
+  return t->handle_fault(addr);
+}
+
+DirtyTracker::DirtyTracker(IsoArena& arena)
+    : arena_(arena),
+      arena_base_(static_cast<std::byte*>(arena.slot_base(0))),
+      arena_span_(arena.slot_size() * arena.max_slots()),
+      page_size_(static_cast<std::size_t>(sysconf(_SC_PAGESIZE))),
+      pages_per_slot_((arena.slot_size() + page_size_ - 1) / page_size_),
+      words_per_slot_((pages_per_slot_ + 63) / 64),
+      slots_(new SlotState[arena.max_slots()]) {
+  bool registered = false;
+  for (auto& entry : g_trackers) {
+    DirtyTracker* expected = nullptr;
+    if (entry.compare_exchange_strong(expected, this,
+                                      std::memory_order_acq_rel)) {
+      registered = true;
+      break;
+    }
+  }
+  require(registered, ErrorCode::InvalidArgument,
+          "DirtyTracker: registry full (too many live trackers)");
+  // Allocator-assisted fast path: have SlotHeap tell us about metadata
+  // writes before they happen so the hot alloc/free path never faults.
+  set_heap_write_notify(
+      [](void* ctx, const void* addr, std::size_t len) {
+        static_cast<DirtyTracker*>(ctx)->pre_dirty(addr, len);
+      },
+      this);
+}
+
+DirtyTracker::~DirtyTracker() {
+  set_heap_write_notify(nullptr, nullptr);
+  for (SlotId s = 0; s < arena_.max_slots(); ++s) disarm(s);
+  for (auto& entry : g_trackers) {
+    DirtyTracker* expected = this;
+    if (entry.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  for (SlotId s = 0; s < arena_.max_slots(); ++s) {
+    delete[] slots_[s].words.load(std::memory_order_acquire);
+  }
+}
+
+std::size_t DirtyTracker::page_size() noexcept {
+  return static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+}
+
+std::atomic<std::uint64_t>* DirtyTracker::words_for(
+    SlotId slot) const noexcept {
+  return slots_[slot].words.load(std::memory_order_acquire);
+}
+
+void DirtyTracker::arm(SlotId slot) {
+  require(slot < arena_.max_slots(), ErrorCode::InvalidArgument,
+          "DirtyTracker::arm: bad slot");
+  // The arming thread may itself fault inside the slot later (ULT stacks
+  // live in-slot); make sure a signal frame has somewhere to land.
+  util::ensure_sigaltstack();
+  SlotState& st = slots_[slot];
+  auto* words = st.words.load(std::memory_order_acquire);
+  if (words == nullptr) {
+    words = new std::atomic<std::uint64_t>[words_per_slot_];
+    for (std::size_t i = 0; i < words_per_slot_; ++i)
+      words[i].store(0, std::memory_order_relaxed);
+    st.words.store(words, std::memory_order_release);
+  } else {
+    for (std::size_t i = 0; i < words_per_slot_; ++i)
+      words[i].store(0, std::memory_order_relaxed);
+  }
+  if (!st.armed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(g_install_mutex);
+    if (g_armed_slots++ == 0) install_barrier_locked();
+  }
+  // Order matters: armed must be visible before the protection tightens,
+  // or a racing write would look like a foreign fault.
+  st.armed.store(true, std::memory_order_release);
+  if (mprotect(arena_.slot_base(slot), arena_.slot_size(), PROT_READ) != 0) {
+    st.armed.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(g_install_mutex);
+    if (--g_armed_slots == 0) restore_old_handler();
+    throw util::ApvError(ErrorCode::InvalidArgument,
+                         "DirtyTracker::arm: mprotect(PROT_READ) failed");
+  }
+}
+
+void DirtyTracker::disarm(SlotId slot) {
+  if (slot >= arena_.max_slots()) return;
+  SlotState& st = slots_[slot];
+  if (!st.armed.exchange(false, std::memory_order_acq_rel)) return;
+  mprotect(arena_.slot_base(slot), arena_.slot_size(),
+           PROT_READ | PROT_WRITE);
+  std::lock_guard<std::mutex> lock(g_install_mutex);
+  if (--g_armed_slots == 0) restore_old_handler();
+}
+
+bool DirtyTracker::armed(SlotId slot) const noexcept {
+  return slot < arena_.max_slots() &&
+         slots_[slot].armed.load(std::memory_order_acquire);
+}
+
+bool DirtyTracker::mark_and_unprotect(SlotId slot, std::size_t first_page,
+                                      std::size_t page_count,
+                                      bool from_fault) noexcept {
+  auto* words = words_for(slot);
+  if (words == nullptr) return false;
+  std::uint64_t newly = 0;
+  for (std::size_t p = first_page; p < first_page + page_count; ++p) {
+    const std::uint64_t bit = std::uint64_t{1} << (p % 64);
+    const std::uint64_t old =
+        words[p / 64].fetch_or(bit, std::memory_order_acq_rel);
+    if ((old & bit) == 0) ++newly;
+  }
+  std::byte* page_base =
+      arena_base_ + static_cast<std::size_t>(slot) * arena_.slot_size() +
+      first_page * page_size_;
+  if (mprotect(page_base, page_count * page_size_,
+               PROT_READ | PROT_WRITE) != 0) {
+    return false;
+  }
+  if (from_fault) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    pre_dirtied_.fetch_add(newly, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool DirtyTracker::handle_fault(void* addr) noexcept {
+  auto* a = static_cast<std::byte*>(addr);
+  if (a < arena_base_ || a >= arena_base_ + arena_span_) return false;
+  const std::size_t off = static_cast<std::size_t>(a - arena_base_);
+  const SlotId slot = static_cast<SlotId>(off / arena_.slot_size());
+  SlotState& st = slots_[slot];
+  if (!st.armed.load(std::memory_order_acquire)) return false;
+  const std::size_t page = (off % arena_.slot_size()) / page_size_;
+  return mark_and_unprotect(slot, page, 1, /*from_fault=*/true);
+}
+
+void DirtyTracker::pre_dirty(const void* addr, std::size_t len) noexcept {
+  if (len == 0) return;
+  const auto* a = static_cast<const std::byte*>(addr);
+  if (a < arena_base_ || a >= arena_base_ + arena_span_) return;
+  const std::size_t off = static_cast<std::size_t>(a - arena_base_);
+  const SlotId slot = static_cast<SlotId>(off / arena_.slot_size());
+  if (!slots_[slot].armed.load(std::memory_order_acquire)) return;
+  const std::size_t in_slot = off % arena_.slot_size();
+  const std::size_t first_page = in_slot / page_size_;
+  std::size_t last_page = (in_slot + len - 1) / page_size_;
+  if (last_page >= pages_per_slot_) last_page = pages_per_slot_ - 1;
+  mark_and_unprotect(slot, first_page, last_page - first_page + 1,
+                     /*from_fault=*/false);
+}
+
+std::vector<DirtyRegion> DirtyTracker::dirty_regions(
+    SlotId slot, std::size_t limit_bytes) const {
+  std::vector<DirtyRegion> out;
+  if (slot >= arena_.max_slots()) return out;
+  auto* words = words_for(slot);
+  if (words == nullptr) return out;
+  const std::size_t limit = std::min(limit_bytes, arena_.slot_size());
+  const std::size_t limit_pages = (limit + page_size_ - 1) / page_size_;
+  std::size_t run_start = 0;
+  bool in_run = false;
+  for (std::size_t p = 0; p < limit_pages; ++p) {
+    const bool dirty = (words[p / 64].load(std::memory_order_acquire) >>
+                        (p % 64)) &
+                       1;
+    if (dirty && !in_run) {
+      run_start = p;
+      in_run = true;
+    } else if (!dirty && in_run) {
+      out.push_back({run_start * page_size_,
+                     (p - run_start) * page_size_});
+      in_run = false;
+    }
+  }
+  if (in_run) {
+    out.push_back({run_start * page_size_,
+                   (limit_pages - run_start) * page_size_});
+  }
+  // Clamp the final region to the prefix limit: the last page may extend
+  // past it, and bytes beyond the prefix are not carried.
+  if (!out.empty()) {
+    DirtyRegion& last = out.back();
+    if (last.offset + last.len > limit) last.len = limit - last.offset;
+  }
+  return out;
+}
+
+std::size_t DirtyTracker::dirty_page_count(SlotId slot,
+                                           std::size_t limit_bytes) const {
+  std::size_t n = 0;
+  for (const DirtyRegion& r : dirty_regions(slot, limit_bytes)) {
+    n += (r.len + page_size_ - 1) / page_size_;
+  }
+  return n;
+}
+
+std::uint64_t DirtyTracker::faults() const noexcept {
+  return faults_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t DirtyTracker::pre_dirtied() const noexcept {
+  return pre_dirtied_.load(std::memory_order_relaxed);
+}
+
+}  // namespace apv::iso

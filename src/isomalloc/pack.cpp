@@ -12,16 +12,39 @@ using util::ErrorCode;
 using util::require;
 
 namespace {
-constexpr std::uint64_t kPackMagic = 0x41505650'41434b31ULL;  // "APVPACK1"
+constexpr std::uint64_t kPackMagic = 0x41505650'41434b31ULL;   // "APVPACK1"
+constexpr std::uint64_t kDeltaMagic = 0x41505650'41434b32ULL;  // "APVPACK2"
 
 std::size_t touched_bytes(const IsoArena& arena, SlotId slot) {
   // Touched mode requires a SlotHeap at the slot base; SlotHeap::at
   // validates the magic and throws CorruptImage otherwise. The trailing
   // free block's header and in-band free-list links sit immediately at the
   // high-water offset and are live heap metadata, so the carried prefix
-  // must cover them (32 bytes: 16 header + 16 links).
+  // must cover them.
   SlotHeap* heap = SlotHeap::at(arena.slot_base(slot));
-  return std::min(arena.slot_size(), heap->high_water() + 32);
+  return std::min(arena.slot_size(),
+                  heap->high_water() + SlotHeap::kCarrySlackBytes);
+}
+
+struct DeltaHeader {
+  std::uint64_t slot_size;
+  std::uint64_t base_epoch;
+  std::uint64_t page_size;
+  std::uint64_t region_count;
+};
+
+DeltaHeader read_delta_header(util::ByteReader& in) {
+  require(in.remaining() >= 5 * sizeof(std::uint64_t), ErrorCode::CorruptImage,
+          "unpack delta: truncated stream");
+  const auto magic = in.get<std::uint64_t>();
+  require(magic == kDeltaMagic, ErrorCode::CorruptImage,
+          "unpack delta: bad magic");
+  DeltaHeader h;
+  h.slot_size = in.get<std::uint64_t>();
+  h.base_epoch = in.get<std::uint64_t>();
+  h.page_size = in.get<std::uint64_t>();
+  h.region_count = in.get<std::uint64_t>();
+  return h;
 }
 }  // namespace
 
@@ -29,18 +52,23 @@ const char* pack_mode_name(PackMode mode) noexcept {
   switch (mode) {
     case PackMode::FullSlot: return "full";
     case PackMode::Touched: return "touched";
+    case PackMode::Delta: return "delta";
   }
   return "?";
 }
 
 std::size_t packed_payload_size(const IsoArena& arena, SlotId slot,
                                 PackMode mode) {
+  require(mode != PackMode::Delta, ErrorCode::InvalidArgument,
+          "packed_payload_size: delta size is data-dependent");
   return mode == PackMode::FullSlot ? arena.slot_size()
                                     : touched_bytes(arena, slot);
 }
 
 void pack_slot(const IsoArena& arena, SlotId slot, PackMode mode,
                util::ByteBuffer& out) {
+  require(mode != PackMode::Delta, ErrorCode::InvalidArgument,
+          "pack_slot: use pack_slot_delta for delta images");
   const std::size_t len = packed_payload_size(arena, slot, mode);
   out.put<std::uint64_t>(kPackMagic);
   out.put<std::uint64_t>(arena.slot_size());
@@ -48,10 +76,66 @@ void pack_slot(const IsoArena& arena, SlotId slot, PackMode mode,
   out.put_bytes(arena.slot_base(slot), len);
 }
 
-void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteBuffer& in) {
+void pack_slot_delta(const IsoArena& arena, SlotId slot,
+                     const std::vector<DirtyRegion>& regions,
+                     std::uint64_t base_epoch, util::ByteBuffer& out) {
+  out.put<std::uint64_t>(kDeltaMagic);
+  out.put<std::uint64_t>(arena.slot_size());
+  out.put<std::uint64_t>(base_epoch);
+  out.put<std::uint64_t>(DirtyTracker::page_size());
+  out.put<std::uint64_t>(regions.size());
+  const auto* base = static_cast<const std::byte*>(arena.slot_base(slot));
+  for (const DirtyRegion& r : regions) {
+    require(r.offset + r.len <= arena.slot_size(), ErrorCode::InvalidArgument,
+            "pack_slot_delta: region exceeds slot");
+    out.put<std::uint64_t>(r.offset);
+    out.put<std::uint64_t>(r.len);
+    out.put_bytes(base + r.offset, r.len);
+  }
+}
+
+bool packed_image_is_delta(const util::ByteReader& in,
+                           std::uint64_t* base_epoch) noexcept {
+  if (in.remaining() < 3 * sizeof(std::uint64_t)) return false;
+  std::uint64_t magic;
+  std::memcpy(&magic, in.cursor(), sizeof magic);
+  if (magic != kDeltaMagic) return false;
+  if (base_epoch != nullptr) {
+    std::memcpy(base_epoch, in.cursor() + 2 * sizeof(std::uint64_t),
+                sizeof *base_epoch);
+  }
+  return true;
+}
+
+void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteReader& in) {
   require(in.remaining() >= 3 * sizeof(std::uint64_t), ErrorCode::CorruptImage,
           "unpack_slot: truncated stream");
-  const auto magic = in.get<std::uint64_t>();
+  std::uint64_t magic;
+  std::memcpy(&magic, in.cursor(), sizeof magic);
+  char* base = static_cast<char*>(arena.slot_base(slot));
+
+  if (magic == kDeltaMagic) {
+    // Delta: the slot must already hold the materialized predecessor; only
+    // the listed regions change. No poisoning — the base image's unpack
+    // already poisoned everything its prefix did not carry.
+    const DeltaHeader h = read_delta_header(in);
+    require(h.slot_size == arena.slot_size(), ErrorCode::CorruptImage,
+            "unpack delta: slot size mismatch");
+    for (std::uint64_t i = 0; i < h.region_count; ++i) {
+      require(in.remaining() >= 2 * sizeof(std::uint64_t),
+              ErrorCode::CorruptImage, "unpack delta: truncated region");
+      const auto offset = in.get<std::uint64_t>();
+      const auto len = in.get<std::uint64_t>();
+      require(offset + len <= arena.slot_size(), ErrorCode::CorruptImage,
+              "unpack delta: region exceeds slot");
+      require(in.remaining() >= len, ErrorCode::CorruptImage,
+              "unpack delta: truncated region payload");
+      in.get_bytes(base + offset, len);
+    }
+    return;
+  }
+
+  in.skip(sizeof magic);
   require(magic == kPackMagic, ErrorCode::CorruptImage,
           "unpack_slot: bad magic");
   const auto slot_size = in.get<std::uint64_t>();
@@ -62,7 +146,6 @@ void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteBuffer& in) {
           "unpack_slot: region exceeds slot");
   require(in.remaining() >= len, ErrorCode::CorruptImage,
           "unpack_slot: truncated payload");
-  char* base = static_cast<char*>(arena.slot_base(slot));
   // Poison a window beyond the carried prefix: a real migration lands in a
   // fresh address space, so nothing outside the packed bytes survives, and
   // tests must catch reliance on such bytes. The window is capped so that
@@ -71,8 +154,67 @@ void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteBuffer& in) {
   constexpr std::uint64_t kPoisonWindow = std::uint64_t{4} << 20;
   const std::uint64_t poison =
       std::min<std::uint64_t>(kPoisonWindow, arena.slot_size() - len);
-  std::memset(base + len, 0xDB, poison);
+  std::memset(base + len, kPackPoisonByte, poison);
   in.get_bytes(base, len);
+}
+
+void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteBuffer& in) {
+  util::ByteReader reader(in);
+  unpack_slot(arena, slot, reader);
+}
+
+void fold_delta_into_full(util::ByteReader base, util::ByteReader delta,
+                          util::ByteBuffer& out) {
+  // Parse the full base stream.
+  require(base.remaining() >= 3 * sizeof(std::uint64_t),
+          ErrorCode::CorruptImage, "fold: truncated base");
+  const auto magic = base.get<std::uint64_t>();
+  require(magic == kPackMagic, ErrorCode::CorruptImage,
+          "fold: base is not a full image");
+  const auto slot_size = base.get<std::uint64_t>();
+  const auto base_len = base.get<std::uint64_t>();
+  require(base_len <= slot_size && base.remaining() >= base_len,
+          ErrorCode::CorruptImage, "fold: corrupt base payload");
+
+  // Parse the delta stream: regions and the furthest byte they reach.
+  const DeltaHeader h = read_delta_header(delta);
+  require(h.slot_size == slot_size, ErrorCode::CorruptImage,
+          "fold: slot size mismatch between base and delta");
+  struct Region {
+    std::uint64_t offset;
+    std::uint64_t len;
+    const std::byte* bytes;
+  };
+  std::vector<Region> regions;
+  regions.reserve(h.region_count);
+  std::uint64_t new_len = base_len;
+  for (std::uint64_t i = 0; i < h.region_count; ++i) {
+    require(delta.remaining() >= 2 * sizeof(std::uint64_t),
+            ErrorCode::CorruptImage, "fold: truncated delta region");
+    const auto offset = delta.get<std::uint64_t>();
+    const auto len = delta.get<std::uint64_t>();
+    require(offset + len <= slot_size && delta.remaining() >= len,
+            ErrorCode::CorruptImage, "fold: corrupt delta region");
+    regions.push_back({offset, len, delta.cursor()});
+    delta.skip(len);
+    new_len = std::max(new_len, offset + len);
+  }
+
+  // New full payload: base prefix, poison fill for bytes the base never
+  // carried (exactly what unpacking the base would have left there), then
+  // the delta regions on top.
+  std::vector<std::byte> payload(new_len);
+  base.get_bytes(payload.data(), base_len);
+  std::memset(payload.data() + base_len,
+              kPackPoisonByte, new_len - base_len);
+  for (const Region& r : regions) {
+    std::memcpy(payload.data() + r.offset, r.bytes, r.len);
+  }
+
+  out.put<std::uint64_t>(kPackMagic);
+  out.put<std::uint64_t>(slot_size);
+  out.put<std::uint64_t>(new_len);
+  out.put_bytes(payload.data(), payload.size());
 }
 
 }  // namespace apv::iso

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "isomalloc/arena.hpp"
+#include "isomalloc/dirty_tracker.hpp"
 #include "util/bytes.hpp"
 
 namespace apv::iso {
@@ -16,7 +19,18 @@ enum class PackMode {
   /// paper's future-work optimization of migrating only the regions that
   /// can differ; requires the slot to be SlotHeap-formatted at its base.
   Touched,
+  /// Only the pages dirtied since a named base epoch (DirtyTracker
+  /// bitmap). Produced by pack_slot_delta — pack_slot refuses this mode
+  /// because a delta needs the region list and base epoch as inputs.
+  Delta,
 };
+
+/// Byte used to poison slot contents a packed image did not carry, so
+/// tests catch reliance on bytes a real cross-process migration would not
+/// have moved. Shared by unpack_slot and delta consolidation (which must
+/// fill the same gaps with the same value to keep folded and directly
+/// applied chains equivalent).
+inline constexpr unsigned char kPackPoisonByte = 0xDB;
 
 const char* pack_mode_name(PackMode mode) noexcept;
 
@@ -26,13 +40,41 @@ const char* pack_mode_name(PackMode mode) noexcept;
 void pack_slot(const IsoArena& arena, SlotId slot, PackMode mode,
                util::ByteBuffer& out);
 
-/// Restores a slot's memory from a stream produced by pack_slot. The
-/// destination slot must have the same slot size. Bytes outside the packed
-/// regions are poisoned (0xDB) first, so tests catch any reliance on data
-/// that a real cross-process migration would not have carried.
+/// Serializes only the given dirty regions (from DirtyTracker) as a delta
+/// against `base_epoch`. The stream is self-describing: a distinct magic,
+/// the base epoch, and an explicit {offset, len} region list, so unpack
+/// can verify it is applied on top of the right materialized state.
+void pack_slot_delta(const IsoArena& arena, SlotId slot,
+                     const std::vector<DirtyRegion>& regions,
+                     std::uint64_t base_epoch, util::ByteBuffer& out);
+
+/// Restores a slot's memory from a stream produced by pack_slot or
+/// pack_slot_delta (dispatches on the magic). For a full image, bytes
+/// outside the packed prefix are poisoned (kPackPoisonByte) first. For a
+/// delta, the slot must already hold the materialized predecessor image;
+/// only the listed regions are overwritten. Chains therefore apply as:
+/// full base, then each delta in epoch order.
+void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteReader& in);
+
+/// Compatibility overload reading from a ByteBuffer's cursor.
 void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteBuffer& in);
 
+/// True if the stream holds a delta image; if so and `base_epoch` is
+/// non-null, writes the delta's base epoch. Does not consume the reader.
+bool packed_image_is_delta(const util::ByteReader& in,
+                           std::uint64_t* base_epoch = nullptr) noexcept;
+
+/// Folds a delta stream into a full-image stream, producing a new full
+/// stream equivalent to unpacking `base` then `delta` into a fresh slot:
+/// the prefix grows to cover the delta's furthest region, gap bytes the
+/// base did not carry are filled with kPackPoisonByte, and delta regions
+/// are applied last. This is how the checkpoint store consolidates long
+/// chains off the hot path without touching any live slot.
+void fold_delta_into_full(util::ByteReader base, util::ByteReader delta,
+                          util::ByteBuffer& out);
+
 /// Number of payload bytes pack_slot would produce (excluding framing).
+/// Delta mode is data-dependent; query DirtyTracker instead.
 std::size_t packed_payload_size(const IsoArena& arena, SlotId slot,
                                 PackMode mode);
 

@@ -1,5 +1,6 @@
 #include "isomalloc/slot_heap.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "util/bytes.hpp"
@@ -25,7 +26,29 @@ constexpr std::size_t kMinBlock = 16 + 16;
 // free() can find the real payload start. Low 32 bits: back-offset.
 constexpr std::uint64_t kAlignMarkerTag = 0xA11C4000'00000000ULL;
 constexpr std::uint64_t kAlignMarkerMask = 0xFFFFFF00'00000000ULL;
+
+// Metadata write hook (see set_heap_write_notify). Read with acquire so a
+// hook installed by one thread is seen consistently with its context by
+// allocating threads; unset is the common case and costs one branch.
+std::atomic<HeapWriteNotifyFn> g_notify_fn{nullptr};
+std::atomic<void*> g_notify_ctx{nullptr};
+
+inline void notify_write(const void* addr, std::size_t len) noexcept {
+  if (HeapWriteNotifyFn fn = g_notify_fn.load(std::memory_order_acquire)) {
+    fn(g_notify_ctx.load(std::memory_order_acquire), addr, len);
+  }
+}
 }  // namespace
+
+void set_heap_write_notify(HeapWriteNotifyFn fn, void* ctx) noexcept {
+  if (fn == nullptr) {
+    g_notify_fn.store(nullptr, std::memory_order_release);
+    g_notify_ctx.store(nullptr, std::memory_order_release);
+  } else {
+    g_notify_ctx.store(ctx, std::memory_order_release);
+    g_notify_fn.store(fn, std::memory_order_release);
+  }
+}
 
 SlotHeap* SlotHeap::format(void* base, std::size_t size) {
   require(base != nullptr && size >= 4096, ErrorCode::InvalidArgument,
@@ -91,19 +114,30 @@ SlotHeap::FreeLinks* SlotHeap::links(Block* b) noexcept {
 
 void SlotHeap::free_list_insert(Block* b) noexcept {
   FreeLinks* l = links(b);
+  notify_write(l, sizeof(FreeLinks));
   l->next = free_head_;
   l->prev = nullptr;
-  if (free_head_ != nullptr) links(free_head_)->prev = b;
+  if (free_head_ != nullptr) {
+    notify_write(links(free_head_), sizeof(FreeLinks));
+    links(free_head_)->prev = b;
+  }
+  notify_write(&free_head_, sizeof free_head_);
   free_head_ = b;
 }
 
 void SlotHeap::free_list_remove(Block* b) noexcept {
   FreeLinks* l = links(b);
-  if (l->prev != nullptr)
+  if (l->prev != nullptr) {
+    notify_write(links(l->prev), sizeof(FreeLinks));
     links(l->prev)->next = l->next;
-  else
+  } else {
+    notify_write(&free_head_, sizeof free_head_);
     free_head_ = l->next;
-  if (l->next != nullptr) links(l->next)->prev = l->prev;
+  }
+  if (l->next != nullptr) {
+    notify_write(links(l->next), sizeof(FreeLinks));
+    links(l->next)->prev = l->prev;
+  }
 }
 
 SlotHeap::Block* SlotHeap::split(Block* b, std::size_t need) noexcept {
@@ -112,11 +146,16 @@ SlotHeap::Block* SlotHeap::split(Block* b, std::size_t need) noexcept {
   const std::size_t total = b->size();
   if (total >= need + kMinBlock) {
     auto* rest = reinterpret_cast<Block*>(reinterpret_cast<char*>(b) + need);
+    notify_write(rest, sizeof(Block));
     rest->set(total - need, false);
     rest->prev_size = need;
     Block* after = next_physical(rest);
-    if (after != nullptr) after->prev_size = rest->size();
+    if (after != nullptr) {
+      notify_write(&after->prev_size, sizeof after->prev_size);
+      after->prev_size = rest->size();
+    }
     free_list_insert(rest);
+    notify_write(b, sizeof(Block));
     b->set(need, false);
   }
   return b;
@@ -147,7 +186,9 @@ void* SlotHeap::try_alloc(std::size_t size, std::size_t align) noexcept {
     if (b->size() < need) continue;
     free_list_remove(b);
     Block* blk = split(b, need);
+    notify_write(blk, sizeof(Block));
     blk->set(blk->size(), true);
+    notify_write(this, sizeof(SlotHeap));
     ++blocks_;
     in_use_ += blk->payload_size();
     update_high_water(blk);
@@ -157,6 +198,7 @@ void* SlotHeap::try_alloc(std::size_t size, std::size_t align) noexcept {
     if (user != payload) {
       // Record how far back the true payload start is.
       auto* marker = reinterpret_cast<std::uint64_t*>(user - 8);
+      notify_write(marker, sizeof(std::uint64_t));
       *marker = kAlignMarkerTag | static_cast<std::uint64_t>(user - payload);
     }
     return reinterpret_cast<void*>(user);
@@ -192,8 +234,10 @@ void SlotHeap::free(void* p) {
   Block* b = block_of(p);
   require(b->used(), ErrorCode::CorruptImage,
           "SlotHeap::free: double free or foreign pointer");
+  notify_write(this, sizeof(SlotHeap));
   in_use_ -= b->payload_size();
   --blocks_;
+  notify_write(b, sizeof(Block));
   b->set(b->size(), false);
 
   // Coalesce with physical successor.
@@ -206,11 +250,15 @@ void SlotHeap::free(void* p) {
   Block* prev = prev_physical(b);
   if (prev != nullptr && !prev->used()) {
     free_list_remove(prev);
+    notify_write(prev, sizeof(Block));
     prev->set(prev->size() + b->size(), false);
     b = prev;
   }
   Block* after = next_physical(b);
-  if (after != nullptr) after->prev_size = b->size();
+  if (after != nullptr) {
+    notify_write(&after->prev_size, sizeof after->prev_size);
+    after->prev_size = b->size();
+  }
   free_list_insert(b);
 }
 

@@ -5,6 +5,19 @@
 
 namespace apv::iso {
 
+/// Process-global hook invoked *before* SlotHeap writes its in-band
+/// metadata (heap header, block headers, free links, alignment markers).
+/// The dirty tracker uses it to pre-dirty the pages those writes land on,
+/// so the hot alloc/free path never pays a write-barrier fault. The hook
+/// must be cheap and reentrancy-free; a missed or spurious notification is
+/// harmless (the write barrier catches anything missed, at the cost of one
+/// fault).
+using HeapWriteNotifyFn = void (*)(void* ctx, const void* addr,
+                                   std::size_t len);
+
+/// Installs (or, with fn == nullptr, clears) the metadata write hook.
+void set_heap_write_notify(HeapWriteNotifyFn fn, void* ctx) noexcept;
+
 /// First-fit heap allocator living entirely *inside* an isomalloc slot.
 ///
 /// Every byte of allocator metadata (this header object, block headers, free
@@ -46,6 +59,13 @@ class SlotHeap {
   /// Highest byte offset (from slot base) ever occupied by a used block;
   /// the "touched" prefix that PackMode::Touched migrates.
   std::size_t high_water() const noexcept;
+
+  /// Bytes beyond high_water() that a packed image must also carry: the
+  /// physical block beginning at the high-water offset is the trailing
+  /// free block, and its header plus in-band free-list links are live heap
+  /// metadata. (A class-scope static_assert ties this to the actual
+  /// Block/FreeLinks sizes.)
+  static constexpr std::size_t kCarrySlackBytes = 32;
 
   /// Full structural validation: block chain covers the slot exactly,
   /// boundary tags agree, free list matches free blocks, no two adjacent
@@ -90,6 +110,9 @@ class SlotHeap {
     Block* next;
     Block* prev;
   };
+  static_assert(kCarrySlackBytes == sizeof(Block) + sizeof(FreeLinks),
+                "pack slack must cover the trailing free block's header and "
+                "its in-band free-list links");
 
   SlotHeap() = default;
 

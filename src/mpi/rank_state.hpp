@@ -68,6 +68,15 @@ struct RankMpi {
   /// the slot) deliberately: a restore rewinds the slot but not this
   /// counter, so epochs taken after a rewind still version forward.
   std::uint32_t ft_epoch = 0;
+  /// Incremental-checkpoint bookkeeping (host heap, same rationale as
+  /// ft_epoch). last_ckpt_epoch names the delta base; ckpt_chain_len counts
+  /// deltas since the last full image; force_full_ckpt is raised whenever
+  /// the slot's bytes were rewritten wholesale (migration arrival, restore,
+  /// adoption) — the dirty bitmap is void then and the next image must be a
+  /// full base.
+  std::uint32_t last_ckpt_epoch = 0;
+  std::uint32_t ckpt_chain_len = 0;
+  bool force_full_ckpt = true;
 
   // Load-balancing instrumentation.
   double busy_time_s = 0.0;

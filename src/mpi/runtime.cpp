@@ -48,6 +48,20 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
   pack_mode_ = config_.options.get_string("iso.pack", "touched") == "full"
                    ? iso::PackMode::FullSlot
                    : iso::PackMode::Touched;
+  // Incremental checkpointing: dirty-page tracker + delta policy. The
+  // tracker also registers the SlotHeap write-notify hook so allocator
+  // metadata updates pre-dirty their pages instead of faulting.
+  if (config_.options.get_string("ft.delta", "on") == "on") {
+    dirty_tracker_ = std::make_unique<iso::DirtyTracker>(*arena_);
+  }
+  ckpt_full_every_ = static_cast<std::uint32_t>(std::max<std::int64_t>(
+      1, config_.options.get_int("ft.full_every", 8)));
+  // Chain-length bound for in-store consolidation. The periodic full image
+  // already caps chains at full_every - 1, so by default consolidation only
+  // engages when ft.max_chain is set tighter than that (or full_every is
+  // raised without bound).
+  ckpt_store_->set_chain_limit(static_cast<std::size_t>(
+      std::max<std::int64_t>(0, config_.options.get_int("ft.max_chain", 0))));
   pack_api_table(api_);
   pe_state_.resize(static_cast<std::size_t>(cluster_->num_pes()));
 
@@ -122,6 +136,14 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
 
 Runtime::~Runtime() {
   if (started_) cluster_->stop_and_join();
+  // Drop every write barrier before teardown touches the slots: rank
+  // destruction writes into them and release_slot flips them to PROT_NONE,
+  // neither of which belongs in the dirty bitmap.
+  if (dirty_tracker_ != nullptr) {
+    for (iso::SlotId s = 0; s < arena_->max_slots(); ++s) {
+      dirty_tracker_->disarm(s);
+    }
+  }
   // Destroy ranks before privatizers (rank teardown uses method state).
   for (auto& rm : ranks_) {
     if (rm->rc != nullptr) {
@@ -647,10 +669,16 @@ void Runtime::perform_migration_departure(comm::PeId pe, comm::RankId rank) {
 
 void Runtime::handle_migration_arrival(comm::PeId pe, comm::Message&& msg) {
   RankMpi& rm = rank_state(msg.dst_rank);
-  // take_vector() releases the adopted pack image without copying (the
-  // migration envelope holds the only reference).
-  util::ByteBuffer buf(msg.payload.take_vector());
-  iso::unpack_slot(*arena_, rm.rc->slot, buf);
+  // The runtime is about to rewrite the slot wholesale: the write barrier
+  // must not see (or fault on) the unpack, and the bitmap no longer
+  // describes an interval since any stored image — next checkpoint packs a
+  // full base.
+  if (dirty_tracker_ != nullptr) dirty_tracker_->disarm(rm.rc->slot);
+  rm.force_full_ckpt = true;
+  // Unpack straight out of the arriving payload — no intermediate vector,
+  // no copy.
+  util::ByteReader reader(msg.payload.data(), msg.payload.size());
+  iso::unpack_slot(*arena_, rm.rc->slot, reader);
 
   const comm::NodeId node = cluster_->node_of(pe);
   privs_[static_cast<std::size_t>(node)]->rank_arrived(rm.rc);
@@ -697,20 +725,63 @@ void Runtime::perform_checkpoint_pack(comm::PeId pe, comm::RankId rank,
     cluster_->pe(pe).post(std::move(retry));
     return;
   }
+  const iso::SlotId slot = rm.rc->slot;
+  // Delta is eligible only when tracking covered the whole interval since
+  // the previous image: the tracker is armed, nothing rewrote the slot
+  // wholesale (force_full_ckpt), the base image still survives, and the
+  // chain has not reached the full-image cadence.
+  const bool want_delta =
+      dirty_tracker_ != nullptr && !rm.force_full_ckpt &&
+      dirty_tracker_->armed(slot) && rm.last_ckpt_epoch != 0 &&
+      rm.ckpt_chain_len + 1 < ckpt_full_every_ &&
+      ckpt_store_->has(rank, rm.last_ckpt_epoch);
+
   util::ByteBuffer buf;
-  iso::pack_slot(*arena_, rm.rc->slot, pack_mode_, buf);
+  std::size_t dirty_pages = 0;
+  if (want_delta) {
+    const std::size_t prefix = iso::packed_payload_size(*arena_, slot,
+                                                        pack_mode_);
+    const auto regions = dirty_tracker_->dirty_regions(slot, prefix);
+    for (const iso::DirtyRegion& r : regions) {
+      dirty_pages += (r.len + iso::DirtyTracker::page_size() - 1) /
+                     iso::DirtyTracker::page_size();
+    }
+    iso::pack_slot_delta(*arena_, slot, regions, rm.last_ckpt_epoch, buf);
+  } else {
+    iso::pack_slot(*arena_, slot, pack_mode_, buf);
+  }
+
   std::vector<comm::PeId> owners{pe};
   if (buddy) {
     const comm::PeId b = buddy_of(pe);
     if (b != pe) owners.push_back(b);
   }
-  ckpt_store_->put(rank, epoch, pe, owners, std::move(buf));
+  const std::size_t packed_bytes = buf.size();
+  if (want_delta) {
+    ckpt_store_->put_delta(rank, epoch, rm.last_ckpt_epoch, pe, owners,
+                           std::move(buf));
+    ckpt_delta_images_.fetch_add(1, std::memory_order_relaxed);
+    ckpt_bytes_delta_.fetch_add(packed_bytes, std::memory_order_relaxed);
+    ckpt_pages_dirty_.fetch_add(dirty_pages, std::memory_order_relaxed);
+    ++rm.ckpt_chain_len;
+  } else {
+    ckpt_store_->put(rank, epoch, pe, owners, std::move(buf));
+    ckpt_full_images_.fetch_add(1, std::memory_order_relaxed);
+    ckpt_bytes_full_.fetch_add(packed_bytes, std::memory_order_relaxed);
+    rm.ckpt_chain_len = 0;
+    rm.force_full_ckpt = false;
+  }
+  rm.last_ckpt_epoch = epoch;
   if (!buddy) {
     // Non-collective checkpoints version per rank: the image just taken
-    // supersedes this rank's older epochs immediately. Collective epochs
+    // supersedes this rank's older epochs immediately (the store keeps
+    // chain links the new image still depends on). Collective epochs
     // retire globally once the whole epoch commits (do_checkpoint_all).
     ckpt_store_->retire_rank_before(rank, epoch);
   }
+  // Snapshot taken: clear the bitmap and restart write tracking so the
+  // next epoch's delta covers exactly the writes from here on.
+  if (dirty_tracker_ != nullptr) dirty_tracker_->arm(slot);
   rm.ckpt_pending = false;
   cluster_->pe(pe).scheduler().ready(rm.rc->ult);
 }
@@ -756,11 +827,18 @@ void Runtime::perform_restore_unpack(comm::PeId pe, comm::RankId rank,
     cluster_->pe(pe).post(std::move(retry));
     return;
   }
-  util::ByteBuffer saved;
-  require(ckpt_store_->fetch(rank, epoch, saved), ErrorCode::NotFound,
+  if (dirty_tracker_ != nullptr) dirty_tracker_->disarm(rm.rc->slot);
+  rm.force_full_ckpt = true;
+  // Materialize the epoch: the full base first, then each delta in order,
+  // unpacked directly from the store's ref-counted views.
+  std::vector<comm::Payload> chain;
+  require(ckpt_store_->fetch_chain(rank, epoch, chain), ErrorCode::NotFound,
           "checkpoint image lost for rank " + std::to_string(rank) +
               " epoch " + std::to_string(epoch));
-  iso::unpack_slot(*arena_, rm.rc->slot, saved);
+  for (comm::Payload& img : chain) {
+    util::ByteReader reader(img.data(), img.size());
+    iso::unpack_slot(*arena_, rm.rc->slot, reader);
+  }
   // The ULT (stack, context, heap) is now exactly as it was inside the
   // checkpoint suspension. Flag the resume as a restore and wake it.
   rm.restored = true;
@@ -801,12 +879,21 @@ void Runtime::perform_ft_adopt(comm::PeId pe, comm::RankId rank,
   privs_[static_cast<std::size_t>(old_node)]->rank_departed(rm.rc);
   pe_state_[static_cast<std::size_t>(old_pe)].resident.erase(rank);
 
-  // Pull the surviving buddy copy over and unpack it over the slot: the
-  // rank is now bit-for-bit at the epoch state, hosted here.
-  util::ByteBuffer img;
-  require(ckpt_store_->fetch(rank, epoch, img), ErrorCode::Internal,
+  // Pull the surviving buddy chain over and unpack it over the slot (full
+  // base, then deltas in order): the rank is now bit-for-bit at the epoch
+  // state, hosted here. The views are ref-counted — no copy is made to
+  // serve them.
+  if (dirty_tracker_ != nullptr) dirty_tracker_->disarm(rm.rc->slot);
+  rm.force_full_ckpt = true;
+  std::vector<comm::Payload> chain;
+  require(ckpt_store_->fetch_chain(rank, epoch, chain), ErrorCode::Internal,
           "buddy checkpoint copy vanished during adoption");
-  iso::unpack_slot(*arena_, rm.rc->slot, img);
+  std::size_t chain_bytes = 0;
+  for (comm::Payload& img : chain) {
+    chain_bytes += img.size();
+    util::ByteReader reader(img.data(), img.size());
+    iso::unpack_slot(*arena_, rm.rc->slot, reader);
+  }
 
   const comm::NodeId node = cluster_->node_of(pe);
   privs_[static_cast<std::size_t>(node)]->rank_arrived(rm.rc);
@@ -814,14 +901,14 @@ void Runtime::perform_ft_adopt(comm::PeId pe, comm::RankId rank,
   pe_state_[static_cast<std::size_t>(pe)].resident[rank] = &rm;
   cluster_->set_location(rank, pe);
   recoveries_.fetch_add(1, std::memory_order_relaxed);
-  recovery_bytes_.fetch_add(img.size(), std::memory_order_relaxed);
+  recovery_bytes_.fetch_add(chain_bytes, std::memory_order_relaxed);
 
   rm.restored = true;
   rm.ckpt_pending = false;
   rm.restore_pending = false;
   APV_INFO("ft", "rank %d adopted by PE %d from buddy copy (epoch %u, "
-                 "%zu bytes)",
-           rank, pe, epoch, img.size());
+                 "%zu image(s), %zu bytes)",
+           rank, pe, epoch, chain.size(), chain_bytes);
   cluster_->pe(pe).scheduler().ready(rm.rc->ult);
 }
 
@@ -839,6 +926,27 @@ core::VarAccess Runtime::bind_global(const RankMpi& rm,
                                      const std::string& name) const {
   const comm::NodeId node = cluster_->node_of(rm.resident_pe);
   return privs_[static_cast<std::size_t>(node)]->bind(name);
+}
+
+util::Counters Runtime::ckpt_counters() const {
+  util::Counters c;
+  c.set("ckpt_images_full",
+        ckpt_full_images_.load(std::memory_order_relaxed));
+  c.set("ckpt_images_delta",
+        ckpt_delta_images_.load(std::memory_order_relaxed));
+  c.set("ckpt_bytes_full", ckpt_bytes_full_.load(std::memory_order_relaxed));
+  c.set("ckpt_bytes_delta",
+        ckpt_bytes_delta_.load(std::memory_order_relaxed));
+  c.set("ckpt_pages_dirty",
+        ckpt_pages_dirty_.load(std::memory_order_relaxed));
+  if (dirty_tracker_ != nullptr) {
+    c.set("ckpt_tracker_faults", dirty_tracker_->faults());
+    c.set("ckpt_tracker_predirtied", dirty_tracker_->pre_dirtied());
+  }
+  c.set("ckpt_store_puts", ckpt_store_->puts());
+  c.set("ckpt_store_fetches", ckpt_store_->fetches());
+  c.set("ckpt_store_consolidations", ckpt_store_->consolidations());
+  return c;
 }
 
 }  // namespace apv::mpi

@@ -15,12 +15,14 @@
 #include "image/image.hpp"
 #include "image/loader.hpp"
 #include "isomalloc/arena.hpp"
+#include "isomalloc/dirty_tracker.hpp"
 #include "isomalloc/pack.hpp"
 #include "mpi/comm_table.hpp"
 #include "mpi/env.hpp"
 #include "mpi/rank_state.hpp"
 #include "mpi/types.hpp"
 #include "util/options.hpp"
+#include "util/stats.hpp"
 
 namespace apv::mpi {
 
@@ -89,6 +91,14 @@ class Runtime {
   std::uint64_t recovery_count() const noexcept { return recoveries_; }
   /// Checkpoint-image bytes fetched from buddy copies during recovery.
   std::uint64_t recovery_bytes() const noexcept { return recovery_bytes_; }
+  /// Incremental checkpointing active (ft.delta=on, the default).
+  bool delta_ckpt_enabled() const noexcept { return dirty_tracker_ != nullptr; }
+  /// The arena's dirty-page tracker, or nullptr when ft.delta=off.
+  iso::DirtyTracker* dirty_tracker() noexcept { return dirty_tracker_.get(); }
+  /// Checkpoint instrumentation (cumulative): image counts and bytes split
+  /// full vs delta, dirty pages packed, write-barrier faults, allocator
+  /// pre-dirty hits, and store put/fetch/consolidation counts.
+  util::Counters ckpt_counters() const;
 
   /// Applies a (possibly user-defined) reduction operator "on a PE" the way
   /// AMPI's message combining does: through the code copy of some rank
@@ -237,6 +247,15 @@ class Runtime {
   std::unique_ptr<ft::FaultInjector> injector_;
   std::atomic<std::uint64_t> recoveries_{0};
   std::atomic<std::uint64_t> recovery_bytes_{0};
+
+  // Incremental checkpointing (ft.delta): write-barrier tracker + policy.
+  std::unique_ptr<iso::DirtyTracker> dirty_tracker_;
+  std::uint32_t ckpt_full_every_ = 8;  ///< ft.full_every: full-image cadence
+  std::atomic<std::uint64_t> ckpt_full_images_{0};
+  std::atomic<std::uint64_t> ckpt_delta_images_{0};
+  std::atomic<std::uint64_t> ckpt_bytes_full_{0};
+  std::atomic<std::uint64_t> ckpt_bytes_delta_{0};
+  std::atomic<std::uint64_t> ckpt_pages_dirty_{0};
 
   friend class Env;
 };

@@ -78,4 +78,40 @@ class ByteBuffer {
   std::size_t cursor_ = 0;
 };
 
+/// Non-owning read cursor over a byte range. The zero-copy counterpart of
+/// ByteBuffer's read side: unpack paths consume packed images directly from
+/// wherever the bytes already live (a message payload, a checkpoint-store
+/// copy) without first copying them into an owning buffer.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size) noexcept
+      : data_(static_cast<const std::byte*>(data)), size_(size) {}
+  /// Reads the buffer's unread remainder (from its cursor onward).
+  explicit ByteReader(const ByteBuffer& buf) noexcept
+      : ByteReader(buf.data() + (buf.size() - buf.remaining()),
+                   buf.remaining()) {}
+
+  void get_bytes(void* dst, std::size_t n) {
+    std::memcpy(dst, data_ + cursor_, n);
+    cursor_ += n;
+  }
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    get_bytes(&value, sizeof value);
+    return value;
+  }
+
+  std::size_t remaining() const noexcept { return size_ - cursor_; }
+  const std::byte* cursor() const noexcept { return data_ + cursor_; }
+  void skip(std::size_t n) noexcept { cursor_ += n; }
+
+ private:
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t cursor_ = 0;
+};
+
 }  // namespace apv::util

@@ -1,0 +1,57 @@
+#include "util/sigstack.hpp"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace apv::util {
+
+namespace {
+
+// One altstack per thread, owned for the thread's whole lifetime. Freed at
+// thread exit; by then the thread can no longer fault on it (PE loops only
+// run ULTs while alive, and the kernel never leaves a pending frame on an
+// altstack across sigreturn).
+struct ThreadAltStack {
+  void* mem = nullptr;
+
+  ~ThreadAltStack() {
+    if (mem == nullptr) return;
+    stack_t disable{};
+    disable.ss_flags = SS_DISABLE;
+    sigaltstack(&disable, nullptr);
+    std::free(mem);
+  }
+};
+
+thread_local ThreadAltStack g_altstack;
+
+}  // namespace
+
+void ensure_sigaltstack() {
+  if (g_altstack.mem != nullptr) return;
+  stack_t current{};
+  if (sigaltstack(nullptr, &current) == 0 &&
+      (current.ss_flags & SS_DISABLE) == 0 && current.ss_sp != nullptr) {
+    return;  // someone already installed one for this thread
+  }
+  // SIGSTKSZ can be a dynamic (and small) value on modern glibc; the dirty
+  // tracker's handler calls mprotect and touches tracker state, so give it
+  // comfortable headroom.
+  const std::size_t size =
+      std::max<std::size_t>(static_cast<std::size_t>(SIGSTKSZ), 64 * 1024);
+  void* mem = std::malloc(size);
+  if (mem == nullptr) return;  // degraded: plain-stack delivery still works
+  stack_t ss{};
+  ss.ss_sp = mem;
+  ss.ss_size = size;
+  ss.ss_flags = 0;
+  if (sigaltstack(&ss, nullptr) != 0) {
+    std::free(mem);
+    return;
+  }
+  g_altstack.mem = mem;
+}
+
+}  // namespace apv::util

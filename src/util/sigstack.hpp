@@ -1,0 +1,16 @@
+#pragma once
+
+namespace apv::util {
+
+/// Installs an alternate signal stack for the calling thread (idempotent).
+///
+/// Required wherever a thread may take a synchronous signal while executing
+/// on memory that the signal itself made inaccessible: the Isomalloc dirty
+/// tracker write barrier arms a rank's slot read-only, and the rank's ULT
+/// *stack lives inside that slot* — the first push after re-arming faults,
+/// and the kernel could not deliver SIGSEGV by pushing a frame onto the
+/// very stack that is read-only. With SA_ONSTACK handlers the frame lands
+/// here instead. Every PE loop thread calls this before running ULTs.
+void ensure_sigaltstack();
+
+}  // namespace apv::util

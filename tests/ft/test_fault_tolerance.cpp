@@ -13,11 +13,17 @@
 
 #include "apps/jacobi.hpp"
 #include "comm/cluster.hpp"
+#include "comm/payload.hpp"
 #include "ft/checkpoint_store.hpp"
 #include "ft/fault_injector.hpp"
 #include "ft/recovery.hpp"
+#include "isomalloc/arena.hpp"
+#include "isomalloc/dirty_tracker.hpp"
+#include "isomalloc/pack.hpp"
+#include "isomalloc/slot_heap.hpp"
 #include "mpi/runtime.hpp"
 #include "util/error.hpp"
+#include "util/stats.hpp"
 
 using namespace apv;
 
@@ -351,7 +357,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 namespace {
 
-double run_ft_jacobi(core::Method method, bool inject) {
+double run_ft_jacobi(core::Method method, bool inject, bool delta = true) {
   apps::JacobiParams params;
   params.nx = 12;
   params.ny = 12;
@@ -364,6 +370,7 @@ double run_ft_jacobi(core::Method method, bool inject) {
   const img::ProgramImage image = apps::build_jacobi(params);
 
   mpi::RuntimeConfig cfg = cfg_pes(method, 4, 4);
+  cfg.options.set("ft.delta", delta ? "on" : "off");
   if (inject) {
     // Kill PE 1 at the second checkpoint (iteration 4 of 8): half the
     // solve runs on the degraded machine.
@@ -373,6 +380,14 @@ double run_ft_jacobi(core::Method method, bool inject) {
   }
   mpi::Runtime rt(image, cfg);
   rt.run();
+  const util::Counters ckpt = rt.ckpt_counters();
+  if (delta) {
+    // Epoch 1 is a full base; the later epochs ride the dirty bitmap.
+    EXPECT_GT(ckpt.get("ckpt_images_delta"), 0u);
+  } else {
+    EXPECT_EQ(ckpt.get("ckpt_images_delta"), 0u);
+    EXPECT_EQ(ckpt.get("ckpt_bytes_delta"), 0u);
+  }
   if (inject) {
     EXPECT_GT(rt.recovery_count(), 0u);
     EXPECT_GT(rt.recovery_bytes(), 0u);
@@ -442,6 +457,306 @@ void* two_rank_kill_main(void* arg) {
 }
 
 }  // namespace
+
+// --- delta chains in the store (unit) ----------------------------------------
+
+namespace {
+
+// Builds genuine pack streams (the store's consolidation path parses and
+// folds them, so synthetic bytes will not do): a 1 MB slot with a heap and
+// one patterned allocation, mutated under the dirty tracker between epochs.
+struct DeltaChainRig {
+  iso::IsoArena arena{{.slot_size = std::size_t{1} << 20, .max_slots = 2}};
+  iso::DirtyTracker tracker{arena};
+  iso::SlotId slot = arena.acquire_slot();
+  iso::SlotHeap* heap =
+      iso::SlotHeap::format(arena.slot_base(slot), arena.slot_size());
+  unsigned char* data =
+      static_cast<unsigned char*>(heap->alloc(std::size_t{32} << 10));
+
+  DeltaChainRig() {
+    for (std::size_t i = 0; i < (std::size_t{32} << 10); ++i) {
+      data[i] = static_cast<unsigned char>(i * 13 + 1);
+    }
+  }
+
+  std::size_t prefix() const {
+    return iso::packed_payload_size(arena, slot, iso::PackMode::Touched);
+  }
+
+  util::ByteBuffer pack_full() {
+    util::ByteBuffer out;
+    iso::pack_slot(arena, slot, iso::PackMode::Touched, out);
+    return out;
+  }
+
+  // Arms, applies a sparse epoch-specific mutation, and packs the delta.
+  util::ByteBuffer mutate_and_pack_delta(std::uint32_t base_epoch,
+                                         unsigned seed) {
+    tracker.arm(slot);
+    for (std::size_t i = 0; i < 2048; ++i) {
+      data[i] = static_cast<unsigned char>(i * 7 + seed);
+    }
+    util::ByteBuffer out;
+    iso::pack_slot_delta(arena, slot, tracker.dirty_regions(slot, prefix()),
+                         base_epoch, out);
+    tracker.disarm(slot);
+    return out;
+  }
+
+  // Wrecks the slot, applies `chain` in order, and compares the prefix
+  // against `expect`.
+  void verify_chain_restores(const std::vector<comm::Payload>& chain,
+                             const std::vector<unsigned char>& expect) {
+    std::memset(arena.slot_base(slot), 0xEE, arena.slot_size());
+    for (const comm::Payload& img : chain) {
+      util::ByteReader r(img.data(), img.size());
+      iso::unpack_slot(arena, slot, r);
+    }
+    ASSERT_EQ(expect.size(), prefix());
+    EXPECT_EQ(std::memcmp(expect.data(), arena.slot_base(slot),
+                          expect.size()),
+              0);
+    EXPECT_TRUE(
+        iso::SlotHeap::at(arena.slot_base(slot))->check_integrity());
+  }
+
+  std::vector<unsigned char> snapshot_prefix() const {
+    std::vector<unsigned char> out(prefix());
+    std::memcpy(out.data(), arena.slot_base(slot), out.size());
+    return out;
+  }
+};
+
+}  // namespace
+
+TEST(CheckpointStore, DeltaChainMaterializesAndRetireKeepsLinks) {
+  DeltaChainRig rig;
+  ft::CheckpointStore store;
+  store.put(0, 1, 0, {0, 1}, rig.pack_full());
+  store.put_delta(0, 2, 1, 0, {0, 1}, rig.mutate_and_pack_delta(1, 2));
+  store.put_delta(0, 3, 2, 0, {0, 1}, rig.mutate_and_pack_delta(2, 3));
+
+  EXPECT_EQ(store.latest_epoch(0), 3u);
+  EXPECT_TRUE(store.has(0, 2));
+  EXPECT_TRUE(store.has(0, 3));
+  EXPECT_EQ(store.chain_length(0, 3), 2u);
+
+  // Retiring everything before the newest epoch must keep the whole chain:
+  // the epoch-3 delta is useless without epochs 1 and 2.
+  store.retire_rank_before(0, 3);
+  EXPECT_TRUE(store.has(0, 3));
+  EXPECT_EQ(store.copies(0).size(), 6u);
+
+  const std::vector<unsigned char> expect = rig.snapshot_prefix();
+  std::vector<comm::Payload> chain;
+  ASSERT_TRUE(store.fetch_chain(0, 3, chain));
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_FALSE(iso::packed_image_is_delta(
+      util::ByteReader(chain[0].data(), chain[0].size())));
+  rig.verify_chain_restores(chain, expect);
+
+  // Once a newer full base lands, the old chain really is garbage.
+  store.put(0, 4, 0, {0, 1}, rig.pack_full());
+  store.retire_rank_before(0, 4);
+  EXPECT_EQ(store.latest_epoch(0), 4u);
+  EXPECT_FALSE(store.has(0, 3));
+  for (const auto& m : store.copies(0)) EXPECT_EQ(m.epoch, 4u);
+}
+
+TEST(CheckpointStore, ConsolidationFoldsOldestDeltaIntoBase) {
+  DeltaChainRig rig;
+  ft::CheckpointStore store;
+  store.set_chain_limit(1);
+  store.put(0, 1, 0, {0, 1}, rig.pack_full());
+  store.put_delta(0, 2, 1, 0, {0, 1}, rig.mutate_and_pack_delta(1, 20));
+  EXPECT_EQ(store.consolidations(), 0u);
+
+  // The second delta pushes the chain past the limit: epoch 2 is folded
+  // into its base off the hot path and the orphaned base is dropped.
+  store.put_delta(0, 3, 2, 0, {0, 1}, rig.mutate_and_pack_delta(2, 30));
+  EXPECT_EQ(store.consolidations(), 1u);
+  EXPECT_EQ(store.chain_length(0, 3), 1u);
+  EXPECT_FALSE(store.has(0, 1));
+  for (const auto& m : store.copies(0)) {
+    if (m.epoch == 2) EXPECT_FALSE(m.is_delta) << "epoch 2 was not folded";
+  }
+
+  const std::vector<unsigned char> expect = rig.snapshot_prefix();
+  std::vector<comm::Payload> chain;
+  ASSERT_TRUE(store.fetch_chain(0, 3, chain));
+  ASSERT_EQ(chain.size(), 2u);
+  rig.verify_chain_restores(chain, expect);
+}
+
+TEST(CheckpointStore, BrokenChainFallsBackAndBuddySurvivesOneLoss) {
+  const auto img = [](const char* s) {
+    util::ByteBuffer b;
+    b.put_bytes(s, std::strlen(s) + 1);
+    return b;
+  };
+
+  // Base owned only by PE 0, delta only by PE 1: losing PE 0 severs the
+  // chain even though the delta's own bytes survive, and the newest-epoch
+  // index must notice on its rescan.
+  ft::CheckpointStore severed;
+  severed.put(0, 1, 0, {0}, img("base"));
+  severed.put_delta(0, 2, 1, 0, {1}, img("delta"));
+  EXPECT_EQ(severed.latest_epoch(0), 2u);
+  severed.lose_pe(0);
+  EXPECT_FALSE(severed.has(0, 2));
+  EXPECT_EQ(severed.latest_epoch(0), 0u);
+
+  // With buddy copies of every link, one PE loss leaves the chain whole.
+  ft::CheckpointStore buddy;
+  buddy.put(1, 1, 0, {0, 1}, img("base"));
+  buddy.put_delta(1, 2, 1, 0, {0, 1}, img("delta"));
+  buddy.lose_pe(0);
+  EXPECT_TRUE(buddy.has(1, 2));
+  EXPECT_EQ(buddy.latest_epoch(1), 2u);
+  util::ByteBuffer out;
+  ASSERT_TRUE(buddy.fetch(1, 2, out));
+  char got[6];
+  out.get_bytes(got, sizeof got);
+  EXPECT_STREQ(got, "delta");
+}
+
+// --- delta checkpoints (runtime) ---------------------------------------------
+
+namespace {
+
+void* delta_epochs_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  int* data = env->rank_alloc_array<int>(4096);
+  for (int i = 0; i < 4096; ++i) data[i] = env->rank() + i;
+  int rc = env->checkpoint_all();  // epoch 1: first image is a full base
+  data[0] += 1;
+  rc += env->checkpoint_all();  // epoch 2: delta
+  data[1] += 1;
+  rc += env->checkpoint_all();  // epoch 3: delta
+  env->rank_free(data);
+  env->barrier();
+  return reinterpret_cast<void*>(static_cast<std::intptr_t>(rc));
+}
+
+void* migrate_delta_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  int* data = env->rank_alloc_array<int>(4096);
+  const int me = env->rank();
+  for (int i = 0; i < 4096; ++i) data[i] = me * 7 + i;
+  int rc = env->checkpoint_all();  // epoch 1: full
+  data[0] += 1;
+  rc += env->checkpoint_all();  // epoch 2: delta
+  // Migration rewrites the slot wholesale on the destination: the dirty
+  // bitmap is void, so the next image must fall back to a full base.
+  env->migrate_to((env->my_pe() + 1) % env->num_pes());
+  data[1] += 1;
+  rc += env->checkpoint_all();  // epoch 3: full again
+  data[2] += 1;
+  rc += env->checkpoint_all();  // epoch 4: delta (tracker re-armed)
+  const bool ok = rc == 0 && data[0] == me * 7 + 1 &&
+                  data[1] == me * 7 + 2 && data[2] == me * 7 + 3;
+  env->rank_free(data);
+  env->barrier();
+  return reinterpret_cast<void*>(static_cast<std::intptr_t>(ok ? 1 : 0));
+}
+
+}  // namespace
+
+TEST(DeltaCheckpoint, FirstImageFullThenDeltas) {
+  const img::ProgramImage image =
+      build_entry("deltaepochs", &delta_epochs_main);
+  mpi::Runtime rt(image, cfg_pes(core::Method::PIEglobals, 2, 2));
+  rt.run();
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(r)), 0)
+        << "rank " << r;
+  }
+  const util::Counters c = rt.ckpt_counters();
+  EXPECT_EQ(c.get("ckpt_images_full"), 2u);   // epoch 1, both ranks
+  EXPECT_EQ(c.get("ckpt_images_delta"), 4u);  // epochs 2-3, both ranks
+  EXPECT_GT(c.get("ckpt_bytes_full"), 0u);
+  EXPECT_GT(c.get("ckpt_bytes_delta"), 0u);
+  EXPECT_GT(c.get("ckpt_pages_dirty"), 0u);
+  // Steady state: the average delta is smaller than the average full image.
+  EXPECT_LT(c.get("ckpt_bytes_delta") / 4, c.get("ckpt_bytes_full") / 2);
+}
+
+TEST(DeltaCheckpoint, MigrationForcesFullBaseThenDeltasResume) {
+  const img::ProgramImage image =
+      build_entry("migdelta", &migrate_delta_main);
+  mpi::Runtime rt(image, cfg_pes(core::Method::PIEglobals, 2, 2));
+  rt.run();
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(r)), 1)
+        << "rank " << r;
+  }
+  // Epochs 1 and 3 are full (initial base, then the post-migration rebase);
+  // epochs 2 and 4 are deltas — the tracker re-armed after the migration.
+  const util::Counters c = rt.ckpt_counters();
+  EXPECT_EQ(c.get("ckpt_images_full"), 4u);
+  EXPECT_EQ(c.get("ckpt_images_delta"), 4u);
+}
+
+TEST(DeltaCheckpoint, DeltaOffRecoveryMatchesDeltaOn) {
+  // Same solve, same injected kill; the only difference is ft.delta. The
+  // restored arithmetic must be bit-identical either way (and the off run's
+  // zero delta counters are asserted inside the helper).
+  const double with_delta =
+      run_ft_jacobi(core::Method::PIEglobals, /*inject=*/true, true);
+  const double without_delta =
+      run_ft_jacobi(core::Method::PIEglobals, /*inject=*/true, false);
+  EXPECT_EQ(with_delta, without_delta);
+}
+
+namespace {
+
+// Three checkpoints with distinct sparse mutations between them, then PE 1
+// dies at the epoch-3 commit: every rank restores from a full-plus-two-
+// deltas chain, and both mutations must be present afterwards.
+void* chain_kill_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  const int me = env->rank();
+  constexpr std::size_t kInts = std::size_t{1} << 16;
+  int* data = env->rank_alloc_array<int>(kInts);
+  for (std::size_t i = 0; i < kInts; ++i) {
+    data[i] = me * 1000 + static_cast<int>(i);
+  }
+  const int r1 = env->checkpoint_all();  // epoch 1: full base
+  for (std::size_t i = 0; i < kInts; i += 997) data[i] += 7;
+  const int r2 = env->checkpoint_all();  // epoch 2: delta
+  for (std::size_t i = 0; i < kInts; i += 1009) data[i] += 11;
+  const int r3 = env->checkpoint_all();  // epoch 3: delta; PE 1 dies here
+  bool ok = r1 == 0 && r2 == 0 && r3 == 1;
+  for (std::size_t i = 0; i < kInts && ok; ++i) {
+    int want = me * 1000 + static_cast<int>(i);
+    if (i % 997 == 0) want += 7;
+    if (i % 1009 == 0) want += 11;
+    if (data[i] != want) ok = false;
+  }
+  env->rank_free(data);
+  env->barrier();
+  return reinterpret_cast<void*>(static_cast<std::intptr_t>(ok ? 1 : 0));
+}
+
+}  // namespace
+
+TEST(Recovery, KillMidDeltaChainRestoresBothMutations) {
+  const img::ProgramImage image = build_entry("chainkill", &chain_kill_main);
+  mpi::RuntimeConfig cfg = cfg_pes(core::Method::PIEglobals, 2, 2);
+  cfg.options.set("ft.policy", "epoch");
+  cfg.options.set("ft.pe", "1");
+  cfg.options.set("ft.epoch", "3");
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(r)), 1)
+        << "rank " << r;
+  }
+  EXPECT_EQ(rt.recovery_count(), 1u);
+  const util::Counters c = rt.ckpt_counters();
+  EXPECT_GT(c.get("ckpt_images_delta"), 0u);
+}
 
 TEST(Recovery, TwoRankEpochKillWithAggregation) {
   // A couple of repetitions: the original hang was a scheduling race.

@@ -4,11 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <vector>
 
 #include "isomalloc/arena.hpp"
+#include "isomalloc/dirty_tracker.hpp"
 #include "isomalloc/pack.hpp"
 #include "isomalloc/slot_heap.hpp"
 #include "util/bytes.hpp"
@@ -328,4 +330,267 @@ TEST(Pack, SlotSizeMismatchRejected) {
   iso::pack_slot(small, s1, iso::PackMode::Touched, buf);
   buf.rewind();
   EXPECT_THROW(iso::unpack_slot(big, s2, buf), ApvError);
+}
+
+TEST(Pack, CarrySlackCoversTrailingFreeBlockExactly) {
+  // The pack prefix is high_water + kCarrySlackBytes: the slack must cover
+  // the trailing free block's header and in-band free-list links, or an
+  // unpacked heap would alloc through a torn free list.
+  iso::IsoArena arena(small_arena());
+  const iso::SlotId slot = arena.acquire_slot();
+  iso::SlotHeap* heap =
+      iso::SlotHeap::format(arena.slot_base(slot), arena.slot_size());
+  heap->alloc(4096);
+  EXPECT_EQ(iso::packed_payload_size(arena, slot, iso::PackMode::Touched),
+            std::min(arena.slot_size(),
+                     heap->high_water() + iso::SlotHeap::kCarrySlackBytes));
+  util::ByteBuffer buf;
+  iso::pack_slot(arena, slot, iso::PackMode::Touched, buf);
+  buf.rewind();
+  iso::unpack_slot(arena, slot, buf);
+  iso::SlotHeap* back = iso::SlotHeap::at(arena.slot_base(slot));
+  EXPECT_TRUE(back->check_integrity());
+  // The free list survived the cut: carving from the trailing free block
+  // still works after the round trip.
+  EXPECT_NE(back->alloc(4096), nullptr);
+  EXPECT_TRUE(back->check_integrity());
+}
+
+// ---------------------------------------------------------------------------
+// Dirty tracking (mprotect write barrier)
+
+TEST(DirtyTracker, WritesAreTrackedAtPageGranularity) {
+  iso::IsoArena arena(small_arena());
+  iso::DirtyTracker tracker(arena);
+  const iso::SlotId slot = arena.acquire_slot();
+  auto* base = static_cast<unsigned char*>(arena.slot_base(slot));
+  const std::size_t page = iso::DirtyTracker::page_size();
+
+  tracker.arm(slot);
+  EXPECT_TRUE(tracker.armed(slot));
+  EXPECT_EQ(tracker.dirty_page_count(slot, arena.slot_size()), 0u);
+
+  const std::uint64_t faults0 = tracker.faults();
+  base[0] = 1;                    // page 0: one fault
+  base[3 * page + 17] = 2;        // page 3: one fault
+  base[3 * page + page - 1] = 3;  // page 3 again: already unprotected
+  EXPECT_EQ(tracker.faults(), faults0 + 2);
+  EXPECT_EQ(tracker.dirty_page_count(slot, arena.slot_size()), 2u);
+
+  const auto regions = tracker.dirty_regions(slot, arena.slot_size());
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].offset, 0u);
+  EXPECT_EQ(regions[0].len, page);
+  EXPECT_EQ(regions[1].offset, 3 * page);
+  EXPECT_EQ(regions[1].len, page);
+
+  tracker.disarm(slot);
+  EXPECT_FALSE(tracker.armed(slot));
+  base[5 * page] = 4;  // disarmed: ordinary write, no tracking
+  EXPECT_EQ(tracker.faults(), faults0 + 2);
+}
+
+TEST(DirtyTracker, AdjacentPagesCoalesceAndLimitClamps) {
+  iso::IsoArena arena(small_arena());
+  iso::DirtyTracker tracker(arena);
+  const iso::SlotId slot = arena.acquire_slot();
+  auto* base = static_cast<unsigned char*>(arena.slot_base(slot));
+  const std::size_t page = iso::DirtyTracker::page_size();
+
+  tracker.arm(slot);
+  base[1 * page] = 1;
+  base[2 * page] = 2;
+  base[3 * page] = 3;
+  const auto runs = tracker.dirty_regions(slot, arena.slot_size());
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].offset, page);
+  EXPECT_EQ(runs[0].len, 3 * page);
+
+  // A prefix limit mid-page clamps the final region and drops pages beyond.
+  const auto clamped = tracker.dirty_regions(slot, 2 * page + page / 2);
+  ASSERT_EQ(clamped.size(), 1u);
+  EXPECT_EQ(clamped[0].offset, page);
+  EXPECT_EQ(clamped[0].len, page + page / 2);
+  EXPECT_EQ(tracker.dirty_page_count(slot, 2 * page + page / 2), 2u);
+  tracker.disarm(slot);
+}
+
+TEST(DirtyTracker, RearmClearsBitmapAndPreDirtySkipsTheFault) {
+  iso::IsoArena arena(small_arena());
+  iso::DirtyTracker tracker(arena);
+  const iso::SlotId slot = arena.acquire_slot();
+  auto* base = static_cast<unsigned char*>(arena.slot_base(slot));
+  const std::size_t page = iso::DirtyTracker::page_size();
+
+  tracker.arm(slot);
+  base[0] = 1;
+  EXPECT_EQ(tracker.dirty_page_count(slot, arena.slot_size()), 1u);
+
+  tracker.arm(slot);  // new epoch: bitmap resets, slot re-protects
+  EXPECT_EQ(tracker.dirty_page_count(slot, arena.slot_size()), 0u);
+
+  // Pre-dirtying marks and write-enables without a fault.
+  const std::uint64_t faults0 = tracker.faults();
+  const std::uint64_t pre0 = tracker.pre_dirtied();
+  tracker.pre_dirty(base + 2 * page, page);
+  EXPECT_EQ(tracker.pre_dirtied(), pre0 + 1);
+  base[2 * page + 5] = 9;  // no fault: the page is already writable
+  EXPECT_EQ(tracker.faults(), faults0);
+  EXPECT_EQ(tracker.dirty_page_count(slot, arena.slot_size()), 1u);
+
+  // Pre-dirty outside any armed slot is a no-op.
+  int on_stack = 0;
+  tracker.pre_dirty(&on_stack, sizeof on_stack);
+  EXPECT_EQ(tracker.pre_dirtied(), pre0 + 1);
+  tracker.disarm(slot);
+}
+
+TEST(DirtyTracker, AllocatorNotificationsPreDirtyHeapMetadata) {
+  iso::IsoArena arena(small_arena());
+  const iso::SlotId slot = arena.acquire_slot();
+  iso::SlotHeap* heap =
+      iso::SlotHeap::format(arena.slot_base(slot), arena.slot_size());
+  heap->alloc(512);
+
+  // The tracker's constructor installed the SlotHeap write-notify hook:
+  // allocator metadata writes pre-dirty their pages instead of faulting.
+  iso::DirtyTracker tracker(arena);
+  tracker.arm(slot);
+  const std::uint64_t pre0 = tracker.pre_dirtied();
+  void* p = heap->alloc(512);
+  EXPECT_NE(p, nullptr);
+  EXPECT_GT(tracker.pre_dirtied(), pre0);
+  EXPECT_GT(tracker.dirty_page_count(slot, arena.slot_size()), 0u);
+  tracker.disarm(slot);
+  EXPECT_TRUE(heap->check_integrity());
+}
+
+// ---------------------------------------------------------------------------
+// Delta pack / unpack
+
+namespace {
+
+// Fills `buf[0, n)` with a deterministic per-test pattern.
+void fill_pattern(unsigned char* buf, std::size_t n, unsigned seed) {
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = static_cast<unsigned char>(i * 31 + seed);
+  }
+}
+
+}  // namespace
+
+TEST(Pack, DeltaChainRestoresBitIdenticalBytes) {
+  iso::IsoArena arena(small_arena());
+  iso::DirtyTracker tracker(arena);
+  const iso::SlotId slot = arena.acquire_slot();
+  iso::SlotHeap* heap =
+      iso::SlotHeap::format(arena.slot_base(slot), arena.slot_size());
+  constexpr std::size_t kBytes = 64 << 10;
+  auto* a = static_cast<unsigned char*>(heap->alloc(kBytes));
+  fill_pattern(a, kBytes, 1);
+
+  util::ByteBuffer base;
+  iso::pack_slot(arena, slot, iso::PackMode::Touched, base);
+
+  // New epoch: mutate a small subset of the allocation under the barrier.
+  tracker.arm(slot);
+  fill_pattern(a, 4096, 2);
+  a[kBytes - 1] = 0x5A;
+  const std::size_t prefix =
+      iso::packed_payload_size(arena, slot, iso::PackMode::Touched);
+  const auto regions = tracker.dirty_regions(slot, prefix);
+  ASSERT_FALSE(regions.empty());
+  util::ByteBuffer delta;
+  iso::pack_slot_delta(arena, slot, regions, /*base_epoch=*/1, delta);
+  tracker.disarm(slot);
+  EXPECT_LT(delta.size(), base.size());
+
+  std::uint64_t base_epoch = 0;
+  EXPECT_TRUE(iso::packed_image_is_delta(util::ByteReader(delta),
+                                         &base_epoch));
+  EXPECT_EQ(base_epoch, 1u);
+  EXPECT_FALSE(iso::packed_image_is_delta(util::ByteReader(base)));
+
+  // Snapshot the live prefix, wreck the slot, then materialize the chain.
+  std::vector<unsigned char> expect(prefix);
+  std::memcpy(expect.data(), arena.slot_base(slot), prefix);
+  std::memset(arena.slot_base(slot), 0xEE, arena.slot_size());
+  base.rewind();
+  iso::unpack_slot(arena, slot, base);
+  delta.rewind();
+  iso::unpack_slot(arena, slot, delta);
+
+  EXPECT_EQ(std::memcmp(expect.data(), arena.slot_base(slot), prefix), 0);
+  EXPECT_TRUE(iso::SlotHeap::at(arena.slot_base(slot))->check_integrity());
+  // Bytes the chain never carried are poison, not the wrecked 0xEE.
+  const auto* past =
+      static_cast<unsigned char*>(arena.slot_base(slot)) + prefix + 64;
+  EXPECT_EQ(*past, 0xDBu);
+}
+
+TEST(Pack, FoldedDeltaMatchesDirectChainApplication) {
+  iso::IsoArena arena(small_arena());
+  iso::DirtyTracker tracker(arena);
+  const iso::SlotId slot = arena.acquire_slot();
+  iso::SlotHeap* heap =
+      iso::SlotHeap::format(arena.slot_base(slot), arena.slot_size());
+  constexpr std::size_t kBytes = 32 << 10;
+  auto* a = static_cast<unsigned char*>(heap->alloc(kBytes));
+  fill_pattern(a, kBytes, 3);
+
+  util::ByteBuffer base;
+  iso::pack_slot(arena, slot, iso::PackMode::Touched, base);
+  tracker.arm(slot);
+  fill_pattern(a + 8192, 2048, 4);
+  const std::size_t prefix =
+      iso::packed_payload_size(arena, slot, iso::PackMode::Touched);
+  const auto regions = tracker.dirty_regions(slot, prefix);
+  util::ByteBuffer delta;
+  iso::pack_slot_delta(arena, slot, regions, /*base_epoch=*/7, delta);
+  tracker.disarm(slot);
+
+  util::ByteBuffer folded;
+  iso::fold_delta_into_full(util::ByteReader(base), util::ByteReader(delta),
+                            folded);
+  EXPECT_FALSE(iso::packed_image_is_delta(util::ByteReader(folded)));
+
+  // Apply the chain directly, snapshot the whole slot...
+  std::memset(arena.slot_base(slot), 0xEE, arena.slot_size());
+  base.rewind();
+  iso::unpack_slot(arena, slot, base);
+  delta.rewind();
+  iso::unpack_slot(arena, slot, delta);
+  std::vector<unsigned char> direct(arena.slot_size());
+  std::memcpy(direct.data(), arena.slot_base(slot), arena.slot_size());
+
+  // ...then unpack the folded image into a re-wrecked slot: every byte of
+  // the slot must match, poison included.
+  std::memset(arena.slot_base(slot), 0xCC, arena.slot_size());
+  folded.rewind();
+  iso::unpack_slot(arena, slot, folded);
+  EXPECT_EQ(std::memcmp(direct.data(), arena.slot_base(slot),
+                        arena.slot_size()),
+            0);
+  EXPECT_TRUE(iso::SlotHeap::at(arena.slot_base(slot))->check_integrity());
+}
+
+TEST(Pack, DeltaModeRefusedByFullPackEntryPoints) {
+  iso::IsoArena arena(small_arena());
+  const iso::SlotId slot = arena.acquire_slot();
+  iso::SlotHeap::format(arena.slot_base(slot), arena.slot_size());
+  util::ByteBuffer buf;
+  EXPECT_THROW(iso::pack_slot(arena, slot, iso::PackMode::Delta, buf),
+               ApvError);
+  EXPECT_THROW(iso::packed_payload_size(arena, slot, iso::PackMode::Delta),
+               ApvError);
+}
+
+TEST(Pack, DeltaRegionBeyondSlotRejected) {
+  iso::IsoArena arena(small_arena());
+  const iso::SlotId slot = arena.acquire_slot();
+  iso::SlotHeap::format(arena.slot_base(slot), arena.slot_size());
+  util::ByteBuffer buf;
+  const std::vector<iso::DirtyRegion> bogus = {
+      {arena.slot_size() - 16, 4096}};
+  EXPECT_THROW(iso::pack_slot_delta(arena, slot, bogus, 1, buf), ApvError);
 }
