@@ -1,0 +1,296 @@
+// Collective-latency microbenchmark for the hierarchical (two-level
+// PE-leader) algorithms.
+//
+// Runs 64 virtual ranks on 4 PEs — 16-way overdecomposition, the regime the
+// paper's process virtualization targets — and times barrier / bcast /
+// reduce / allreduce at 8 B and 64 KiB under:
+//
+//   hier  — coll.algo=hier (default): co-resident ranks combine through a
+//           shared per-PE contribution block, one leader per PE runs the
+//           inter-PE phase (recursive doubling, Rabenseifner above the
+//           size cutoff)
+//   naive — coll.algo=naive: the seed's flat rank-level algorithms
+//
+// Also times a same-PE inline ping-pong (pre-posted receives, so every send
+// hits the user-buffer fast path) against comm.inline=off. Prints a table
+// and writes BENCH_collectives.json; `--quick` shrinks iteration counts for
+// CI smoke runs.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "comm/payload.hpp"
+#include "image/image.hpp"
+#include "mpi/runtime.hpp"
+#include "util/stats.hpp"
+
+using namespace apv;
+
+namespace {
+
+constexpr int kVps = 64;
+constexpr int kPes = 4;
+
+enum CollKind : int {
+  kBenchBarrier = 0,
+  kBenchBcast = 1,
+  kBenchReduce = 2,
+  kBenchAllreduce = 3,
+};
+
+const char* kind_name(int k) {
+  switch (k) {
+    case kBenchBarrier: return "barrier";
+    case kBenchBcast: return "bcast";
+    case kBenchReduce: return "reduce";
+    default: return "allreduce";
+  }
+}
+
+void* coll_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  const int kind = env->global<int>("coll_kind").get();
+  const int count = env->global<int>("elem_count").get();
+  const int iters = env->global<int>("iters").get();
+  std::vector<int> in(static_cast<std::size_t>(count), env->rank() + 1);
+  std::vector<int> out(static_cast<std::size_t>(count), 0);
+
+  env->barrier();
+  const double t0 = env->wtime();
+  for (int i = 0; i < iters; ++i) {
+    switch (kind) {
+      case kBenchBarrier:
+        env->barrier();
+        break;
+      case kBenchBcast:
+        env->bcast(in.data(), count, mpi::Datatype::Int, 0);
+        break;
+      case kBenchReduce:
+        env->reduce(in.data(), out.data(), count, mpi::Datatype::Int,
+                    mpi::Op::builtin(mpi::OpKind::Sum), 0);
+        break;
+      default:
+        env->allreduce(in.data(), out.data(), count, mpi::Datatype::Int,
+                       mpi::Op::builtin(mpi::OpKind::Sum));
+        break;
+    }
+  }
+  const double us = (env->wtime() - t0) / iters * 1e6;
+  env->barrier();
+  if (env->rank() != 0) return nullptr;
+  const auto packed = static_cast<float>(us);
+  void* ret = nullptr;
+  std::memcpy(&ret, &packed, sizeof packed);
+  return ret;
+}
+
+struct CollResult {
+  double us = 0.0;
+  util::Counters locality;
+};
+
+CollResult run_coll(int kind, int count, int iters, bool hier) {
+  img::ImageBuilder b("collbench");
+  b.add_global<int>("coll_kind", kind);
+  b.add_global<int>("elem_count", count);
+  b.add_global<int>("iters", iters);
+  b.add_function("mpi_main", &coll_main);
+  const img::ProgramImage image = b.build();
+  mpi::RuntimeConfig cfg;
+  cfg.nodes = 1;
+  cfg.pes_per_node = kPes;
+  cfg.vps = kVps;
+  cfg.method = core::Method::None;
+  cfg.slot_bytes = std::size_t{4} << 20;
+  cfg.options.set("coll.algo", hier ? "hier" : "naive");
+  // The baseline is the seed's flat path: no inline fast path either.
+  if (!hier) cfg.options.set("comm.inline", "off");
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+  CollResult r;
+  float us = 0.0f;
+  void* ret = rt.rank_return(0);
+  std::memcpy(&us, &ret, sizeof us);
+  r.us = us;
+  r.locality = rt.locality_counters();
+  return r;
+}
+
+// Same-PE message rate: the receiver pre-posts a window of receives and
+// signals readiness with a zero-byte token; the sender then streams the
+// window. Every streamed send finds a posted receive, so with the fast path
+// on it takes the inline user-buffer copy; with comm.inline=off the same
+// messages ride the mailbox + payload pool. Windowing amortizes ULT
+// scheduling, so the ratio isolates the per-message delivery path.
+constexpr int kPpWindow = 64;
+
+void* inline_pp_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  const int total = env->global<int>("iters").get();
+  const int peer = 1 - env->rank();
+  std::vector<int> win(kPpWindow, 0);
+  char token = 0;
+  env->barrier();
+  const double t0 = env->wtime();
+  if (env->rank() == 0) {
+    for (int sent = 0; sent < total;) {
+      const int w = std::min(kPpWindow, total - sent);
+      env->recv(&token, 1, mpi::Datatype::Byte, peer, 12);
+      for (int i = 0; i < w; ++i)
+        env->send(&win[static_cast<std::size_t>(i)], 1, mpi::Datatype::Int,
+                  peer, 10);
+      sent += w;
+    }
+  } else {
+    std::vector<mpi::Request> reqs(kPpWindow);
+    for (int got = 0; got < total;) {
+      const int w = std::min(kPpWindow, total - got);
+      for (int i = 0; i < w; ++i)
+        reqs[static_cast<std::size_t>(i)] = env->irecv(
+            &win[static_cast<std::size_t>(i)], 1, mpi::Datatype::Int, peer,
+            10);
+      env->send(&token, 1, mpi::Datatype::Byte, peer, 12);
+      env->waitall(w, reqs.data());
+      got += w;
+    }
+  }
+  const double secs = env->wtime() - t0;
+  env->barrier();
+  if (env->rank() != 0) return nullptr;
+  const auto rate = static_cast<float>(total / secs / 1e6);  // Mmsg/s
+  void* ret = nullptr;
+  std::memcpy(&ret, &rate, sizeof rate);
+  return ret;
+}
+
+struct PpResult {
+  double rate_mps = 0.0;
+  util::Counters locality;
+  util::Counters cluster;
+};
+
+PpResult run_pingpong(int reps, bool inline_on) {
+  img::ImageBuilder b("inlinebench");
+  b.add_global<int>("iters", reps);
+  b.add_function("mpi_main", &inline_pp_main);
+  const img::ProgramImage image = b.build();
+  mpi::RuntimeConfig cfg;
+  cfg.nodes = 1;
+  cfg.pes_per_node = 1;
+  cfg.vps = 2;
+  cfg.method = core::Method::None;
+  cfg.slot_bytes = std::size_t{4} << 20;
+  if (!inline_on) cfg.options.set("comm.inline", "off");
+  mpi::Runtime rt(image, cfg);
+  comm::pool::reset_stats();  // process-wide: isolate this run's traffic
+  rt.run();
+  PpResult r;
+  float rate = 0.0f;
+  void* ret = rt.rank_return(0);
+  std::memcpy(&rate, &ret, sizeof rate);
+  r.rate_mps = rate;
+  r.locality = rt.locality_counters();
+  r.cluster = rt.cluster().stat_counters();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  std::FILE* json = std::fopen("BENCH_collectives.json", "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"collectives\",\n  \"quick\": %s,\n"
+                 "  \"vps\": %d,\n  \"pes\": %d,\n  \"cases\": [\n",
+                 quick ? "true" : "false", kVps, kPes);
+  }
+
+  std::printf("collectives: hierarchical (PE-leader) vs naive (flat), "
+              "%d ranks on %d PEs\n\n", kVps, kPes);
+  std::printf("%-10s %-7s | %10s %10s %8s\n", "collective", "bytes",
+              "hier us", "naive us", "speedup");
+
+  // 8 B = 2 ints (latency-bound), 64 KiB = 16384 ints (bandwidth-bound,
+  // above the Rabenseifner cutoff for allreduce).
+  const std::vector<int> counts = {2, 16384};
+  double allred_speedup[2] = {0.0, 0.0};
+  bool first = true;
+  for (const int kind :
+       {kBenchBarrier, kBenchBcast, kBenchReduce, kBenchAllreduce}) {
+    for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+      const int count = counts[ci];
+      if (kind == kBenchBarrier && count != counts.front()) continue;
+      const int bytes = count * 4;
+      const int iters = quick ? (bytes > 1024 ? 10 : 40)
+                              : (bytes > 1024 ? 60 : 400);
+      const CollResult hier = run_coll(kind, count, iters, true);
+      const CollResult naive = run_coll(kind, count, iters, false);
+      const double speedup = hier.us > 0.0 ? naive.us / hier.us : 0.0;
+      if (kind == kBenchAllreduce) allred_speedup[ci] = speedup;
+      std::printf("%-10s %-7d | %10.1f %10.1f %7.2fx\n", kind_name(kind),
+                  kind == kBenchBarrier ? 0 : bytes, hier.us, naive.us,
+                  speedup);
+      if (json) {
+        if (!first) std::fprintf(json, ",\n");
+        first = false;
+        std::fprintf(json,
+                     "    {\"collective\": \"%s\", \"bytes\": %d,"
+                     " \"iters\": %d,\n"
+                     "     \"hier_us\": %.2f, \"naive_us\": %.2f,"
+                     " \"speedup\": %.3f,\n"
+                     "     \"hier_counters\": %s}",
+                     kind_name(kind), kind == kBenchBarrier ? 0 : bytes,
+                     iters, hier.us, naive.us, speedup,
+                     hier.locality.to_json().c_str());
+      }
+    }
+  }
+
+  // --- same-PE inline message rate --------------------------------------
+  const int reps = quick ? 4000 : 100000;
+  const PpResult fast = run_pingpong(reps, true);
+  const PpResult off = run_pingpong(reps, false);
+  const double pp_speedup =
+      off.rate_mps > 0.0 ? fast.rate_mps / off.rate_mps : 0.0;
+  const std::uint64_t inline_pool_acquires =
+      fast.cluster.get("pool.hits") + fast.cluster.get("pool.misses");
+  std::printf("\nsame-PE ping-pong (pre-posted receives, %d reps):\n", reps);
+  std::printf("  inline on : %8.3f Mmsg/s  (inline_hits=%llu, "
+              "pool acquires=%llu)\n",
+              fast.rate_mps,
+              static_cast<unsigned long long>(
+                  fast.locality.get("inline_hits")),
+              static_cast<unsigned long long>(inline_pool_acquires));
+  std::printf("  inline off: %8.3f Mmsg/s\n", off.rate_mps);
+  std::printf("  speedup   : %7.2fx (acceptance: >= 3x)\n", pp_speedup);
+  std::printf("allreduce speedup at 8 B: %.2fx, at 64 KiB: %.2fx "
+              "(acceptance: >= 2x)\n",
+              allred_speedup[0], allred_speedup[1]);
+
+  if (json) {
+    std::fprintf(
+        json,
+        "\n  ],\n  \"same_pe_pingpong\": {\"reps\": %d,\n"
+        "    \"inline_msgs_per_s\": %.0f, \"routed_msgs_per_s\": %.0f,"
+        " \"speedup\": %.3f,\n"
+        "    \"inline_hits\": %llu, \"inline_misses\": %llu,"
+        " \"inline_pool_acquires\": %llu},\n"
+        "  \"allreduce_8B_speedup\": %.3f,\n"
+        "  \"allreduce_64KiB_speedup\": %.3f\n}\n",
+        reps, fast.rate_mps * 1e6, off.rate_mps * 1e6, pp_speedup,
+        static_cast<unsigned long long>(fast.locality.get("inline_hits")),
+        static_cast<unsigned long long>(fast.locality.get("inline_misses")),
+        static_cast<unsigned long long>(inline_pool_acquires),
+        allred_speedup[0], allred_speedup[1]);
+    std::fclose(json);
+    std::printf("wrote BENCH_collectives.json\n");
+  }
+  return 0;
+}

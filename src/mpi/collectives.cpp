@@ -19,18 +19,18 @@ void Runtime::do_barrier(RankMpi& rm, CommId comm) {
   const CommInfo& ci = comm_info(comm);
   const int n = ci.size();
   if (n == 1) return;
+  if (coll_hier_ && hier_barrier(rm, comm)) return;
   const int me = ci.local_of(rm.world_rank);
   const std::uint32_t seq = rm.coll_seq_for(comm)++;
-  // Dissemination barrier: ceil(log2 n) rounds of shifted token exchange.
-  char token = 1;
+  // Dissemination barrier: ceil(log2 n) rounds of shifted zero-byte token
+  // exchange (empty payloads never touch the pool).
   int round = 0;
   for (int dist = 1; dist < n; dist <<= 1, ++round) {
     const int dst = ci.world_of((me + dist) % n);
     const int src = ci.world_of(((me - dist) % n + n) % n);
     const int tag = internal_tag(kCollBarrier, round, seq);
-    coll_send(rm, dst, tag, &token, sizeof token, comm);
-    char incoming;
-    coll_recv(rm, src, tag, &incoming, sizeof incoming, comm);
+    coll_send(rm, dst, tag, nullptr, 0, comm);
+    coll_recv(rm, src, tag, nullptr, 0, comm);
   }
 }
 
@@ -39,6 +39,7 @@ void Runtime::do_bcast(RankMpi& rm, void* buf, std::size_t bytes, int root,
   const CommInfo& ci = comm_info(comm);
   const int n = ci.size();
   if (n == 1) return;
+  if (coll_hier_ && hier_bcast(rm, buf, bytes, root, comm)) return;
   const int me = ci.local_of(rm.world_rank);
   const std::uint32_t seq = rm.coll_seq_for(comm)++;
   const int tag = internal_tag(kCollBcast, 0, seq);
@@ -75,34 +76,49 @@ void Runtime::do_reduce(RankMpi& rm, const void* sbuf, void* rbuf, int count,
     if (me == root && rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
     return;
   }
+  if (coll_hier_ && hier_reduce(rm, sbuf, rbuf, count, dt, op, root, comm))
+    return;
   const std::uint32_t seq = rm.coll_seq_for(comm)++;
-  const int tag = internal_tag(kCollReduce, 0, seq);
 
   if (!op.commutative) {
-    // Non-commutative operators need the canonical rank order: gather all
-    // contributions at the root and fold right-to-left (associativity makes
-    // this equal the left-assoc MPI definition).
-    if (me == root) {
-      std::vector<std::byte> all(static_cast<std::size_t>(n) * bytes);
-      std::memcpy(all.data() + static_cast<std::size_t>(me) * bytes, sbuf,
-                  bytes);
-      for (int i = 0; i < n; ++i) {
-        if (i == me) continue;
-        coll_recv(rm, ci.world_of(i), tag,
-                  all.data() + static_cast<std::size_t>(i) * bytes, bytes,
+    // Non-commutative operators need the canonical rank order. Rank-ordered
+    // binomial fold over absolute comm-local indices: after round k, index
+    // i holds the fold of contributions [i, min(i + 2^k, n)) iff 2^k
+    // divides i — associativity makes the result equal the left-assoc MPI
+    // definition with O(log n) critical path and O(bytes) memory (the old
+    // algorithm serialized n-1 receives into an n x bytes staging buffer
+    // at the root).
+    std::vector<std::byte> acc(bytes);
+    std::vector<std::byte> incoming(bytes);
+    std::memcpy(acc.data(), sbuf, bytes);
+    int round = 0;
+    for (int mask = 1; mask < n; mask <<= 1, ++round) {
+      const int tag = internal_tag(kCollReduce, round & 0x3f, seq);
+      if ((me & mask) != 0) {
+        // acc covers [me, me+mask): hand it to the left neighbour, done.
+        coll_send(rm, ci.world_of(me - mask), tag, acc.data(), bytes, comm);
+        break;
+      }
+      if (me + mask < n) {
+        // incoming covers [me+mask, ...): acc = acc op incoming, keeping
+        // rank order (acc is the left operand).
+        coll_recv(rm, ci.world_of(me + mask), tag, incoming.data(), bytes,
                   comm);
+        apply_op(rm, op, dt, acc.data(), incoming.data(), count);
+        acc.swap(incoming);
       }
-      std::memcpy(rbuf, all.data() + static_cast<std::size_t>(n - 1) * bytes,
-                  bytes);
-      for (int i = n - 2; i >= 0; --i) {
-        apply_op(rm, op, dt, all.data() + static_cast<std::size_t>(i) * bytes,
-                 rbuf, count);
-      }
-    } else {
-      coll_send(rm, ci.world_of(root), tag, sbuf, bytes, comm);
+    }
+    const int fwd_tag = internal_tag(kCollReduce, 63, seq);
+    if (root == 0) {
+      if (me == 0) std::memcpy(rbuf, acc.data(), bytes);
+    } else if (me == 0) {
+      coll_send(rm, ci.world_of(root), fwd_tag, acc.data(), bytes, comm);
+    } else if (me == root) {
+      coll_recv(rm, ci.world_of(0), fwd_tag, rbuf, bytes, comm);
     }
     return;
   }
+  const int tag = internal_tag(kCollReduce, 0, seq);
 
   // Commutative: binomial-tree combine toward the root.
   const int vr = ((me - root) % n + n) % n;
@@ -129,6 +145,9 @@ void Runtime::do_allreduce(RankMpi& rm, const void* sbuf, void* rbuf,
                            CommId comm) {
   const std::size_t bytes =
       static_cast<std::size_t>(count) * datatype_size(dt);
+  if (comm_info(comm).size() > 1 && coll_hier_ &&
+      hier_allreduce(rm, sbuf, rbuf, count, dt, op, comm))
+    return;
   do_reduce(rm, sbuf, rbuf, count, dt, op, /*root=*/0, comm);
   do_bcast(rm, rbuf, bytes, /*root=*/0, comm);
 }
@@ -140,6 +159,8 @@ void Runtime::do_scan(RankMpi& rm, const void* sbuf, void* rbuf, int count,
   const int me = ci.local_of(rm.world_rank);
   const std::size_t bytes =
       static_cast<std::size_t>(count) * datatype_size(dt);
+  if (n > 1 && coll_hier_ && hier_scan(rm, sbuf, rbuf, count, dt, op, comm))
+    return;
   const std::uint32_t seq = rm.coll_seq_for(comm)++;
   const int tag = internal_tag(kCollScan, 0, seq);
 

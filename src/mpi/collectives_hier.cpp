@@ -1,0 +1,979 @@
+// Hierarchical (two-level, PE-leader) collective algorithms.
+//
+// Co-resident ranks — grouped by each rank's placement_view, which is
+// identical across ranks by construction — combine through a per-group
+// shared contribution block with no messages at all; one leader per group
+// (its lowest comm-local index) runs the inter-PE phase with the other
+// leaders. With V ranks on P PEs this turns O(V log V) collective messages
+// into O(P log P) plus memcpys, which is the whole point of
+// overdecomposition-aware collectives.
+//
+// Thread-safety model: a group's members usually share one PE thread, but
+// the placement view may be stale against the live location table (explicit
+// migrate_to, failure recovery keep views untouched so groupings still
+// agree). Blocks are therefore mutex-guarded, and a peer is woken either
+// directly (when resident on the calling thread) or via a kCtlCollWake
+// control message processed on its own PE thread — a cross-thread
+// scheduler().ready() could race the peer's suspend, the control message
+// cannot: the peer's flag-check-then-suspend runs inside one ULT slice on
+// its own thread, and the dispatcher only runs between slices.
+//
+// A rank parked in a block wait always re-checks its predicate under the
+// block mutex, so redundant or early wakes are harmless no-ops.
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "mpi/runtime.hpp"
+
+namespace apv::mpi {
+
+/// The grouping of one communicator under a rank's placement view. Every
+/// member derives the identical topology (same membership list, same view),
+/// so group ids, leader choices, and fold orders agree without messages.
+struct CommTopo {
+  /// Groups are contiguous comm-index intervals in group-id order (true
+  /// under the default block map): required by order-sensitive algorithms
+  /// (non-commutative reduce, scan), which fall back to the flat
+  /// implementations otherwise.
+  bool ordered = false;
+  int ngroups = 0;
+  std::vector<int> group_of;      ///< comm-local index -> group id
+  std::vector<int> pos_in_group;  ///< comm-local index -> position in group
+  std::vector<std::vector<int>> members;  ///< group -> sorted local indices
+  std::vector<int> leader;        ///< group -> leader's comm-local index
+};
+
+namespace {
+
+/// Leader counts up to this skip the logarithmic inter-PE trees for
+/// latency-bound (small-payload) phases: at this scale the sequential hop
+/// count, not the message count, is what a small collective's latency is
+/// made of. PEs are threads of one process, so instead of exchanging
+/// messages these leaders rendezvous in a second-level shared block (the
+/// same mechanism the member phase uses), keyed under kLeaderGroup.
+constexpr int kFlatLeaderMax = 8;
+
+/// Registry group id for the inter-PE leader rendezvous block of one
+/// collective instance. Member blocks use the (non-negative) group id, so
+/// a negative sentinel can never collide with them under the same
+/// (comm, seq) key.
+constexpr int kLeaderGroup = -1;
+
+/// Per-(collective instance, group) shared contribution block.
+struct GroupBlock {
+  std::mutex m;
+  int expected = 0;   ///< group size
+  int arrived = 0;
+  int departed = 0;
+  bool released = false;    ///< result (or release) published by the leader
+  bool data_ready = false;  ///< bcast: root deposited into acc
+  std::vector<std::byte> acc;  ///< fold accumulator / staging / result
+  std::vector<std::vector<std::byte>> slots;  ///< ordered per-member staging
+};
+
+}  // namespace
+
+/// Registry of live group blocks, keyed (comm, collective seq, group id).
+/// Entries are created by the first arriving member and erased by the last
+/// departing one; shared_ptr keeps a block alive for stragglers.
+///
+/// Sharded by group id: all members of a group normally run on one PE
+/// thread, so registry traffic stays thread-local and concurrent
+/// collectives on different PEs never bounce a shared lock's cache line
+/// (one global mutex here was the dominant cost of a small collective).
+struct Runtime::CollHierState {
+  struct alignas(64) Shard {
+    std::mutex m;
+    std::map<std::tuple<std::int32_t, std::uint32_t, int>,
+             std::shared_ptr<GroupBlock>>
+        blocks;
+  };
+  std::vector<Shard> shards;
+
+  explicit CollHierState(std::size_t nshards)
+      : shards(nshards == 0 ? 1 : nshards) {}
+
+  Shard& shard_for(int group) {
+    return shards[static_cast<std::size_t>(group) % shards.size()];
+  }
+};
+
+void Runtime::init_hier_state() {
+  hier_ = std::make_shared<CollHierState>(
+      static_cast<std::size_t>(cluster_->num_pes()));
+}
+
+std::shared_ptr<const CommTopo> Runtime::comm_topo(RankMpi& rm, CommId comm) {
+  const auto idx = static_cast<std::size_t>(comm);
+  if (rm.topo_cache.size() <= idx) rm.topo_cache.resize(idx + 1);
+  auto& entry = rm.topo_cache[idx];
+  if (entry.second != nullptr && entry.first == rm.view_epoch)
+    return entry.second;
+
+  const CommInfo& ci = comm_info(rm, comm);
+  const int n = ci.size();
+  auto topo = std::make_shared<CommTopo>();
+  topo->group_of.resize(static_cast<std::size_t>(n));
+  topo->pos_in_group.resize(static_cast<std::size_t>(n));
+  // Group ids are assigned by first appearance in comm-index order, so
+  // group 0 holds index 0 and group mins increase with the id.
+  std::map<comm::PeId, int> gid;
+  for (int i = 0; i < n; ++i) {
+    const int w = ci.world_of(i);
+    const comm::PeId pe =
+        static_cast<std::size_t>(w) < rm.placement_view.size()
+            ? rm.placement_view[static_cast<std::size_t>(w)]
+            : 0;
+    auto [it, fresh] =
+        gid.emplace(pe, static_cast<int>(topo->members.size()));
+    if (fresh) topo->members.emplace_back();
+    const int g = it->second;
+    topo->group_of[static_cast<std::size_t>(i)] = g;
+    topo->pos_in_group[static_cast<std::size_t>(i)] =
+        static_cast<int>(topo->members[static_cast<std::size_t>(g)].size());
+    topo->members[static_cast<std::size_t>(g)].push_back(i);
+  }
+  topo->ngroups = static_cast<int>(topo->members.size());
+  topo->leader.reserve(topo->members.size());
+  for (const auto& g : topo->members) topo->leader.push_back(g.front());
+  topo->ordered = true;
+  int next = 0;
+  for (const auto& g : topo->members) {
+    for (const int i : g) {
+      if (i != next++) {
+        topo->ordered = false;
+        break;
+      }
+    }
+    if (!topo->ordered) break;
+  }
+  entry = {rm.view_epoch, std::shared_ptr<const CommTopo>(topo)};
+  return entry.second;
+}
+
+namespace {
+
+std::shared_ptr<GroupBlock> attach_block(Runtime::CollHierState& st,
+                                         CommId comm, std::uint32_t seq,
+                                         int group, int expected) {
+  auto& shard = st.shard_for(group);
+  const auto key =
+      std::make_tuple(static_cast<std::int32_t>(comm), seq, group);
+  std::lock_guard<std::mutex> lk(shard.m);
+  auto it = shard.blocks.find(key);
+  if (it != shard.blocks.end()) return it->second;
+  auto blk = std::make_shared<GroupBlock>();
+  blk->expected = expected;
+  shard.blocks.emplace(key, blk);
+  return blk;
+}
+
+void detach_block(Runtime::CollHierState& st, CommId comm, std::uint32_t seq,
+                  int group, GroupBlock& blk) {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(blk.m);
+    last = ++blk.departed == blk.expected;
+  }
+  if (!last) return;
+  auto& shard = st.shard_for(group);
+  const auto key =
+      std::make_tuple(static_cast<std::int32_t>(comm), seq, group);
+  std::lock_guard<std::mutex> lk(shard.m);
+  shard.blocks.erase(key);
+}
+
+}  // namespace
+
+// Shared prelude for every algorithm below. Binds: ci, n, me, topo, g
+// (my group id), members (my group), gsize, pos (my slot), lead (my
+// group's leader index), am_leader, L (number of groups).
+#define HIER_PRELUDE(rm, comm)                                          \
+  const CommInfo& ci = comm_info((rm), (comm));                         \
+  const int n = ci.size();                                              \
+  (void)n;                                                              \
+  const int me = ci.local_of((rm).world_rank);                          \
+  const std::shared_ptr<const CommTopo> topo = comm_topo((rm), (comm)); \
+  const int g = topo->group_of[static_cast<std::size_t>(me)];           \
+  const std::vector<int>& members =                                     \
+      topo->members[static_cast<std::size_t>(g)];                       \
+  const int gsize = static_cast<int>(members.size());                   \
+  (void)gsize;                                                          \
+  const int pos = topo->pos_in_group[static_cast<std::size_t>(me)];     \
+  (void)pos;                                                            \
+  const int lead = topo->leader[static_cast<std::size_t>(g)];           \
+  const bool am_leader = lead == me;                                    \
+  const int L = topo->ngroups
+
+// ---------------------------------------------------------------------------
+// Barrier
+
+bool Runtime::hier_barrier(RankMpi& rm, CommId comm) {
+  HIER_PRELUDE(rm, comm);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  auto blk = attach_block(*hier_, comm, seq, g, gsize);
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    last = ++blk->arrived == gsize;
+  }
+  if (!am_leader) {
+    if (last) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(lead)));
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(blk->m);
+        if (blk->released) break;
+      }
+      block_current(rm);
+    }
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      if (blk->arrived == gsize) break;
+    }
+    block_current(rm);
+  }
+  if (L > 1 && L <= kFlatLeaderMax) {
+    // Leaders rendezvous in a shared second-level block instead of
+    // exchanging L*(L-1) zero-byte tokens: one shared arrival counter and
+    // a cross-PE wake per sleeping leader is all the inter-PE phase needs.
+    auto lblk = attach_block(*hier_, comm, seq, kLeaderGroup, L);
+    bool llast = false;
+    {
+      std::lock_guard<std::mutex> lk(lblk->m);
+      llast = ++lblk->arrived == L;
+      if (llast) lblk->released = true;
+    }
+    ++ps.coll_shared_rendezvous;
+    if (llast) {
+      for (int gg = 0; gg < L; ++gg) {
+        if (gg == g) continue;
+        wake_coll_member(
+            rm.resident_pe,
+            rank_state(
+                ci.world_of(topo->leader[static_cast<std::size_t>(gg)])));
+      }
+    } else {
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lk(lblk->m);
+          if (lblk->released) break;
+        }
+        block_current(rm);
+      }
+    }
+    detach_block(*hier_, comm, seq, kLeaderGroup, *lblk);
+  } else if (L > 1) {
+    // Leader dissemination over groups, zero-byte tokens.
+    int round = 0;
+    for (int dist = 1; dist < L; dist <<= 1, ++round) {
+      const int dst = topo->leader[static_cast<std::size_t>((g + dist) % L)];
+      const int src =
+          topo->leader[static_cast<std::size_t>(((g - dist) % L + L) % L)];
+      const int tag = internal_tag(kCollHierBarrier, round, seq);
+      ++ps.coll_leader_msgs;
+      coll_send(rm, ci.world_of(dst), tag, nullptr, 0, comm);
+      coll_recv(rm, ci.world_of(src), tag, nullptr, 0, comm);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    blk->released = true;
+  }
+  for (const int m : members) {
+    if (m != me) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(m)));
+  }
+  detach_block(*hier_, comm, seq, g, *blk);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Bcast
+
+bool Runtime::hier_bcast(RankMpi& rm, void* buf, std::size_t bytes, int root,
+                         CommId comm) {
+  HIER_PRELUDE(rm, comm);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int rg = topo->group_of[static_cast<std::size_t>(root)];
+  auto blk = attach_block(*hier_, comm, seq, g, gsize);
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+
+  if (me == root) {
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      const auto* p = static_cast<const std::byte*>(buf);
+      blk->acc.assign(p, p + bytes);
+      blk->data_ready = true;
+      ++blk->arrived;
+    }
+    if (!am_leader)
+      wake_coll_member(rm.resident_pe, rank_state(ci.world_of(lead)));
+  } else if (!am_leader) {
+    std::lock_guard<std::mutex> lk(blk->m);
+    ++blk->arrived;
+  }
+
+  if (!am_leader) {
+    if (me != root) {
+      // Wait for the leader to publish the data, then copy it out.
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lk(blk->m);
+          if (blk->released) {
+            std::memcpy(buf, blk->acc.data(), bytes);
+            break;
+          }
+        }
+        block_current(rm);
+      }
+    }
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  // Leader. In the root's group: wait for the root's deposit. Elsewhere:
+  // receive from the parent leader in the group-level binomial tree.
+  const int tag = internal_tag(kCollHierBcast, 0, seq);
+  const int vrg = ((g - rg) % L + L) % L;  // my group relative to root's
+  // Small payloads at a small leader count: a shared hand-off block beats
+  // the binomial tree (and any message fan-out) on sequential hops — the
+  // root's group leader deposits once, every other leader copies out.
+  const bool flat = L > 1 && L <= kFlatLeaderMax && bytes < rab_cutoff_;
+  if (g == rg) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(blk->m);
+        if (blk->data_ready) break;
+      }
+      block_current(rm);
+    }
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      ++blk->arrived;
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      blk->acc.resize(bytes);
+      ++blk->arrived;
+    }
+    if (flat) {
+      auto lblk = attach_block(*hier_, comm, seq, kLeaderGroup, L);
+      ++ps.coll_shared_rendezvous;
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lk(lblk->m);
+          if (lblk->released) {
+            std::memcpy(blk->acc.data(), lblk->acc.data(), bytes);
+            break;
+          }
+        }
+        block_current(rm);
+      }
+      detach_block(*hier_, comm, seq, kLeaderGroup, *lblk);
+    } else {
+      int mask = 1;
+      while (mask < L) {
+        if ((vrg & mask) != 0) {
+          const int parent =
+              topo->leader[static_cast<std::size_t>(((vrg - mask) + rg) % L)];
+          coll_recv(rm, ci.world_of(parent), tag, blk->acc.data(), bytes,
+                    comm);
+          break;
+        }
+        mask <<= 1;
+      }
+    }
+  }
+  if (flat) {
+    // Shared hand-off: the root's group leader deposits the payload once
+    // and wakes the leaders parked on the rendezvous block.
+    if (g == rg) {
+      auto lblk = attach_block(*hier_, comm, seq, kLeaderGroup, L);
+      ++ps.coll_shared_rendezvous;
+      {
+        std::lock_guard<std::mutex> lk(lblk->m);
+        lblk->acc.assign(blk->acc.begin(), blk->acc.end());
+        lblk->released = true;
+      }
+      for (int gg = 0; gg < L; ++gg) {
+        if (gg == rg) continue;
+        wake_coll_member(
+            rm.resident_pe,
+            rank_state(
+                ci.world_of(topo->leader[static_cast<std::size_t>(gg)])));
+      }
+      detach_block(*hier_, comm, seq, kLeaderGroup, *lblk);
+    }
+  } else {
+    // Relay down the leader subtree.
+    int mask = 1;
+    while (mask < L && (vrg & mask) == 0) mask <<= 1;
+    mask >>= 1;
+    while (mask > 0) {
+      if (vrg + mask < L) {
+        const int child =
+            topo->leader[static_cast<std::size_t>((vrg + mask + rg) % L)];
+        ++ps.coll_leader_msgs;
+        coll_send(rm, ci.world_of(child), tag, blk->acc.data(), bytes, comm);
+      }
+      mask >>= 1;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    blk->released = true;
+    if (me != root) std::memcpy(buf, blk->acc.data(), bytes);
+  }
+  for (const int m : members) {
+    if (m != me && m != root)
+      wake_coll_member(rm.resident_pe, rank_state(ci.world_of(m)));
+  }
+  detach_block(*hier_, comm, seq, g, *blk);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Reduce
+
+bool Runtime::hier_reduce(RankMpi& rm, const void* sbuf, void* rbuf,
+                          int count, Datatype dt, const Op& op, int root,
+                          CommId comm) {
+  if (!op.commutative) {
+    const std::shared_ptr<const CommTopo> pre = comm_topo(rm, comm);
+    if (!pre->ordered) return false;  // naive fold keeps rank order
+  }
+  HIER_PRELUDE(rm, comm);
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * datatype_size(dt);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int rg = topo->group_of[static_cast<std::size_t>(root)];
+  auto blk = attach_block(*hier_, comm, seq, g, gsize);
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+  const auto* sp = static_cast<const std::byte*>(sbuf);
+
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    if (op.commutative) {
+      // Incremental in-block fold: each member combines its contribution
+      // through its own code copy (user ops resolve per rank).
+      if (blk->acc.empty()) {
+        blk->acc.assign(sp, sp + bytes);
+      } else {
+        apply_op(rm, op, dt, sp, blk->acc.data(), count);
+        ++ps.coll_local_combines;
+      }
+    } else {
+      // Order-sensitive: stage per member, the leader folds in index order.
+      blk->slots.resize(static_cast<std::size_t>(gsize));
+      blk->slots[static_cast<std::size_t>(pos)].assign(sp, sp + bytes);
+    }
+    last = ++blk->arrived == gsize;
+  }
+
+  if (!am_leader) {
+    if (last) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(lead)));
+    if (me == root) {
+      // The root parks until its group leader publishes the global result.
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lk(blk->m);
+          if (blk->released) {
+            std::memcpy(rbuf, blk->acc.data(), bytes);
+            break;
+          }
+        }
+        block_current(rm);
+      }
+    }
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  // Leader: wait for the whole group, then run the inter-PE phase.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      if (blk->arrived == gsize) break;
+    }
+    block_current(rm);
+  }
+
+  std::vector<std::byte> acc;
+  if (op.commutative) {
+    acc = blk->acc;  // fully folded group partial
+  } else {
+    // In-order right fold of the staged slots (equals the left fold by
+    // associativity): acc = s_0 op s_1 op ... op s_{gsize-1}.
+    acc = blk->slots[static_cast<std::size_t>(gsize - 1)];
+    for (int i = gsize - 2; i >= 0; --i) {
+      apply_op(rm, op, dt, blk->slots[static_cast<std::size_t>(i)].data(),
+               acc.data(), count);
+      ++ps.coll_local_combines;
+    }
+  }
+
+  std::vector<std::byte> incoming(bytes);
+  bool have_result = L == 1;
+  if (L > 1 && op.commutative && L <= kFlatLeaderMax &&
+      bytes < rab_cutoff_) {
+    // Shared leader fold (arrival order — commutative ops only): every
+    // leader deposits into the rendezvous block; the root's group leader
+    // reads the total once the last contribution lands. Leaders that do
+    // not need the result depart without waiting for release.
+    auto lblk = attach_block(*hier_, comm, seq, kLeaderGroup, L);
+    bool llast = false;
+    {
+      std::lock_guard<std::mutex> lk(lblk->m);
+      if (lblk->acc.empty()) {
+        lblk->acc.assign(acc.begin(), acc.end());
+      } else {
+        apply_op(rm, op, dt, acc.data(), lblk->acc.data(), count);
+      }
+      llast = ++lblk->arrived == L;
+      if (llast) lblk->released = true;
+    }
+    ++ps.coll_shared_rendezvous;
+    if (g == rg) {
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lk(lblk->m);
+          if (lblk->released) {
+            std::memcpy(acc.data(), lblk->acc.data(), bytes);
+            break;
+          }
+        }
+        block_current(rm);
+      }
+    } else if (llast) {
+      wake_coll_member(
+          rm.resident_pe,
+          rank_state(
+              ci.world_of(topo->leader[static_cast<std::size_t>(rg)])));
+    }
+    detach_block(*hier_, comm, seq, kLeaderGroup, *lblk);
+    have_result = g == rg;
+  } else if (L > 1 && op.commutative) {
+    // Binomial combine toward the root's group leader.
+    const int vrg = ((g - rg) % L + L) % L;
+    int round = 0;
+    for (int mask = 1; mask < L; mask <<= 1, ++round) {
+      const int tag = internal_tag(kCollHierReduce, round & 0x3f, seq);
+      if ((vrg & mask) != 0) {
+        const int parent =
+            topo->leader[static_cast<std::size_t>(((vrg - mask) + rg) % L)];
+        ++ps.coll_leader_msgs;
+        coll_send(rm, ci.world_of(parent), tag, acc.data(), bytes, comm);
+        break;
+      }
+      if (vrg + mask < L) {
+        const int child =
+            topo->leader[static_cast<std::size_t>((vrg + mask + rg) % L)];
+        coll_recv(rm, ci.world_of(child), tag, incoming.data(), bytes, comm);
+        apply_op(rm, op, dt, incoming.data(), acc.data(), count);
+      }
+    }
+    have_result = g == rg;
+  } else if (L > 1) {
+    // Order-preserving binomial fold over absolute group ids (groups are
+    // contiguous index intervals in id order): result lands at group 0.
+    int round = 0;
+    for (int mask = 1; mask < L; mask <<= 1, ++round) {
+      const int tag = internal_tag(kCollHierReduce, round & 0x3f, seq);
+      if ((g & mask) != 0) {
+        ++ps.coll_leader_msgs;
+        coll_send(rm,
+                  ci.world_of(topo->leader[static_cast<std::size_t>(g - mask)]),
+                  tag, acc.data(), bytes, comm);
+        break;
+      }
+      if (g + mask < L) {
+        coll_recv(rm,
+                  ci.world_of(topo->leader[static_cast<std::size_t>(g + mask)]),
+                  tag, incoming.data(), bytes, comm);
+        // acc covers the left interval: acc = acc op incoming.
+        apply_op(rm, op, dt, acc.data(), incoming.data(), count);
+        acc.swap(incoming);
+      }
+    }
+    // Group 0's leader forwards the total to the root's group leader if
+    // the root lives elsewhere.
+    const int fwd_tag = internal_tag(kCollHierReduce, 63, seq);
+    if (g == 0 && rg != 0) {
+      ++ps.coll_leader_msgs;
+      coll_send(rm, ci.world_of(topo->leader[static_cast<std::size_t>(rg)]),
+                fwd_tag, acc.data(), bytes, comm);
+    } else if (g == rg && rg != 0) {
+      coll_recv(rm, ci.world_of(topo->leader[0]), fwd_tag, acc.data(), bytes,
+                comm);
+    }
+    have_result = g == rg;
+  }
+
+  if (have_result && g == rg) {
+    if (me == root) {
+      std::memcpy(rbuf, acc.data(), bytes);
+    } else {
+      {
+        std::lock_guard<std::mutex> lk(blk->m);
+        blk->acc = std::move(acc);
+        blk->released = true;
+      }
+      wake_coll_member(rm.resident_pe, rank_state(ci.world_of(root)));
+    }
+  }
+  detach_block(*hier_, comm, seq, g, *blk);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Allreduce
+
+bool Runtime::hier_allreduce(RankMpi& rm, const void* sbuf, void* rbuf,
+                             int count, Datatype dt, const Op& op,
+                             CommId comm) {
+  if (!op.commutative) {
+    // Order-sensitive: hierarchical reduce to local root 0, then
+    // hierarchical bcast (each consumes its own sequence number).
+    const std::shared_ptr<const CommTopo> pre = comm_topo(rm, comm);
+    if (!pre->ordered) return false;
+    const std::size_t bytes =
+        static_cast<std::size_t>(count) * datatype_size(dt);
+    if (!hier_reduce(rm, sbuf, rbuf, count, dt, op, /*root=*/0, comm))
+      return false;
+    return hier_bcast(rm, rbuf, bytes, /*root=*/0, comm);
+  }
+
+  HIER_PRELUDE(rm, comm);
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * datatype_size(dt);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  auto blk = attach_block(*hier_, comm, seq, g, gsize);
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+  const auto* sp = static_cast<const std::byte*>(sbuf);
+
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    if (blk->acc.empty()) {
+      blk->acc.assign(sp, sp + bytes);
+    } else {
+      apply_op(rm, op, dt, sp, blk->acc.data(), count);
+      ++ps.coll_local_combines;
+    }
+    last = ++blk->arrived == gsize;
+  }
+
+  if (!am_leader) {
+    if (last) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(lead)));
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(blk->m);
+        if (blk->released) {
+          std::memcpy(rbuf, blk->acc.data(), bytes);
+          break;
+        }
+      }
+      block_current(rm);
+    }
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      if (blk->arrived == gsize) break;
+    }
+    block_current(rm);
+  }
+
+  // Inter-PE phase among the L leaders on the group partial in blk->acc
+  // (members only read it after `released`, so the leader works in place).
+  std::byte* acc = blk->acc.data();
+  if (L > 1 && L <= kFlatLeaderMax && bytes < rab_cutoff_) {
+    // Shared leader fold: each leader folds its group partial into a
+    // second-level rendezvous block (arrival order — commutative ops
+    // only); the last arriver publishes and wakes the sleepers. One
+    // sequential hop and zero leader messages, which is what a
+    // latency-bound allreduce is made of at this leader count.
+    auto lblk = attach_block(*hier_, comm, seq, kLeaderGroup, L);
+    bool llast = false;
+    {
+      std::lock_guard<std::mutex> lk(lblk->m);
+      if (lblk->acc.empty()) {
+        lblk->acc.assign(acc, acc + bytes);
+      } else {
+        apply_op(rm, op, dt, acc, lblk->acc.data(), count);
+      }
+      llast = ++lblk->arrived == L;
+      if (llast) lblk->released = true;
+    }
+    ++ps.coll_shared_rendezvous;
+    if (llast) {
+      std::memcpy(acc, lblk->acc.data(), bytes);
+      for (int gg = 0; gg < L; ++gg) {
+        if (gg == g) continue;
+        wake_coll_member(
+            rm.resident_pe,
+            rank_state(
+                ci.world_of(topo->leader[static_cast<std::size_t>(gg)])));
+      }
+    } else {
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lk(lblk->m);
+          if (lblk->released) {
+            std::memcpy(acc, lblk->acc.data(), bytes);
+            break;
+          }
+        }
+        block_current(rm);
+      }
+    }
+    detach_block(*hier_, comm, seq, kLeaderGroup, *lblk);
+  } else if (L > 1) {
+    std::vector<std::byte> incoming(bytes);
+    int pof2 = 1;
+    while (pof2 * 2 <= L) pof2 <<= 1;
+    const int rem = L - pof2;
+    const std::size_t esize = datatype_size(dt);
+    const int pre_tag = internal_tag(kCollHierAllred, 62, seq);
+    const int post_tag = internal_tag(kCollHierAllred, 61, seq);
+    auto leader_world = [&](int li) {
+      return ci.world_of(topo->leader[static_cast<std::size_t>(li)]);
+    };
+
+    // Fold the non-power-of-two remainder into the even partners first;
+    // odd leaders rejoin when the result is re-broadcast at the end.
+    int rd = -1;  // my index within the power-of-two participant set
+    if (g < 2 * rem) {
+      if ((g % 2) != 0) {
+        ++ps.coll_leader_msgs;
+        coll_send(rm, leader_world(g - 1), pre_tag, acc, bytes, comm);
+        coll_recv(rm, leader_world(g - 1), post_tag, acc, bytes, comm);
+      } else {
+        coll_recv(rm, leader_world(g + 1), pre_tag, incoming.data(), bytes,
+                  comm);
+        apply_op(rm, op, dt, incoming.data(), acc, count);
+        rd = g / 2;
+      }
+    } else {
+      rd = g - rem;
+    }
+
+    auto li_of_rd = [&](int r) { return r < rem ? 2 * r : r + rem; };
+
+    if (rd >= 0 && pof2 > 1) {
+      const bool use_rab = bytes >= rab_cutoff_ && count >= pof2;
+      if (!use_rab) {
+        // Recursive doubling: log2(pof2) pairwise exchange-and-fold rounds.
+        int round = 0;
+        for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+          const int partner = li_of_rd(rd ^ mask);
+          const int tag = internal_tag(kCollHierAllred, round & 0x3f, seq);
+          ++ps.coll_leader_msgs;
+          coll_send(rm, leader_world(partner), tag, acc, bytes, comm);
+          coll_recv(rm, leader_world(partner), tag, incoming.data(), bytes,
+                    comm);
+          apply_op(rm, op, dt, incoming.data(), acc, count);
+        }
+      } else {
+        // Rabenseifner: reduce-scatter by recursive halving, then
+        // allgather by recursive doubling — each leader moves ~2x the
+        // payload total instead of log2(P) full copies.
+        std::vector<int> cnt(static_cast<std::size_t>(pof2));
+        std::vector<int> dsp(static_cast<std::size_t>(pof2) + 1, 0);
+        for (int i = 0; i < pof2; ++i) {
+          cnt[static_cast<std::size_t>(i)] =
+              count / pof2 + (i < count % pof2 ? 1 : 0);
+          dsp[static_cast<std::size_t>(i) + 1] =
+              dsp[static_cast<std::size_t>(i)] +
+              cnt[static_cast<std::size_t>(i)];
+        }
+        auto range_bytes = [&](int lo, int hi) {
+          return static_cast<std::size_t>(dsp[static_cast<std::size_t>(hi)] -
+                                          dsp[static_cast<std::size_t>(lo)]) *
+                 esize;
+        };
+        auto range_ptr = [&](int lo) {
+          return acc +
+                 static_cast<std::size_t>(dsp[static_cast<std::size_t>(lo)]) *
+                     esize;
+        };
+        // Reduce-scatter: my chunk window halves every round.
+        std::vector<std::pair<int, int>> windows;  // window before each split
+        int lo = 0, hi = pof2;
+        int round = 0;
+        for (int mask = pof2 >> 1; mask > 0; mask >>= 1, ++round) {
+          const int partner = li_of_rd(rd ^ mask);
+          const int mid = (lo + hi) / 2;
+          windows.emplace_back(lo, hi);
+          int keep_lo, keep_hi, send_lo, send_hi;
+          if ((rd & mask) == 0) {  // I am the lower half: keep [lo, mid)
+            keep_lo = lo, keep_hi = mid, send_lo = mid, send_hi = hi;
+          } else {
+            keep_lo = mid, keep_hi = hi, send_lo = lo, send_hi = mid;
+          }
+          const int tag = internal_tag(kCollHierRabRs, round & 0x3f, seq);
+          ++ps.coll_leader_msgs;
+          coll_send(rm, leader_world(partner), tag, range_ptr(send_lo),
+                    range_bytes(send_lo, send_hi), comm);
+          std::vector<std::byte> part(range_bytes(keep_lo, keep_hi));
+          coll_recv(rm, leader_world(partner), tag, part.data(), part.size(),
+                    comm);
+          apply_op(rm, op, dt, part.data(), range_ptr(keep_lo),
+                   dsp[static_cast<std::size_t>(keep_hi)] -
+                       dsp[static_cast<std::size_t>(keep_lo)]);
+          lo = keep_lo;
+          hi = keep_hi;
+        }
+        // Allgather: replay the windows in reverse, swapping halves.
+        for (int r = static_cast<int>(windows.size()) - 1; r >= 0; --r) {
+          const int mask = pof2 >> (r + 1);
+          const int partner = li_of_rd(rd ^ mask);
+          const auto [wlo, whi] = windows[static_cast<std::size_t>(r)];
+          // My current window is my kept half of [wlo, whi); the partner
+          // holds the other half, fully reduced.
+          const int olo = lo == wlo ? hi : wlo;
+          const int ohi = lo == wlo ? whi : lo;
+          const int tag = internal_tag(kCollHierRabAg, r & 0x3f, seq);
+          ++ps.coll_leader_msgs;
+          coll_send(rm, leader_world(partner), tag, range_ptr(lo),
+                    range_bytes(lo, hi), comm);
+          coll_recv(rm, leader_world(partner), tag, range_ptr(olo),
+                    range_bytes(olo, ohi), comm);
+          lo = wlo;
+          hi = whi;
+        }
+      }
+      if (g < 2 * rem) {
+        ++ps.coll_leader_msgs;
+        coll_send(rm, leader_world(g + 1), post_tag, acc, bytes, comm);
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    blk->released = true;
+  }
+  std::memcpy(rbuf, blk->acc.data(), bytes);
+  for (const int m : members) {
+    if (m != me) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(m)));
+  }
+  detach_block(*hier_, comm, seq, g, *blk);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+
+bool Runtime::hier_scan(RankMpi& rm, const void* sbuf, void* rbuf, int count,
+                        Datatype dt, const Op& op, CommId comm) {
+  {
+    const std::shared_ptr<const CommTopo> pre = comm_topo(rm, comm);
+    if (!pre->ordered) return false;  // prefix needs contiguous groups
+  }
+  HIER_PRELUDE(rm, comm);
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * datatype_size(dt);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  auto blk = attach_block(*hier_, comm, seq, g, gsize);
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+  const auto* sp = static_cast<const std::byte*>(sbuf);
+
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    blk->slots.resize(static_cast<std::size_t>(gsize));
+    blk->slots[static_cast<std::size_t>(pos)].assign(sp, sp + bytes);
+    last = ++blk->arrived == gsize;
+  }
+
+  if (!am_leader) {
+    if (last) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(lead)));
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(blk->m);
+        if (blk->released) {
+          std::memcpy(rbuf, blk->slots[static_cast<std::size_t>(pos)].data(),
+                      bytes);
+          break;
+        }
+      }
+      block_current(rm);
+    }
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      if (blk->arrived == gsize) break;
+    }
+    block_current(rm);
+  }
+
+  // Group-local inclusive prefixes, in index order (slot i becomes
+  // s_0 op ... op s_i); the last slot is the group total.
+  for (int i = 1; i < gsize; ++i) {
+    apply_op(rm, op, dt, blk->slots[static_cast<std::size_t>(i - 1)].data(),
+             blk->slots[static_cast<std::size_t>(i)].data(), count);
+    ++ps.coll_local_combines;
+  }
+
+  // Serial leader chain carrying the exclusive prefix of whole groups:
+  // L-1 messages instead of n-1.
+  const int tag = internal_tag(kCollHierScan, 0, seq);
+  std::vector<std::byte> excl;
+  if (g > 0) {
+    excl.resize(bytes);
+    coll_recv(rm, ci.world_of(topo->leader[static_cast<std::size_t>(g - 1)]),
+              tag, excl.data(), bytes, comm);
+  }
+  if (g + 1 < L) {
+    std::vector<std::byte> carry =
+        blk->slots[static_cast<std::size_t>(gsize - 1)];
+    if (g > 0) {
+      // carry = excl op group_total.
+      apply_op(rm, op, dt, excl.data(), carry.data(), count);
+    }
+    ++ps.coll_leader_msgs;
+    coll_send(rm, ci.world_of(topo->leader[static_cast<std::size_t>(g + 1)]),
+              tag, carry.data(), bytes, comm);
+  }
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    if (g > 0) {
+      for (int i = 0; i < gsize; ++i) {
+        apply_op(rm, op, dt, excl.data(),
+                 blk->slots[static_cast<std::size_t>(i)].data(), count);
+      }
+    }
+    blk->released = true;
+    std::memcpy(rbuf, blk->slots[static_cast<std::size_t>(pos)].data(),
+                bytes);
+  }
+  for (const int m : members) {
+    if (m != me) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(m)));
+  }
+  detach_block(*hier_, comm, seq, g, *blk);
+  return true;
+}
+
+}  // namespace apv::mpi

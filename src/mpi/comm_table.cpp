@@ -12,22 +12,18 @@ using util::require;
 CommInfo::CommInfo(CommId id, std::vector<int> world_ranks)
     : id_(id), world_ranks_(std::move(world_ranks)) {
   local_by_world_.reserve(world_ranks_.size());
+  identity_ = true;
   for (std::size_t i = 0; i < world_ranks_.size(); ++i) {
     local_by_world_[world_ranks_[i]] = static_cast<int>(i);
+    if (world_ranks_[i] != static_cast<int>(i)) identity_ = false;
   }
 }
 
-int CommInfo::world_of(int local) const {
-  require(local >= 0 && local < size(), ErrorCode::InvalidArgument,
-          "rank " + std::to_string(local) + " out of range for " +
-              std::to_string(size()) + "-rank communicator " +
-              std::to_string(id_));
-  return world_ranks_[static_cast<std::size_t>(local)];
-}
-
-int CommInfo::local_of(int world) const noexcept {
-  auto it = local_by_world_.find(world);
-  return it == local_by_world_.end() ? -1 : it->second;
+void CommInfo::throw_bad_local(int local) const {
+  throw util::ApvError(ErrorCode::InvalidArgument,
+                       "rank " + std::to_string(local) +
+                           " out of range for " + std::to_string(size()) +
+                           "-rank communicator " + std::to_string(id_));
 }
 
 CommTable::CommTable(int world_size) {

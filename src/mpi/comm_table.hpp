@@ -21,19 +21,32 @@ class CommInfo {
   int size() const noexcept { return static_cast<int>(world_ranks_.size()); }
 
   /// World rank of communicator-local rank `local`.
-  int world_of(int local) const;
+  int world_of(int local) const {
+    if (local >= 0 && local < size()) [[likely]]
+      return world_ranks_[static_cast<std::size_t>(local)];
+    throw_bad_local(local);
+  }
 
   /// Communicator-local rank of `world`, or -1 if not a member.
-  int local_of(int world) const noexcept;
+  int local_of(int world) const noexcept {
+    // Identity communicators (world and anything preserving world order
+    // from 0) dominate traffic; skip the hash lookup for them.
+    if (identity_) return world >= 0 && world < size() ? world : -1;
+    auto it = local_by_world_.find(world);
+    return it == local_by_world_.end() ? -1 : it->second;
+  }
 
   const std::vector<int>& world_ranks() const noexcept {
     return world_ranks_;
   }
 
  private:
+  [[noreturn]] void throw_bad_local(int local) const;
+
   CommId id_ = kCommNull;
   std::vector<int> world_ranks_;
   std::unordered_map<int, int> local_by_world_;
+  bool identity_ = false;  ///< world_ranks_[i] == i for all i
 };
 
 /// Process-shared communicator registry.

@@ -132,17 +132,16 @@ void Runtime::recover_from_failure(RankMpi& rm, comm::PeId victim,
   const int gather_tag = internal_tag(kCollFtRecover, 0, epoch);
   const int release_tag = internal_tag(kCollFtRecover, 1, epoch);
 
-  char token = 1;
   if (me != leader) {
     // Flat survivor barrier: report in, then wait for the leader to finish
     // re-homing the lost ranks before resuming.
-    coll_send(rm, leader, gather_tag, &token, sizeof token, kCommWorld);
-    coll_recv(rm, leader, release_tag, &token, sizeof token, kCommWorld);
+    coll_send(rm, leader, gather_tag, nullptr, 0, kCommWorld);
+    coll_recv(rm, leader, release_tag, nullptr, 0, kCommWorld);
     return;
   }
 
   for (std::size_t i = 1; i < survivors.size(); ++i) {
-    coll_recv(rm, survivors[i], gather_tag, &token, sizeof token, kCommWorld);
+    coll_recv(rm, survivors[i], gather_tag, nullptr, 0, kCommWorld);
   }
 
   // Wait for each lost rank to reach its own commit point, pack its epoch
@@ -206,7 +205,7 @@ void Runtime::recover_from_failure(RankMpi& rm, comm::PeId victim,
            epoch, victim, victims.size(), cluster_->num_live_pes());
 
   for (std::size_t i = 1; i < survivors.size(); ++i) {
-    coll_send(rm, survivors[i], release_tag, &token, sizeof token, kCommWorld);
+    coll_send(rm, survivors[i], release_tag, nullptr, 0, kCommWorld);
   }
 }
 

@@ -67,6 +67,12 @@ void Runtime::do_load_balance(RankMpi& rm, const std::string& strategy) {
               lb::migration_count(stats, dest));
   }
 
+  // Every rank computed the identical assignment, so this is the one safe
+  // point to refresh the hierarchical-collective placement view: all ranks
+  // pass through here before the next collective on any communicator.
+  rm.placement_view.assign(dest.begin(), dest.end());
+  ++rm.view_epoch;
+
   // New epoch for load measurement.
   rm.busy_time_s = 0.0;
 

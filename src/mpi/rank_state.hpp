@@ -4,6 +4,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "comm/message.hpp"
@@ -13,6 +14,8 @@
 namespace apv::mpi {
 
 class Env;
+class CommInfo;
+struct CommTopo;  // hierarchical-collective grouping (collectives_hier.cpp)
 
 /// One posted (pending) receive.
 struct RecvPost {
@@ -44,7 +47,10 @@ struct RankMpi {
   comm::PeId resident_pe = comm::kInvalidPe;
 
   std::vector<RequestState> requests;
-  std::vector<RecvPost> posted;
+  /// Posted receives, matched front-to-back. A deque: the common case
+  /// (streamed sends against pre-posted windows) matches and erases at the
+  /// front, which must not shift the rest of the window.
+  std::deque<RecvPost> posted;
   std::deque<comm::Message> unexpected;
 
   /// Per-communicator collective sequence numbers (order of collective
@@ -85,6 +91,51 @@ struct RankMpi {
   std::uint64_t sends = 0;
   std::uint64_t recvs = 0;
 
+  /// This rank's view of the world's rank->PE placement, used to derive
+  /// hierarchical-collective groupings. Seeded identically on every rank at
+  /// construction and updated only inside do_load_balance (where all ranks
+  /// compute the same assignment deterministically), so all members of a
+  /// communicator always agree on the grouping — even when the view is
+  /// stale against the live location table (explicit migrate_to, failure
+  /// recovery). Stale views only cost performance: group blocks are
+  /// mutex-guarded and messages route by the live table.
+  std::vector<comm::PeId> placement_view;
+  /// Bumped whenever placement_view changes; invalidates cached topologies.
+  std::uint32_t view_epoch = 0;
+  /// Per-communicator cache of the grouping derived from placement_view:
+  /// (epoch the topo was built at, topo). Indexed by CommId.
+  std::vector<std::pair<std::uint32_t, std::shared_ptr<const CommTopo>>>
+      topo_cache;
+
+  /// Resolved CommInfo pointers, indexed by CommId. The registry never
+  /// recycles ids and keeps references stable (deque, entries never erased),
+  /// so a pointer resolved once stays valid; caching it keeps the registry
+  /// mutex off the per-message path.
+  std::vector<const CommInfo*> comm_info_cache;
+
+  /// FIFO hazard tracking for the same-PE inline fast path. routed_sent_[d]
+  /// counts messages this rank pushed into the routed transport (mailbox /
+  /// aggregation bins) toward world rank d; routed_delivered_[s] counts
+  /// routed messages from world rank s that reached this rank's queues.
+  /// Inline delivery to d is legal only when the pair's counts agree — no
+  /// routed message still in flight that an inline copy could overtake.
+  /// Both vectors are only ever touched on the owning rank's resident PE
+  /// thread (the sender reads its peer's delivered count only when the peer
+  /// is co-resident). uint32 wrap is harmless: only equality is tested.
+  std::vector<std::uint32_t> routed_sent_;
+  std::vector<std::uint32_t> routed_delivered_;
+
+  std::uint32_t& routed_sent_to(int world) {
+    if (static_cast<std::size_t>(world) >= routed_sent_.size())
+      routed_sent_.resize(static_cast<std::size_t>(world) + 1, 0);
+    return routed_sent_[static_cast<std::size_t>(world)];
+  }
+  std::uint32_t& routed_delivered_from(int world) {
+    if (static_cast<std::size_t>(world) >= routed_delivered_.size())
+      routed_delivered_.resize(static_cast<std::size_t>(world) + 1, 0);
+    return routed_delivered_[static_cast<std::size_t>(world)];
+  }
+
   std::uint32_t& coll_seq_for(CommId comm) {
     if (static_cast<std::size_t>(comm) >= coll_seq.size())
       coll_seq.resize(static_cast<std::size_t>(comm) + 1, 0);
@@ -97,15 +148,27 @@ struct RankMpi {
   }
 
   Request alloc_request(RequestState::Kind kind) {
-    for (std::size_t i = 0; i < requests.size(); ++i) {
+    // Rotating start point: in steady state (a window of requests allocated
+    // and completed in posting order) the slot just past the previous
+    // allocation is free, so this probes once instead of scanning every
+    // live request from zero.
+    const std::size_t n = requests.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      std::size_t i = req_hint_ + k;
+      if (i >= n) i -= n;
       if (!requests[i].active) {
         requests[i] = RequestState{kind, true, false, {}};
+        req_hint_ = i + 1 == n ? 0 : i + 1;
         return static_cast<Request>(i);
       }
     }
     requests.push_back(RequestState{kind, true, false, {}});
+    req_hint_ = 0;
     return static_cast<Request>(requests.size() - 1);
   }
+
+ private:
+  std::size_t req_hint_ = 0;  ///< next alloc_request probe position
 };
 
 /// Internal tag space: collectives and runtime control traffic use tags
@@ -136,6 +199,17 @@ enum CollOp : int {
   kCollFtRecover,  ///< survivor barrier during failure recovery; the "seq"
                    ///< bits carry the checkpoint epoch, not a coll_seq —
                    ///< victims' sequence counters must stay untouched
+  // Hierarchical (two-level PE-leader) collective phases. Only PE leaders
+  // ever send or receive on these tags; co-resident ranks combine through
+  // shared contribution blocks without messages.
+  kCollHierBarrier,   ///< leader dissemination (zero-byte tokens)
+  kCollHierBcast,     ///< leader binomial broadcast
+  kCollHierReduce,    ///< leader binomial fold (+ round 63: root forward)
+  kCollHierAllred,    ///< leader recursive doubling (+ remainder rounds)
+  kCollHierRabRs,     ///< Rabenseifner reduce-scatter (recursive halving)
+  kCollHierRabAg,     ///< Rabenseifner allgather (recursive doubling)
+  kCollHierScan,      ///< serial leader chain of exclusive group prefixes
 };
+static_assert(kCollHierScan <= 31, "CollOp must fit internal_tag's 5 bits");
 
 }  // namespace apv::mpi

@@ -62,6 +62,11 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
   // raised without bound).
   ckpt_store_->set_chain_limit(static_cast<std::size_t>(
       std::max<std::int64_t>(0, config_.options.get_int("ft.max_chain", 0))));
+  inline_enabled_ = config_.options.get_string("comm.inline", "on") == "on";
+  coll_hier_ = config_.options.get_string("coll.algo", "hier") == "hier";
+  rab_cutoff_ = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, config_.options.get_int("coll.rab_cutoff", 32768)));
+  init_hier_state();
   pack_api_table(api_);
   pe_state_.resize(static_cast<std::size_t>(cluster_->num_pes()));
 
@@ -102,6 +107,17 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
     pe_state_[static_cast<std::size_t>(pe)].resident[r] = rm.get();
     cluster_->set_location(r, pe);
     ranks_.push_back(std::move(rm));
+  }
+
+  // Seed every rank's placement view with the initial map. The views only
+  // change inside do_load_balance, where all ranks deterministically compute
+  // the same assignment — so hierarchical-collective groupings always agree
+  // across members regardless of later ad-hoc migrations.
+  {
+    std::vector<comm::PeId> initial(static_cast<std::size_t>(config_.vps));
+    for (int r = 0; r < config_.vps; ++r)
+      initial[static_cast<std::size_t>(r)] = initial_pe(r);
+    for (auto& rm : ranks_) rm->placement_view = initial;
   }
 
   // Per-PE hooks: privatization switch work, load timing, and dispatch.
@@ -324,43 +340,58 @@ void Runtime::deliver_user(comm::PeId pe, comm::Message&& msg) {
     return;
   }
   RankMpi& rm = *it->second;
+  // Final routed delivery: the pair's FIFO counters agree again once this
+  // lands in the rank's queues, re-enabling the inline fast path.
+  if (msg.src_rank >= 0) ++rm.routed_delivered_from(msg.src_rank);
   if (!try_match(rm, msg)) rm.unexpected.push_back(std::move(msg));
   ++rm.recvs;
   wake_if_waiting(rm);
 }
 
-bool Runtime::match_predicate(const RecvPost& post,
-                              const comm::Message& msg) const {
-  if (post.comm != msg.comm_id) return false;
-  if (post.tag != msg.tag) {
+bool Runtime::match_fields(RankMpi& rm, const RecvPost& post, CommId comm,
+                           int tag, int src_world) const {
+  if (post.comm != comm) return false;
+  if (post.tag != tag) {
     // Wildcard receives never match internal (collective/control) tags.
-    if (post.tag != kAnyTag || msg.tag >= kInternalTagBase) return false;
+    if (post.tag != kAnyTag || tag >= kInternalTagBase) return false;
   }
   if (post.src != kAnySource) {
-    const int src_local = comm_info(msg.comm_id).local_of(msg.src_rank);
+    const int src_local = comm_info(rm, comm).local_of(src_world);
     if (post.src != src_local) return false;
   }
   return true;
 }
 
+bool Runtime::match_predicate(RankMpi& rm, const RecvPost& post,
+                              const comm::Message& msg) const {
+  return match_fields(rm, post, msg.comm_id, msg.tag, msg.src_rank);
+}
+
+namespace {
+[[noreturn]] void throw_truncation(std::size_t got, std::size_t cap) {
+  throw util::ApvError(ErrorCode::InvalidArgument,
+                       "message truncation: received " + std::to_string(got) +
+                           " bytes into a " + std::to_string(cap) +
+                           "-byte buffer");
+}
+}  // namespace
+
 void Runtime::complete_recv(RankMpi& rm, const RecvPost& post,
                             comm::Message& msg) {
-  require(msg.payload.size() <= post.max_bytes, ErrorCode::InvalidArgument,
-          "message truncation: received " +
-              std::to_string(msg.payload.size()) + " bytes into a " +
-              std::to_string(post.max_bytes) + "-byte buffer");
+  if (msg.payload.size() > post.max_bytes) [[unlikely]]
+    throw_truncation(msg.payload.size(), post.max_bytes);
   if (!msg.payload.empty())
     std::memcpy(post.buf, msg.payload.data(), msg.payload.size());
   RequestState& rs = rm.requests[static_cast<std::size_t>(post.req)];
   rs.complete = true;
-  rs.status.source = comm_info(msg.comm_id).local_of(msg.src_rank);
+  rs.status.source = comm_info(rm, msg.comm_id).local_of(msg.src_rank);
   rs.status.tag = msg.tag;
   rs.status.count_bytes = static_cast<int>(msg.payload.size());
 }
 
 bool Runtime::try_match(RankMpi& rm, comm::Message& msg) {
   for (auto it = rm.posted.begin(); it != rm.posted.end(); ++it) {
-    if (!match_predicate(*it, msg)) continue;
+    if (!match_predicate(rm, *it, msg)) continue;
     complete_recv(rm, *it, msg);
     rm.posted.erase(it);
     return true;
@@ -404,8 +435,12 @@ void Runtime::close_run_slice(comm::PeId pe) {
 
 void Runtime::do_send(RankMpi& rm, const void* buf, std::size_t bytes,
                       int dst_local, int tag, CommId comm) {
-  const CommInfo& ci = comm_info(comm);
+  const CommInfo& ci = comm_info(rm, comm);
   const int dst_world = ci.world_of(dst_local);
+  if (try_inline_send(rm, dst_world, tag, buf, bytes, comm)) {
+    ++rm.sends;
+    return;
+  }
   comm::Message m;
   m.kind = comm::Message::Kind::UserData;
   m.src_pe = rm.resident_pe;
@@ -415,11 +450,89 @@ void Runtime::do_send(RankMpi& rm, const void* buf, std::size_t bytes,
   m.tag = tag;
   // One pooled buffer, filled once from the user's bytes; from here the
   // payload moves (or is view-shared) unmodified to the matching receive.
-  m.payload = comm::Payload::acquire(bytes);
-  if (bytes > 0) std::memcpy(m.payload.data(), buf, bytes);
+  // Zero-byte control tokens skip the pool entirely (empty Payload).
+  if (bytes > 0) {
+    m.payload = comm::Payload::acquire(bytes);
+    std::memcpy(m.payload.data(), buf, bytes);
+  }
   m.dst_pe = cluster_->location(dst_world);
   ++rm.sends;
+  ++rm.routed_sent_to(dst_world);
   cluster_->send(std::move(m));
+}
+
+bool Runtime::try_inline_send(RankMpi& rm, int dst_world, int tag,
+                              const void* data, std::size_t bytes,
+                              CommId comm) {
+  if (!inline_enabled_) return false;
+  const comm::PeId pe = rm.resident_pe;
+  // Only from the destination PE's own loop thread: everything below (the
+  // peer's posted/unexpected queues, the wake) is single-writer state owned
+  // by that thread.
+  comm::Pe* cur = comm::Pe::current();
+  if (cur == nullptr || cur != &cluster_->pe(pe)) return false;
+  if (cluster_->location(dst_world) != pe) return false;  // not co-resident
+  if (cluster_->pe_failed(pe)) return false;  // keep FT divert semantics
+  auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+  RankMpi& dst = rank_state(dst_world);
+  // resident_pe is only advanced on the owning loop thread (migration
+  // arrival, FT adoption both run there), so on a match the state below is
+  // ours; in-flight windows are excluded by the flag checks that follow.
+  if (dst.resident_pe != pe) return false;  // state still in flight to us
+  // A rank parked for a control operation must not have its queues touched:
+  // they are about to be handed to another PE or rewound.
+  if (dst.migrate_dest != comm::kInvalidPe || dst.ckpt_pending ||
+      dst.restore_pending || dst.finished)
+    return false;
+  // Per-(sender, destination) FIFO: if any routed message from us to this
+  // rank is still in a bin, a mailbox, or being forwarded, an inline copy
+  // would overtake it. Flush our bins (so in-flight traffic drains) and
+  // take the routed path, which queues behind it.
+  if (rm.routed_sent_to(dst_world) !=
+      dst.routed_delivered_from(rm.world_rank)) {
+    ++ps.inline_fifo_fallbacks;
+    cluster_->flush_aggregation(pe);
+    return false;
+  }
+  for (auto pit = dst.posted.begin(); pit != dst.posted.end(); ++pit) {
+    if (!match_fields(dst, *pit, comm, tag, rm.world_rank)) continue;
+    // Hit: one user-buffer -> user-buffer copy, no payload, no mailbox.
+    if (bytes > pit->max_bytes) [[unlikely]]
+      throw_truncation(bytes, pit->max_bytes);
+    if (bytes > 0) std::memcpy(pit->buf, data, bytes);
+    RequestState& rs = dst.requests[static_cast<std::size_t>(pit->req)];
+    rs.complete = true;
+    rs.status.source = comm_info(rm, comm).local_of(rm.world_rank);
+    rs.status.tag = tag;
+    rs.status.count_bytes = static_cast<int>(bytes);
+    dst.posted.erase(pit);
+    ++dst.recvs;
+    ++ps.inline_hits;
+    ps.inline_bytes += bytes;
+    wake_if_waiting(dst);
+    return true;
+  }
+  // Miss: no matching posted receive yet. Park a copy on the unexpected
+  // queue directly — still no mailbox round-trip, but the bytes need a
+  // buffer of their own now.
+  comm::Message m;
+  m.kind = comm::Message::Kind::UserData;
+  m.src_pe = pe;
+  m.dst_pe = pe;
+  m.src_rank = rm.world_rank;
+  m.dst_rank = dst_world;
+  m.comm_id = comm;
+  m.tag = tag;
+  if (bytes > 0) {
+    m.payload = comm::Payload::acquire(bytes);
+    std::memcpy(m.payload.data(), data, bytes);
+  }
+  dst.unexpected.push_back(std::move(m));
+  ++dst.recvs;
+  ++ps.inline_misses;
+  ps.inline_bytes += bytes;
+  wake_if_waiting(dst);
+  return true;
 }
 
 Request Runtime::do_irecv(RankMpi& rm, void* buf, std::size_t max_bytes,
@@ -427,7 +540,7 @@ Request Runtime::do_irecv(RankMpi& rm, void* buf, std::size_t max_bytes,
   const Request req = rm.alloc_request(RequestState::Kind::Recv);
   RecvPost post{req, buf, max_bytes, src, tag, comm};
   for (auto it = rm.unexpected.begin(); it != rm.unexpected.end(); ++it) {
-    if (!match_predicate(post, *it)) continue;
+    if (!match_predicate(rm, post, *it)) continue;
     complete_recv(rm, post, *it);
     rm.unexpected.erase(it);
     return req;
@@ -464,9 +577,9 @@ bool Runtime::do_iprobe(RankMpi& rm, int src, int tag, CommId comm,
                         Status* status) {
   RecvPost probe{kRequestNull, nullptr, 0, src, tag, comm};
   for (const comm::Message& msg : rm.unexpected) {
-    if (!match_predicate(probe, msg)) continue;
+    if (!match_predicate(rm, probe, msg)) continue;
     if (status != nullptr) {
-      status->source = comm_info(comm).local_of(msg.src_rank);
+      status->source = comm_info(rm, comm).local_of(msg.src_rank);
       status->tag = msg.tag;
       status->count_bytes = static_cast<int>(msg.payload.size());
     }
@@ -485,6 +598,7 @@ void Runtime::do_yield(RankMpi& rm) {
 
 void Runtime::coll_send(RankMpi& rm, int dst_world, int tag, const void* data,
                         std::size_t bytes, CommId comm) {
+  if (try_inline_send(rm, dst_world, tag, data, bytes, comm)) return;
   comm::Message m;
   m.kind = comm::Message::Kind::UserData;
   m.src_pe = rm.resident_pe;
@@ -492,9 +606,12 @@ void Runtime::coll_send(RankMpi& rm, int dst_world, int tag, const void* data,
   m.dst_rank = dst_world;
   m.comm_id = comm;
   m.tag = tag;
-  m.payload = comm::Payload::acquire(bytes);
-  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  if (bytes > 0) {
+    m.payload = comm::Payload::acquire(bytes);
+    std::memcpy(m.payload.data(), data, bytes);
+  }
   m.dst_pe = cluster_->location(dst_world);
+  ++rm.routed_sent_to(dst_world);
   cluster_->send(std::move(m));
 }
 
@@ -503,7 +620,7 @@ std::size_t Runtime::coll_recv(RankMpi& rm, int src_world, int tag,
                                CommId comm) {
   const int src_local = src_world == kAnySource
                             ? kAnySource
-                            : comm_info(comm).local_of(src_world);
+                            : comm_info(rm, comm).local_of(src_world);
   Request req = do_irecv(rm, data, max_bytes, src_local, tag, comm);
   const Status status = do_wait(rm, req);
   return static_cast<std::size_t>(status.count_bytes);
@@ -614,9 +731,49 @@ void Runtime::handle_control(comm::PeId pe, comm::Message&& msg) {
     case kCtlFtAdopt:
       perform_ft_adopt(pe, msg.dst_rank, epoch);
       return;
+    case kCtlCollWake: {
+      auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+      auto it = ps.resident.find(msg.dst_rank);
+      if (it == ps.resident.end()) {
+        // The rank moved on (migration/adoption); chase its location like
+        // deliver_user does. A wake that arrives after the rank already
+        // observed its release flag is a harmless no-op wherever it lands.
+        const comm::PeId loc = cluster_->location(msg.dst_rank);
+        if (loc == pe) {
+          cluster_->pe(pe).post(std::move(msg));
+        } else {
+          msg.dst_pe = loc;
+          msg.src_pe = pe;
+          cluster_->send(std::move(msg));
+        }
+        return;
+      }
+      wake_if_waiting(*it->second);
+      return;
+    }
     default:
       throw ApvError(ErrorCode::Internal, "unknown control opcode");
   }
+}
+
+void Runtime::wake_coll_member(comm::PeId my_pe, RankMpi& member) {
+  // The release/arrival flag the member re-checks was published (under the
+  // group block's mutex) before this call, so a wake that races the
+  // member's own progress is at worst redundant — never lost: on its own
+  // thread the member's check-then-suspend cannot interleave with the
+  // dispatcher handling the wake message.
+  if (member.resident_pe == my_pe &&
+      comm::Pe::current() == &cluster_->pe(my_pe)) {
+    wake_if_waiting(member);
+    return;
+  }
+  comm::Message wake;
+  wake.kind = comm::Message::Kind::Control;
+  wake.opcode = kCtlCollWake;
+  wake.src_pe = my_pe;
+  wake.dst_pe = cluster_->location(member.world_rank);
+  wake.dst_rank = member.world_rank;
+  cluster_->send(std::move(wake));
 }
 
 namespace {
@@ -946,6 +1103,29 @@ util::Counters Runtime::ckpt_counters() const {
   c.set("ckpt_store_puts", ckpt_store_->puts());
   c.set("ckpt_store_fetches", ckpt_store_->fetches());
   c.set("ckpt_store_consolidations", ckpt_store_->consolidations());
+  return c;
+}
+
+util::Counters Runtime::locality_counters() const {
+  util::Counters c;
+  std::uint64_t hits = 0, misses = 0, bytes = 0, fifo = 0;
+  std::uint64_t leader_msgs = 0, local_combines = 0, shared_rdv = 0;
+  for (const PeState& ps : pe_state_) {
+    hits += ps.inline_hits;
+    misses += ps.inline_misses;
+    bytes += ps.inline_bytes;
+    fifo += ps.inline_fifo_fallbacks;
+    leader_msgs += ps.coll_leader_msgs;
+    local_combines += ps.coll_local_combines;
+    shared_rdv += ps.coll_shared_rendezvous;
+  }
+  c.set("inline_hits", hits);
+  c.set("inline_misses", misses);
+  c.set("inline_bytes", bytes);
+  c.set("inline_fifo_fallbacks", fifo);
+  c.set("coll_leader_msgs", leader_msgs);
+  c.set("coll_local_combines", local_combines);
+  c.set("coll_shared_rendezvous", shared_rdv);
   return c;
 }
 

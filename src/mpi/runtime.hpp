@@ -100,6 +100,19 @@ class Runtime {
   /// pre-dirty hits, and store put/fetch/consolidation counts.
   util::Counters ckpt_counters() const;
 
+  /// Locality instrumentation (cumulative, summed over PEs): same-PE inline
+  /// delivery hits/misses/bytes, FIFO fallbacks to the routed path, and
+  /// hierarchical-collective leader-phase messages / local combines.
+  util::Counters locality_counters() const;
+  /// Same-PE inline delivery active (comm.inline=on, the default).
+  bool inline_enabled() const noexcept { return inline_enabled_; }
+  /// Hierarchical collectives active (coll.algo=hier, the default).
+  bool hier_collectives_enabled() const noexcept { return coll_hier_; }
+
+  /// Group-block registry for hierarchical collectives; defined in
+  /// collectives_hier.cpp. Public only so that file's helpers can name it.
+  struct CollHierState;
+
   /// Applies a (possibly user-defined) reduction operator "on a PE" the way
   /// AMPI's message combining does: through the code copy of some rank
   /// resident on that PE. Reproduces the paper's documented failure mode —
@@ -167,6 +180,21 @@ class Runtime {
 
   const CommInfo& comm_info(CommId id) const { return comms_->info(id); }
 
+  /// Per-message resolution path: memoizes the registry lookup in the
+  /// rank's own cache (ids are never recycled and CommInfo references are
+  /// stable), so steady-state traffic skips the registry mutex entirely.
+  const CommInfo& comm_info(RankMpi& rm, CommId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    if (i < rm.comm_info_cache.size() && rm.comm_info_cache[i] != nullptr)
+      [[likely]]
+      return *rm.comm_info_cache[i];
+    const CommInfo& ci = comms_->info(id);
+    if (i >= rm.comm_info_cache.size())
+      rm.comm_info_cache.resize(i + 1, nullptr);
+    rm.comm_info_cache[i] = &ci;
+    return ci;
+  }
+
   /// Looks up the variable-access binding for a rank's process.
   core::VarAccess bind_global(const RankMpi& rm,
                               const std::string& name) const;
@@ -177,6 +205,15 @@ class Runtime {
     RankMpi* running = nullptr;        // load-timing bookkeeping
     std::uint64_t slice_start_ns = 0;
     std::uint64_t forward_retries = 0;
+    // Locality counters, written only by this PE's loop thread (summed by
+    // locality_counters() after the fact).
+    std::uint64_t inline_hits = 0;
+    std::uint64_t inline_misses = 0;
+    std::uint64_t inline_bytes = 0;
+    std::uint64_t inline_fifo_fallbacks = 0;
+    std::uint64_t coll_leader_msgs = 0;
+    std::uint64_t coll_local_combines = 0;
+    std::uint64_t coll_shared_rendezvous = 0;
   };
 
   static void rank_body(void* arg);
@@ -190,9 +227,40 @@ class Runtime {
   void handle_control(comm::PeId pe, comm::Message&& msg);
   void handle_migration_arrival(comm::PeId pe, comm::Message&& msg);
   bool try_match(RankMpi& rm, comm::Message& msg);
-  bool match_predicate(const RecvPost& post, const comm::Message& msg) const;
+  bool match_predicate(RankMpi& rm, const RecvPost& post,
+                       const comm::Message& msg) const;
+  bool match_fields(RankMpi& rm, const RecvPost& post, CommId comm, int tag,
+                    int src_world) const;
   void complete_recv(RankMpi& rm, const RecvPost& post, comm::Message& msg);
   void wake_if_waiting(RankMpi& rm);
+
+  /// Same-PE inline delivery: when the destination rank is co-resident and
+  /// no routed message for the pair is in flight, match against its posted
+  /// receives and copy user-buffer -> user-buffer directly (miss: park a
+  /// pooled copy on its unexpected queue), bypassing the mailbox entirely.
+  /// Returns false when the routed path must be used instead.
+  bool try_inline_send(RankMpi& rm, int dst_world, int tag, const void* data,
+                       std::size_t bytes, CommId comm);
+  /// Wakes a collective peer parked in a group-block wait: directly when it
+  /// is resident on the calling PE thread, else via a kCtlCollWake control
+  /// message processed on its own PE thread (cross-thread ready() would
+  /// race with the peer's suspend).
+  void wake_coll_member(comm::PeId my_pe, RankMpi& member);
+
+  // Hierarchical collectives (collectives_hier.cpp). Each returns true if
+  // the hierarchical algorithm ran; false = caller falls through to the
+  // naive algorithm (e.g. non-contiguous grouping for order-sensitive ops).
+  bool hier_barrier(RankMpi& rm, CommId comm);
+  bool hier_bcast(RankMpi& rm, void* buf, std::size_t bytes, int root,
+                  CommId comm);
+  bool hier_reduce(RankMpi& rm, const void* sbuf, void* rbuf, int count,
+                   Datatype dt, const Op& op, int root, CommId comm);
+  bool hier_allreduce(RankMpi& rm, const void* sbuf, void* rbuf, int count,
+                      Datatype dt, const Op& op, CommId comm);
+  bool hier_scan(RankMpi& rm, const void* sbuf, void* rbuf, int count,
+                 Datatype dt, const Op& op, CommId comm);
+  /// The grouping of `comm` under rm's placement view (cached per epoch).
+  std::shared_ptr<const CommTopo> comm_topo(RankMpi& rm, CommId comm);
 
   /// Suspends the calling ULT until woken by the dispatcher.
   void block_current(RankMpi& rm);
@@ -229,6 +297,14 @@ class Runtime {
 
   std::vector<std::unique_ptr<RankMpi>> ranks_;
   std::vector<PeState> pe_state_;
+
+  bool inline_enabled_ = true;  ///< comm.inline: same-PE inline delivery
+  bool coll_hier_ = true;       ///< coll.algo: "hier" (default) or "naive"
+  std::size_t rab_cutoff_ = 32768;  ///< coll.rab_cutoff: Rabenseifner floor
+  /// Group-block registry instance (shared_ptr: the deleter is type-erased
+  /// in collectives_hier.cpp, so the type can stay incomplete here).
+  std::shared_ptr<CollHierState> hier_;
+  void init_hier_state();
 
   iso::PackMode pack_mode_ = iso::PackMode::Touched;
 
@@ -269,6 +345,9 @@ enum CtlOp : int {
   kCtlFtCheckpoint,     ///< PE: pack + store on self and buddy (msg.tag=epoch)
   kCtlFtAdopt,          ///< new host PE: adopt a victim rank from its buddy
                         ///< checkpoint copy (msg.tag=epoch)
+  kCtlCollWake,         ///< wake dst_rank if parked in a group-block wait;
+                        ///< processed on its resident PE thread so the wake
+                        ///< cannot race the ULT's own suspend
 };
 
 }  // namespace apv::mpi

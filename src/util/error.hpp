@@ -46,7 +46,13 @@ class ApvError : public std::runtime_error {
 
 /// Throws ApvError with the given code unless `cond` holds.
 inline void require(bool cond, ErrorCode code, const std::string& what) {
-  if (!cond) throw ApvError(code, what);
+  if (!cond) [[unlikely]] throw ApvError(code, what);
+}
+
+/// Literal-message overload: defers std::string construction to the throw,
+/// so per-message fast paths don't pay an allocation per check.
+inline void require(bool cond, ErrorCode code, const char* what) {
+  if (!cond) [[unlikely]] throw ApvError(code, what);
 }
 
 }  // namespace apv::util

@@ -292,18 +292,36 @@ img::ProgramImage entry_image(const char* name, img::NativeFn fn) {
 
 }  // namespace
 
-// Acceptance: intra-PE delivery hands the sender's pooled buffer to the
-// receiver — the pool observes hits and zero payload-to-payload copies.
+// Acceptance: with the same-PE inline fast path disabled, intra-PE routed
+// delivery hands the sender's pooled buffer to the receiver — the pool
+// observes hits and zero payload-to-payload copies.
 TEST(ZeroCopy, IntraPeDeliveryCopiesNoPayloadBytes) {
   const img::ProgramImage image =
       entry_image("zc_intra", &intra_pe_pingpong);
-  mpi::Runtime rt(image, transport_cfg(2, 1, core::Method::None));
+  mpi::RuntimeConfig cfg = transport_cfg(2, 1, core::Method::None);
+  cfg.options.set("comm.inline", "off");
+  mpi::Runtime rt(image, cfg);
   comm::pool::reset_stats();
   rt.run();
   EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(1)), 1);
   const comm::PoolStats s = comm::pool::stats();
   EXPECT_GT(s.hits, 0u);
   EXPECT_EQ(s.bytes_copied, 0u);
+}
+
+// Acceptance: with the inline fast path on (the default), the same exchange
+// bypasses the payload pool entirely — user buffer to user buffer.
+TEST(ZeroCopy, IntraPeInlineDeliverySkipsThePool) {
+  const img::ProgramImage image =
+      entry_image("zc_inline", &intra_pe_pingpong);
+  mpi::Runtime rt(image, transport_cfg(2, 1, core::Method::None));
+  comm::pool::reset_stats();
+  rt.run();
+  EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(1)), 1);
+  const comm::PoolStats s = comm::pool::stats();
+  EXPECT_EQ(s.bytes_copied, 0u);
+  const util::Counters lc = rt.locality_counters();
+  EXPECT_GT(lc.get("inline_hits") + lc.get("inline_misses"), 0u);
 }
 
 // Acceptance: migration ships the packed image by moving the buffer — pack

@@ -36,14 +36,22 @@ std::vector<std::intptr_t> run_job(EntryFn entry, const JobShape& shape,
   img::ImageBuilder b("colljob");
   b.add_global<int>("unused", 0);
   b.add_function("mpi_main", entry);
+  // Affine-map composition: pairs (p, q) stand for x -> p*x + q, and
+  // combine(a, b) = a after b = (a.p*b.p, a.p*b.q + a.q). Associative (as
+  // MPI requires of every reduction op) but non-commutative, so it detects
+  // any reordering of operands while tolerating re-bracketing (binomial /
+  // hierarchical folds).
   b.add_function("user_combine", reinterpret_cast<img::NativeFn>(
                                      +[](const void* in, void* inout,
                                          int len, Datatype) {
                                        const int* a =
                                            static_cast<const int*>(in);
                                        int* b2 = static_cast<int*>(inout);
-                                       for (int i = 0; i < len; ++i)
-                                         b2[i] = a[i] + b2[i] * 2;
+                                       for (int i = 0; i + 1 < len; i += 2) {
+                                         b2[i + 1] =
+                                             a[i] * b2[i + 1] + a[i + 1];
+                                         b2[i] = a[i] * b2[i];
+                                       }
                                      }));
   if (ctor != nullptr) b.add_constructor(ctor);
   const img::ProgramImage image = b.build();
@@ -239,19 +247,36 @@ void* maxloc_main(void* arg) {
       best.value == best_v && best.index == best_i));
 }
 
+// Rank i contributes the affine map (p_i, q_i); the rank-ordered fold is
+// the composition s_0 after s_1 after ... after s_{n-1}.
+constexpr int affine_p(int i) { return i % 8 == 0 ? 2 : 1; }
+constexpr int affine_q(int i) { return i + 1; }
+
+// Sequential left fold of ranks [0, n) starting from the identity map.
+void affine_expect(int n, int* ep, int* eq) {
+  *ep = 1;
+  *eq = 0;
+  for (int i = 0; i < n; ++i) {
+    *eq = *ep * affine_q(i) + *eq;
+    *ep = *ep * affine_p(i);
+  }
+}
+
 void* userop_main(void* arg) {
   ENV();
   const int me = env->rank();
   const int n = env->size();
-  // Non-commutative op: combine(a, b) = a + 2b, folded in rank order.
+  // Non-commutative (but associative) op: affine-map composition in rank
+  // order.
   const Op op = env->op_create("user_combine", /*commutative=*/false);
-  int v = me + 1;
-  int out = -1;
-  env->reduce(&v, &out, 1, Datatype::Int, op, 0);
+  int v[2] = {affine_p(me), affine_q(me)};
+  int out[2] = {-1, -1};
+  env->reduce(v, out, 2, Datatype::Int, op, 0);
   if (me != 0) return reinterpret_cast<void*>(std::intptr_t{1});
-  int expect = n;  // rank n-1's value
-  for (int i = n - 2; i >= 0; --i) expect = (i + 1) + 2 * expect;
-  return reinterpret_cast<void*>(static_cast<std::intptr_t>(out == expect));
+  int ep = 0, eq = 0;
+  affine_expect(n, &ep, &eq);
+  return reinterpret_cast<void*>(
+      static_cast<std::intptr_t>(out[0] == ep && out[1] == eq));
 }
 
 void* userop_ptr_main(void* arg) {
@@ -261,14 +286,15 @@ void* userop_ptr_main(void* arg) {
   void* fn = env->rank_context().instance->func_addr(
       env->runtime().image().func_id("user_combine"));
   const Op op = env->op_create_from_ptr(fn, /*commutative=*/false);
-  int v = env->rank() + 1;
-  int out = -1;
-  env->reduce(&v, &out, 1, Datatype::Int, op, 0);
-  if (env->rank() != 0) return reinterpret_cast<void*>(std::intptr_t{1});
-  const int n = env->size();
-  int expect = n;
-  for (int i = n - 2; i >= 0; --i) expect = (i + 1) + 2 * expect;
-  return reinterpret_cast<void*>(static_cast<std::intptr_t>(out == expect));
+  const int me = env->rank();
+  int v[2] = {affine_p(me), affine_q(me)};
+  int out[2] = {-1, -1};
+  env->reduce(v, out, 2, Datatype::Int, op, 0);
+  if (me != 0) return reinterpret_cast<void*>(std::intptr_t{1});
+  int ep = 0, eq = 0;
+  affine_expect(env->size(), &ep, &eq);
+  return reinterpret_cast<void*>(
+      static_cast<std::intptr_t>(out[0] == ep && out[1] == eq));
 }
 
 void* comm_split_main(void* arg) {

@@ -1,0 +1,205 @@
+// Hierarchical-collective correctness sweep: barrier / bcast / reduce /
+// allreduce / scan, commutative (builtin Sum) and non-commutative
+// (associative affine-map user op), at 1 / 4 / 16 ranks per PE, with the
+// coll.algo=naive escape hatch cross-checked against coll.algo=hier.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "mpi/runtime.hpp"
+#include "util/stats.hpp"
+
+using namespace apv;
+using mpi::Datatype;
+using mpi::Env;
+using mpi::Op;
+using mpi::OpKind;
+
+namespace {
+
+// Affine maps (p, q) ~ x -> p*x + q under composition: associative but not
+// commutative, so order-sensitive folds are validated without relying on
+// any particular bracketing.
+constexpr int affine_p(int i) { return i % 8 == 0 ? 2 : 1; }
+constexpr int affine_q(int i) { return i + 1; }
+
+void affine_fold(int lo, int hi, int* ep, int* eq) {
+  *ep = 1;
+  *eq = 0;
+  for (int i = lo; i < hi; ++i) {
+    *eq = *ep * affine_q(i) + *eq;
+    *ep = *ep * affine_p(i);
+  }
+}
+
+// Large enough that a world allreduce crosses the default Rabenseifner
+// cutoff (32 KiB): exercises reduce-scatter + allgather above it and
+// recursive doubling below it (the small cases elsewhere in this entry).
+constexpr int kBigCount = 16384;  // 64 KiB of ints
+
+void* sweep_main(void* arg) {
+  auto* env = static_cast<Env*>(arg);
+  const int me = env->rank();
+  const int n = env->size();
+  std::intptr_t ok = 1;
+  const auto check = [&ok](bool cond) { ok = ok && cond ? 1 : 0; };
+
+  env->barrier();
+
+  // Bcast from first, middle, and last rank.
+  for (const int root : {0, n / 2, n - 1}) {
+    long payload[3] = {0, 0, 0};
+    if (me == root) {
+      payload[0] = 1000 + root;
+      payload[1] = 2000 + root;
+      payload[2] = 3000 + root;
+    }
+    env->bcast(payload, 3, Datatype::Long, root);
+    check(payload[0] == 1000 + root && payload[1] == 2000 + root &&
+          payload[2] == 3000 + root);
+  }
+
+  // Commutative reduce to both edge roots.
+  for (const int root : {0, n - 1}) {
+    int v[4] = {me, me * 2, 1, me + root};
+    int out[4] = {-1, -1, -1, -1};
+    env->reduce(v, out, 4, Datatype::Int, Op::builtin(OpKind::Sum), root);
+    if (me == root) {
+      const int s = n * (n - 1) / 2;
+      check(out[0] == s && out[1] == 2 * s && out[2] == n &&
+            out[3] == s + n * root);
+    }
+  }
+
+  // Commutative allreduce, small (recursive doubling among leaders).
+  {
+    int v[2] = {me + 1, me * me};
+    int out[2] = {0, 0};
+    env->allreduce(v, out, 2, Datatype::Int, Op::builtin(OpKind::Sum));
+    int s1 = 0, s2 = 0;
+    for (int i = 0; i < n; ++i) {
+      s1 += i + 1;
+      s2 += i * i;
+    }
+    check(out[0] == s1 && out[1] == s2);
+  }
+
+  // Commutative allreduce, large (Rabenseifner among leaders).
+  {
+    std::vector<int> v(kBigCount), out(kBigCount, -1);
+    for (int i = 0; i < kBigCount; ++i) v[static_cast<std::size_t>(i)] = me + i;
+    env->allreduce(v.data(), out.data(), kBigCount, Datatype::Int,
+                   Op::builtin(OpKind::Sum));
+    const int s = n * (n - 1) / 2;
+    bool good = true;
+    for (int i = 0; i < kBigCount; ++i)
+      good = good && out[static_cast<std::size_t>(i)] == n * i + s;
+    check(good);
+  }
+
+  // Commutative scan.
+  {
+    int v = me + 1;
+    int out = -1;
+    env->scan(&v, &out, 1, Datatype::Int, Op::builtin(OpKind::Sum));
+    check(out == (me + 1) * (me + 2) / 2);
+  }
+
+  // Non-commutative reduce / allreduce / scan with the affine user op.
+  const Op op = env->op_create("user_combine", /*commutative=*/false);
+  {
+    const int root = (2 * n) / 3;
+    int v[2] = {affine_p(me), affine_q(me)};
+    int out[2] = {-1, -1};
+    env->reduce(v, out, 2, Datatype::Int, op, root);
+    if (me == root) {
+      int ep = 0, eq = 0;
+      affine_fold(0, n, &ep, &eq);
+      check(out[0] == ep && out[1] == eq);
+    }
+  }
+  {
+    int v[2] = {affine_p(me), affine_q(me)};
+    int out[2] = {-1, -1};
+    env->allreduce(v, out, 2, Datatype::Int, op);
+    int ep = 0, eq = 0;
+    affine_fold(0, n, &ep, &eq);
+    check(out[0] == ep && out[1] == eq);
+  }
+  {
+    int v[2] = {affine_p(me), affine_q(me)};
+    int out[2] = {-1, -1};
+    env->scan(v, out, 2, Datatype::Int, op);
+    int ep = 0, eq = 0;
+    affine_fold(0, me + 1, &ep, &eq);
+    check(out[0] == ep && out[1] == eq);
+  }
+
+  env->barrier();
+  return reinterpret_cast<void*>(ok);
+}
+
+struct HierCase {
+  int ranks_per_pe;
+  bool hier;
+};
+
+}  // namespace
+
+class HierSweep : public ::testing::TestWithParam<HierCase> {};
+
+TEST_P(HierSweep, AllCollectivesAgree) {
+  const HierCase c = GetParam();
+  const int pes = 4;
+  img::ImageBuilder b("hiersweep");
+  b.add_global<int>("unused", 0);
+  b.add_function("mpi_main", &sweep_main);
+  b.add_function("user_combine", reinterpret_cast<img::NativeFn>(
+                                     +[](const void* in, void* inout,
+                                         int len, Datatype) {
+                                       const int* a =
+                                           static_cast<const int*>(in);
+                                       int* b2 = static_cast<int*>(inout);
+                                       for (int i = 0; i + 1 < len; i += 2) {
+                                         b2[i + 1] =
+                                             a[i] * b2[i + 1] + a[i + 1];
+                                         b2[i] = a[i] * b2[i];
+                                       }
+                                     }));
+  const img::ProgramImage image = b.build();
+  mpi::RuntimeConfig cfg;
+  cfg.nodes = 1;
+  cfg.pes_per_node = pes;
+  cfg.vps = c.ranks_per_pe * pes;
+  cfg.method = core::Method::PIEglobals;
+  cfg.slot_bytes = std::size_t{8} << 20;
+  cfg.options.set("coll.algo", c.hier ? "hier" : "naive");
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+  for (int r = 0; r < cfg.vps; ++r) {
+    EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(r)), 1)
+        << "rank " << r;
+  }
+  const util::Counters lc = rt.locality_counters();
+  if (c.hier) {
+    EXPECT_GT(lc.get("coll_leader_msgs"), 0u);
+    if (c.ranks_per_pe > 1) EXPECT_GT(lc.get("coll_local_combines"), 0u);
+  } else {
+    EXPECT_EQ(lc.get("coll_leader_msgs"), 0u);
+    EXPECT_EQ(lc.get("coll_local_combines"), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HierSweep,
+    ::testing::Values(HierCase{1, true}, HierCase{1, false},
+                      HierCase{4, true}, HierCase{4, false},
+                      HierCase{16, true}, HierCase{16, false}),
+    [](const ::testing::TestParamInfo<HierCase>& info) {
+      return std::string("rpp") + std::to_string(info.param.ranks_per_pe) +
+             (info.param.hier ? "_hier" : "_naive");
+    });
