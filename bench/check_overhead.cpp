@@ -1,0 +1,184 @@
+// Checker overhead A/B: the same mixed collective + point-to-point workload
+// run with check.mode=off, warn, and abort. The acceptance bar is that the
+// fully armed checker (abort) costs at most 5% over off — the gate is one
+// lock-free slot probe per user-level collective and the p2p stamp is a
+// 4-byte header field, so the fast path should barely notice.
+//
+// 32 virtual ranks on 4 PEs (8-way overdecomposition), each iteration:
+// 8 B allreduce + ring sendrecv + 1 KiB bcast + barrier — every check layer
+// (gate, shared-block compare, p2p verify) engages every iteration. Prints
+// a table and writes BENCH_check.json; `--quick` shrinks iterations for CI.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "mpi/runtime.hpp"
+#include "util/stats.hpp"
+
+using namespace apv;
+
+namespace {
+
+constexpr int kVps = 32;
+constexpr int kPes = 4;
+constexpr int kChunk = 20;  ///< iterations per timed chunk (see mix_main)
+
+// Each iteration: 8 B allreduce + ring sendrecv + 1 KiB bcast + barrier.
+// Timing is the MINIMUM over many kChunk-iteration windows: on this shared
+// one-core container the noise (VM steal, preemption) is strictly additive,
+// so the fastest short window approaches the noise-free cost, where a mean
+// over the whole run absorbs every steal burst that lands inside it.
+void* mix_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  const int iters = env->global<int>("iters").get();
+  const int me = env->rank();
+  const int n = env->size();
+  int acc = 0, sum = 0;
+  std::vector<int> blob(256, me);  // 1 KiB bcast payload
+
+  env->barrier();
+  double best = 1e300;
+  for (int c = 0; c < iters / kChunk; ++c) {
+    const double t0 = env->wtime();
+    for (int i = c * kChunk; i < (c + 1) * kChunk; ++i) {
+      int v = me + i;
+      env->allreduce(&v, &sum, 1, mpi::Datatype::Int,
+                     mpi::Op::builtin(mpi::OpKind::Sum));
+      int x = me, y = -1;
+      env->sendrecv(&x, 1, mpi::Datatype::Int, (me + 1) % n, 7, &y, 1,
+                    mpi::Datatype::Int, (me + n - 1) % n, 7);
+      env->bcast(blob.data(), 256, mpi::Datatype::Int, i % n);
+      env->barrier();
+      acc += sum + y;
+    }
+    const double dt = env->wtime() - t0;
+    if (dt < best) best = dt;
+  }
+  const double us = best / kChunk * 1e6;
+  env->barrier();
+  if (me != 0) return nullptr;
+  (void)acc;
+  const auto packed = static_cast<float>(us);
+  void* ret = nullptr;
+  std::memcpy(&ret, &packed, sizeof packed);
+  return ret;
+}
+
+struct ModeResult {
+  double us = 0.0;
+  util::Counters counters;
+};
+
+ModeResult run_mode(const char* mode, int iters) {
+  img::ImageBuilder b("checkbench");
+  b.add_global<int>("iters", iters);
+  b.add_function("mpi_main", &mix_main);
+  const img::ProgramImage image = b.build();
+  mpi::RuntimeConfig cfg;
+  cfg.nodes = 1;
+  cfg.pes_per_node = kPes;
+  cfg.vps = kVps;
+  cfg.method = core::Method::None;
+  cfg.slot_bytes = std::size_t{4} << 20;
+  cfg.options.set("check.mode", mode);
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+  ModeResult r;
+  float us = 0.0f;
+  void* ret = rt.rank_return(0);
+  std::memcpy(&us, &ret, sizeof us);
+  r.us = us;
+  r.counters = rt.all_counters();
+  return r;
+}
+
+// Reps run interleaved across modes, rotating which mode goes first each
+// rep: slow background-load drift then hits every mode alike, and no mode
+// is systematically the last (each run_mode dirties the process heap a
+// little, taxing whoever always ran behind it). Each run already returns
+// its fastest chunk; the sweep keeps the fastest run per mode, so the
+// final figure is a min-of-mins — the closest observation to the
+// noise-free per-iteration cost this shared container allows.
+std::vector<ModeResult> sweep_modes(const std::vector<const char*>& modes,
+                                    int iters, int reps) {
+  const std::size_t n = modes.size();
+  std::vector<ModeResult> best(n);
+  for (int rep = 0; rep < reps; ++rep)
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t m = (static_cast<std::size_t>(rep) + j) % n;
+      ModeResult r = run_mode(modes[m], iters);
+      if (rep == 0 || r.us < best[m].us) best[m] = r;
+    }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  // The min-of-chunks estimator converges with the number of chunks
+  // sampled and with how finely the modes interleave in time: many short
+  // runs beat few long ones, because background load varies on a scale of
+  // seconds and every mode needs chunks inside the same quiet windows.
+  const int iters = quick ? 1000 : 2000;
+  const int reps = quick ? 9 : 21;
+
+  std::printf("checker overhead: %d ranks on %d PEs, "
+              "allreduce+sendrecv+bcast+barrier per iteration\n\n",
+              kVps, kPes);
+
+  const std::vector<ModeResult> best =
+      sweep_modes({"off", "warn", "abort"}, iters, reps);
+  const ModeResult& off = best[0];
+  const ModeResult& warn = best[1];
+  const ModeResult& abort_m = best[2];
+
+  const double warn_pct = (warn.us / off.us - 1.0) * 100.0;
+  const double abort_pct = (abort_m.us / off.us - 1.0) * 100.0;
+
+  std::printf("(iter us = fastest %d-iteration chunk across %d runs; "
+              "additive noise falls out of the min)\n",
+              kChunk, reps);
+  std::printf("%-7s | %10s %10s\n", "mode", "iter us", "overhead");
+  std::printf("%-7s | %10.2f %9s\n", "off", off.us, "-");
+  std::printf("%-7s | %10.2f %+8.2f%%\n", "warn", warn.us, warn_pct);
+  std::printf("%-7s | %10.2f %+8.2f%%\n", "abort", abort_m.us, abort_pct);
+  std::printf("\nchecks per run (abort): coll_verified=%llu "
+              "block_compares=%llu p2p_verified=%llu\n",
+              static_cast<unsigned long long>(
+                  abort_m.counters.get("check_coll_verified")),
+              static_cast<unsigned long long>(
+                  abort_m.counters.get("check_block_compares")),
+              static_cast<unsigned long long>(
+                  abort_m.counters.get("check_p2p_verified")));
+  std::printf("acceptance: abort overhead <= 5%% -> %s\n",
+              abort_pct <= 5.0 ? "PASS" : "FAIL");
+
+  std::FILE* json = std::fopen("BENCH_check.json", "w");
+  if (json) {
+    std::fprintf(
+        json,
+        "{\n  \"bench\": \"check_overhead\",\n  \"quick\": %s,\n"
+        "  \"estimator\": \"min over %d-iteration chunks across %d "
+        "interleaved runs\",\n"
+        "  \"vps\": %d,\n  \"pes\": %d,\n  \"iters\": %d,\n"
+        "  \"off_us\": %.3f,\n  \"warn_us\": %.3f,\n  \"abort_us\": %.3f,\n"
+        "  \"warn_overhead_pct\": %.2f,\n  \"abort_overhead_pct\": %.2f,\n"
+        "  \"target_abort_overhead_pct\": 5.0,\n  \"pass\": %s,\n"
+        "  \"abort_counters\": %s\n}\n",
+        quick ? "true" : "false", kChunk, reps, kVps, kPes, iters, off.us,
+        warn.us,
+        abort_m.us, warn_pct, abort_pct, abort_pct <= 5.0 ? "true" : "false",
+        abort_m.counters.to_json().c_str());
+    std::fclose(json);
+    std::printf("wrote BENCH_check.json\n");
+  }
+  return 0;
+}

@@ -105,7 +105,7 @@ CaseOut run_case(std::size_t heap_bytes, std::size_t write_bytes, int epochs,
   rt.run();
 
   CaseOut out;
-  out.counters = rt.ckpt_counters();
+  out.counters = rt.all_counters();
   const auto full_bytes = out.counters.get("ckpt_bytes_full");
   const auto delta_bytes = out.counters.get("ckpt_bytes_delta");
   const auto full_images = out.counters.get("ckpt_images_full");

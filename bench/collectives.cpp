@@ -89,7 +89,7 @@ void* coll_main(void* arg) {
 
 struct CollResult {
   double us = 0.0;
-  util::Counters locality;
+  util::Counters counters;
 };
 
 CollResult run_coll(int kind, int count, int iters, bool hier) {
@@ -115,7 +115,7 @@ CollResult run_coll(int kind, int count, int iters, bool hier) {
   void* ret = rt.rank_return(0);
   std::memcpy(&us, &ret, sizeof us);
   r.us = us;
-  r.locality = rt.locality_counters();
+  r.counters = rt.all_counters();
   return r;
 }
 
@@ -168,8 +168,7 @@ void* inline_pp_main(void* arg) {
 
 struct PpResult {
   double rate_mps = 0.0;
-  util::Counters locality;
-  util::Counters cluster;
+  util::Counters counters;  ///< unified all_counters() snapshot
 };
 
 PpResult run_pingpong(int reps, bool inline_on) {
@@ -192,8 +191,7 @@ PpResult run_pingpong(int reps, bool inline_on) {
   void* ret = rt.rank_return(0);
   std::memcpy(&rate, &ret, sizeof rate);
   r.rate_mps = rate;
-  r.locality = rt.locality_counters();
-  r.cluster = rt.cluster().stat_counters();
+  r.counters = rt.all_counters();
   return r;
 }
 
@@ -248,7 +246,7 @@ int main(int argc, char** argv) {
                      "     \"hier_counters\": %s}",
                      kind_name(kind), kind == kBenchBarrier ? 0 : bytes,
                      iters, hier.us, naive.us, speedup,
-                     hier.locality.to_json().c_str());
+                     hier.counters.to_json().c_str());
       }
     }
   }
@@ -260,13 +258,13 @@ int main(int argc, char** argv) {
   const double pp_speedup =
       off.rate_mps > 0.0 ? fast.rate_mps / off.rate_mps : 0.0;
   const std::uint64_t inline_pool_acquires =
-      fast.cluster.get("pool.hits") + fast.cluster.get("pool.misses");
+      fast.counters.get("pool.hits") + fast.counters.get("pool.misses");
   std::printf("\nsame-PE ping-pong (pre-posted receives, %d reps):\n", reps);
   std::printf("  inline on : %8.3f Mmsg/s  (inline_hits=%llu, "
               "pool acquires=%llu)\n",
               fast.rate_mps,
               static_cast<unsigned long long>(
-                  fast.locality.get("inline_hits")),
+                  fast.counters.get("inline_hits")),
               static_cast<unsigned long long>(inline_pool_acquires));
   std::printf("  inline off: %8.3f Mmsg/s\n", off.rate_mps);
   std::printf("  speedup   : %7.2fx (acceptance: >= 3x)\n", pp_speedup);
@@ -285,8 +283,8 @@ int main(int argc, char** argv) {
         "  \"allreduce_8B_speedup\": %.3f,\n"
         "  \"allreduce_64KiB_speedup\": %.3f\n}\n",
         reps, fast.rate_mps * 1e6, off.rate_mps * 1e6, pp_speedup,
-        static_cast<unsigned long long>(fast.locality.get("inline_hits")),
-        static_cast<unsigned long long>(fast.locality.get("inline_misses")),
+        static_cast<unsigned long long>(fast.counters.get("inline_hits")),
+        static_cast<unsigned long long>(fast.counters.get("inline_misses")),
         static_cast<unsigned long long>(inline_pool_acquires),
         allred_speedup[0], allred_speedup[1]);
     std::fclose(json);

@@ -142,7 +142,7 @@ CaseResult run_case(core::Method method, int pes, int msg_bytes, int nmsgs,
   std::memcpy(&p, &ret, sizeof p);
   r.rate_mps = p.rate_mps;
   r.lat_us = p.lat_us;
-  r.stats = rt.cluster().stat_counters();
+  r.stats = rt.all_counters();
   return r;
 }
 

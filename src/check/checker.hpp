@@ -1,0 +1,298 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace apv::check {
+
+/// Checker operating mode (check.mode option). Off costs nothing on the
+/// message path; Warn records and prints located diagnoses but lets the job
+/// keep running (and usually hang or corrupt, as the real MPI would); Abort
+/// throws CheckFailed from the offending rank's context so the job fails
+/// fast with the diagnosis attached.
+enum class Mode : std::uint8_t { Off, Warn, Abort };
+
+const char* mode_name(Mode m) noexcept;
+
+/// User-level collective colors: one per MPI collective entry point (not
+/// per internal algorithm step). PARCOACH-style dynamic verification
+/// reduces this color — plus the call-site operands — with an all-equal
+/// operator across the communicator.
+enum CollColor : std::int32_t {
+  kColorBarrier = 1,
+  kColorBcast,
+  kColorReduce,
+  kColorAllreduce,
+  kColorScan,
+  kColorGatherv,
+  kColorScatterv,
+  kColorAlltoall,
+  kColorCommSplit,
+};
+
+/// Call-site descriptor for one user-level collective entry. Every field
+/// must agree across all members of the communicator; fields that MPI
+/// allows to legitimately differ per rank (gatherv counts, split colors)
+/// are left at their "not applicable" defaults by the caller.
+struct CollDesc {
+  std::int32_t color = 0;   ///< CollColor of the entry point
+  std::int32_t root = -1;   ///< root local rank, -1 = rootless collective
+  std::int32_t op = -1;     ///< reduction OpKind value, -1 = no operator
+  std::uint32_t esize = 0;  ///< element size, 0 = not uniform across ranks
+  std::uint64_t bytes = 0;  ///< count * esize, 0 = may differ per rank
+};
+
+/// One recorded check failure. `message` is the full located text (rank,
+/// collective name, seq#, field, both values — or peer/tag/bytes for p2p).
+struct Diagnosis {
+  std::string kind;  ///< "collective-mismatch" | "collective-block-mismatch"
+                     ///< | "p2p-type-mismatch" | "p2p-truncation" | "deadlock"
+  int rank = -1;     ///< offending world rank, -1 = job-wide (deadlock)
+  std::string message;
+};
+
+/// Outcome of a point-to-point match-time verification.
+enum class P2pVerdict : std::uint8_t { Ok, TypeMismatch, Truncation };
+
+/// The runtime correctness checker: collective-descriptor matching,
+/// point-to-point type/size verification, and deadlock diagnosis state.
+/// One instance per Runtime; all state lives on the host heap, so it
+/// survives rank migration, checkpoint rewinds, and failure recovery
+/// untouched (descriptors never live inside a packed slot image).
+///
+/// Hot-path design (the abort-mode overhead budget is <= 5% over off on a
+/// workload that is nothing but small collectives):
+/// - The gate table is open-addressed with lock-free probes. A depositor
+///   writes the descriptor first and publishes the (comm, seq) key with a
+///   release store; comparers re-load the key after reading the descriptor,
+///   which is sound because a (comm, seq) pair is never reused (check_seq
+///   is monotonic per communicator). Only deposits take a mutex, i.e. one
+///   lock per collective instead of one per member.
+/// - Counters are single-writer per-lane cells (one cache line per PE loop
+///   thread, the same convention as the comm.* transport counters), summed
+///   at report time. Only rare events (mismatches) use shared atomics.
+class Checker {
+ public:
+  /// `nlanes` = number of PE loop threads; lane i must only be bumped from
+  /// PE i's thread.
+  Checker(Mode mode, double deadlock_s, int nlanes);
+
+  Mode mode() const noexcept { return mode_; }
+  bool enabled() const noexcept { return mode_ != Mode::Off; }
+  double deadlock_s() const noexcept { return deadlock_s_; }
+
+  /// Collective gate: the first member arriving at (comm, seq) deposits
+  /// its descriptor; every later member compares against it. Returns an
+  /// empty string when the descriptors agree, else the full located
+  /// mismatch text (the caller records / warns / aborts per mode). The
+  /// entry is reclaimed once `expected` members arrived, so steady-state
+  /// memory stays O(in-flight collectives). Defined inline below: the
+  /// comparer probe is the hottest check in the runtime (one per member
+  /// per user-level collective) and must not pay a cross-TU call.
+  std::string coll_gate(int lane, int world_rank, const char* name,
+                        std::int32_t comm, std::uint32_t seq, int expected,
+                        const CollDesc& mine);
+
+  /// Match-time p2p verification: sender-declared element size/count vs
+  /// the receiver's declared element size and buffer capacity. Element
+  /// sizes must agree (size-based datatype check); the payload must fit.
+  P2pVerdict p2p_verify(int lane_idx, std::uint32_t send_esize,
+                        std::uint64_t send_bytes, std::uint32_t recv_esize,
+                        std::uint64_t recv_cap) noexcept {
+    ++lane(lane_idx).p2p_checked;
+    if (send_bytes > recv_cap) [[unlikely]] {
+      p2p_truncations_.fetch_add(1, std::memory_order_relaxed);
+      return P2pVerdict::Truncation;
+    }
+    if (send_esize != recv_esize) [[unlikely]] {
+      p2p_type_mismatches_.fetch_add(1, std::memory_order_relaxed);
+      return P2pVerdict::TypeMismatch;
+    }
+    return P2pVerdict::Ok;
+  }
+
+  /// Shared-block compare for the hierarchical fast path: returns empty
+  /// when (color, bytes) agree with the block's first arriver, else the
+  /// located mismatch text. A second line of defense under the gate — it
+  /// still fires for composite collectives whose inner steps are not
+  /// gated, and catches size divergence before a shared-block memcpy
+  /// could overrun.
+  std::string block_compare(int lane_idx, int world_rank, const char* name,
+                            std::int32_t block_color,
+                            std::uint64_t block_bytes, std::int32_t my_color,
+                            const char* my_name, std::uint64_t my_bytes) {
+    ++lane(lane_idx).block_checked;
+    if (my_color == block_color && my_bytes == block_bytes) [[likely]]
+      return {};
+    return block_mismatch(world_rank, name, block_bytes, my_name, my_bytes);
+  }
+
+  /// Records a diagnosis and prints it to stderr (both warn and abort
+  /// mode; abort additionally throws at the call site, not here).
+  void record(const char* kind, int rank, std::string message);
+
+  /// Failure-recovery passed through the checker's view without resetting
+  /// gate state (per-communicator sequences live on the host heap and
+  /// stay aligned across victims and survivors); counted for
+  /// observability and FT regression tests.
+  void note_recovery() noexcept {
+    recoveries_seen_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_deadlock_scan() noexcept {
+    deadlock_scans_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::vector<Diagnosis> diagnoses() const;
+  std::size_t diagnosis_count() const;
+
+  /// check_* counters (util::Counters convention): gates passed/failed,
+  /// block compares, p2p verifications, deadlock scans, recoveries seen.
+  util::Counters counters() const;
+
+ private:
+  struct GateEntry {
+    CollDesc ref;
+    const char* name = nullptr;  ///< static string of the first arriver
+    int ref_rank = -1;
+    int arrived = 0;
+  };
+
+  /// One open-addressed gate slot. `key` doubles as the publication flag:
+  /// kEmpty means free; anything else means ref/name/ref_rank are immutable
+  /// until the slot is reclaimed (key back to kEmpty by the last arriver).
+  struct alignas(64) GateSlot {
+    std::atomic<std::uint64_t> key{~0ull};
+    std::atomic<std::int32_t> arrived{0};
+    CollDesc ref;
+    const char* name = nullptr;
+    int ref_rank = -1;
+  };
+
+  /// Per-PE single-writer counter cells; padded so lanes never share a
+  /// cache line.
+  struct alignas(64) Lane {
+    std::uint64_t coll_verified = 0;
+    std::uint64_t block_checked = 0;
+    std::uint64_t p2p_checked = 0;
+  };
+
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+  static constexpr int kProbeLen = 8;  ///< home + 7 linear-probe slots
+
+  static std::uint64_t gate_key(std::int32_t comm,
+                                std::uint32_t seq) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm))
+            << 32) |
+           seq;
+  }
+  std::size_t home_slot(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(key * 0x9E3779B97F4A7C15ull) &
+           (slots_.size() - 1);
+  }
+  Lane& lane(int i) noexcept {
+    return lanes_[static_cast<std::size_t>(i) % lanes_.size()];
+  }
+
+  static bool desc_matches(const CollDesc& mine,
+                           const CollDesc& ref) noexcept {
+    return mine.color == ref.color && mine.root == ref.root &&
+           mine.op == ref.op &&
+           (mine.esize == 0 || ref.esize == 0 || mine.esize == ref.esize) &&
+           (mine.bytes == 0 || ref.bytes == 0 || mine.bytes == ref.bytes);
+  }
+
+  /// Builds the located mismatch text and counts it (cold path).
+  std::string gate_mismatch(int world_rank, const char* name,
+                            std::int32_t comm, std::uint32_t seq,
+                            const CollDesc& mine, const GateEntry& ref);
+
+  /// Builds the located block-compare mismatch text and counts it.
+  std::string block_mismatch(int world_rank, const char* name,
+                             std::uint64_t block_bytes, const char* my_name,
+                             std::uint64_t my_bytes);
+
+  /// First-arriver / racing-deposit path of coll_gate, under gate_mutex_.
+  std::string coll_gate_locked(int lane_idx, int world_rank,
+                               const char* name, std::int32_t comm,
+                               std::uint32_t seq, int expected,
+                               const CollDesc& mine);
+
+  /// Slow path under gate_mutex_: deposit/compare via the overflow map
+  /// (all kProbeLen candidate slots were taken by other gates).
+  std::string gate_overflow(int lane_idx, int world_rank, const char* name,
+                            std::int32_t comm, std::uint32_t seq,
+                            int expected, const CollDesc& mine);
+
+  Mode mode_;
+  double deadlock_s_;
+  std::vector<GateSlot> slots_;
+  std::vector<Lane> lanes_;
+
+  std::mutex gate_mutex_;  ///< serializes deposits + the overflow map
+  std::map<std::uint64_t, GateEntry> overflow_;
+  std::atomic<int> overflow_count_{0};
+
+  mutable std::mutex diag_mutex_;
+  std::vector<Diagnosis> diagnoses_;
+
+  std::atomic<std::uint64_t> coll_mismatches_{0};
+  std::atomic<std::uint64_t> block_mismatches_{0};
+  std::atomic<std::uint64_t> p2p_type_mismatches_{0};
+  std::atomic<std::uint64_t> p2p_truncations_{0};
+  std::atomic<std::uint64_t> deadlock_scans_{0};
+  std::atomic<std::uint64_t> recoveries_seen_{0};
+};
+
+inline std::string Checker::coll_gate(int lane_idx, int world_rank,
+                                      const char* name, std::int32_t comm,
+                                      std::uint32_t seq, int expected,
+                                      const CollDesc& mine) {
+  Lane& ln = lane(lane_idx);
+  if (expected <= 1) {  // self-collective: trivially matched
+    ++ln.coll_verified;
+    return {};
+  }
+  const std::uint64_t key = gate_key(comm, seq);
+  const std::size_t mask = slots_.size() - 1;
+  const std::size_t home = home_slot(key);
+
+  // Lock-free comparer fast path: find the published entry for (comm, seq).
+  for (int p = 0; p < kProbeLen; ++p) {
+    GateSlot& s = slots_[(home + static_cast<std::size_t>(p)) & mask];
+    if (s.key.load(std::memory_order_acquire) != key) continue;
+    // The depositor wrote ref/name/ref_rank before the release-store of
+    // key, so seeing `key` makes them readable. Re-check key after the
+    // reads: if the slot was reclaimed (and possibly re-deposited for a
+    // different gate) mid-read, the key changed — (comm, seq) pairs are
+    // never reused, so an unchanged key proves the snapshot is ours.
+    const GateEntry snap{s.ref, s.name, s.ref_rank, 0};
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.key.load(std::memory_order_relaxed) != key) break;  // reclaimed
+    std::string mismatch;
+    if (desc_matches(mine, snap.ref)) [[likely]]
+      ++ln.coll_verified;
+    else
+      mismatch = gate_mismatch(world_rank, name, comm, seq, mine, snap);
+    // Count the arrival only after the compare: the slot cannot be
+    // reclaimed before all `expected` arrivals bumped the counter.
+    if (s.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 >= expected)
+      s.key.store(kEmptyKey, std::memory_order_release);
+    return mismatch;
+  }
+
+  // Not found: first arriver (common) or an overflow-parked gate (rare).
+  return coll_gate_locked(lane_idx, world_rank, name, comm, seq, expected,
+                          mine);
+}
+
+/// Stable display name for a CollColor ("barrier", "bcast", ...).
+const char* coll_color_name(std::int32_t color) noexcept;
+
+}  // namespace apv::check

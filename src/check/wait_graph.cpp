@@ -1,0 +1,137 @@
+#include "check/wait_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+
+namespace apv::check {
+
+namespace {
+
+/// Groups blocked-in-collective ranks by the instance they are stuck in.
+using CollKey = std::tuple<std::int32_t, std::uint32_t, std::string>;
+
+std::string join_ranks(const std::vector<int>& ranks, std::size_t cap = 8) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ranks.size() && i < cap; ++i) {
+    if (i) os << ",";
+    os << ranks[i];
+  }
+  if (ranks.size() > cap) os << ",... (" << ranks.size() << " total)";
+  return os.str();
+}
+
+/// Finds one directed cycle in rank -> awaited-source edges, if any.
+/// Iterative three-color walk; graph is tiny (unfinished ranks only).
+std::vector<int> find_p2p_cycle(const std::unordered_map<int, int>& edge) {
+  std::unordered_map<int, int> color;  // 0 white, 1 gray, 2 black
+  for (const auto& [start, _] : edge) {
+    if (color[start] != 0) continue;
+    std::vector<int> path;
+    int v = start;
+    while (true) {
+      if (color[v] == 1) {  // gray: closed a cycle along the current path
+        auto it = std::find(path.begin(), path.end(), v);
+        return {it, path.end()};
+      }
+      if (color[v] == 2) break;  // black: leads somewhere already cleared
+      color[v] = 1;
+      path.push_back(v);
+      auto next = edge.find(v);
+      if (next == edge.end()) break;  // any-source or dangling: no edge out
+      v = next->second;
+    }
+    for (int u : path) color[u] = 2;
+  }
+  return {};
+}
+
+}  // namespace
+
+DeadlockReport analyze_wait_graph(const std::vector<RankWait>& waits) {
+  DeadlockReport rep;
+  if (waits.empty()) return rep;
+
+  std::vector<int> blocked;
+  std::map<CollKey, std::vector<int>> coll_groups;
+  std::vector<int> p2p_blocked;
+  std::unordered_map<int, int> p2p_edge;
+  for (const RankWait& w : waits) {
+    if (!w.blocked) return rep;  // someone is runnable: not a deadlock
+    blocked.push_back(w.rank);
+    if (w.in_collective) {
+      coll_groups[{w.coll_comm, w.coll_seq,
+                   w.coll_name ? w.coll_name : "?"}].push_back(w.rank);
+    } else {
+      p2p_blocked.push_back(w.rank);
+      if (w.recv_src >= 0) p2p_edge[w.rank] = w.recv_src;
+    }
+  }
+
+  rep.deadlock = true;
+
+  if (!coll_groups.empty() && (coll_groups.size() > 1 || !p2p_blocked.empty())) {
+    // Ranks split across collective instances (or collective vs p2p): the
+    // smallest group is the likeliest culprit — report it as the stragglers.
+    auto smallest = coll_groups.begin();
+    for (auto it = coll_groups.begin(); it != coll_groups.end(); ++it)
+      if (it->second.size() < smallest->second.size()) smallest = it;
+    rep.kind = "collective-divergence";
+    std::ostringstream os;
+    os << "deadlock: collective divergence — ";
+    for (const auto& [key, ranks] : coll_groups) {
+      os << "ranks [" << join_ranks(ranks) << "] in "
+         << std::get<2>(key) << "(comm=" << std::get<0>(key)
+         << " seq=" << std::get<1>(key) << "); ";
+    }
+    if (!p2p_blocked.empty())
+      os << "ranks [" << join_ranks(p2p_blocked)
+         << "] blocked in point-to-point recv; ";
+    os << "straggler group: [" << join_ranks(smallest->second) << "]";
+    rep.message = os.str();
+    rep.ranks = smallest->second;
+    return rep;
+  }
+
+  std::vector<int> cycle = find_p2p_cycle(p2p_edge);
+  if (!cycle.empty()) {
+    rep.kind = "p2p-cycle";
+    std::ostringstream os;
+    os << "deadlock: receive cycle — ";
+    for (std::size_t i = 0; i < cycle.size(); ++i)
+      os << "rank " << cycle[i] << " waits on rank "
+         << cycle[(i + 1) % cycle.size()]
+         << (i + 1 < cycle.size() ? ", " : "");
+    rep.message = os.str();
+    rep.ranks = cycle;
+    return rep;
+  }
+
+  if (coll_groups.size() == 1 && p2p_blocked.empty()) {
+    // Everyone parked in the same collective instance with no progress:
+    // only possible if a participant never arrives (it finished or is
+    // stuck elsewhere and was filtered) — still report the stuck site.
+    const auto& [key, ranks] = *coll_groups.begin();
+    rep.kind = "collective-divergence";
+    std::ostringstream os;
+    os << "deadlock: ranks [" << join_ranks(ranks) << "] stuck in "
+       << std::get<2>(key) << "(comm=" << std::get<0>(key)
+       << " seq=" << std::get<1>(key)
+       << ") with no progress — a participant never entered";
+    rep.message = os.str();
+    rep.ranks = ranks;
+    return rep;
+  }
+
+  rep.kind = "starved";
+  std::ostringstream os;
+  os << "deadlock: ranks [" << join_ranks(blocked)
+     << "] all blocked with no matching sends in flight";
+  rep.message = os.str();
+  rep.ranks = blocked;
+  return rep;
+}
+
+}  // namespace apv::check

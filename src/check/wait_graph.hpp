@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apv::check {
+
+/// What one unfinished rank is blocked on, sampled post-hoc from the
+/// runtime's per-rank provenance fields (last collective entered, last
+/// receive posted). Built by the deadlock scan in Runtime::wait_finish once
+/// quiescence is established — never on the message fast path.
+struct RankWait {
+  int rank = -1;
+  bool blocked = false;        ///< waiting inside a blocking MPI call
+  bool in_collective = false;  ///< blocked on a collective (vs p2p recv)
+  const char* coll_name = nullptr;
+  std::int32_t coll_comm = -1;
+  std::uint32_t coll_seq = 0;
+  int recv_src = -2;           ///< world rank awaited; negative = wildcard
+                               ///< or never posted (no definite edge)
+  std::int32_t recv_tag = 0;
+  std::int32_t recv_comm = -1;
+};
+
+/// Result of analysing the wait-state graph of a quiesced job.
+struct DeadlockReport {
+  bool deadlock = false;
+  std::string kind;     ///< "collective-divergence" | "p2p-cycle" | "starved"
+  std::string message;  ///< full located diagnosis text
+  std::vector<int> ranks;  ///< ranks implicated (cycle members / stragglers)
+};
+
+/// Analyses the sampled wait states of all unfinished ranks. Caller has
+/// already established that no progress is possible (two consecutive scans
+/// with identical context-switch totals and every unfinished rank parked),
+/// so any finding here is a real stuck state, not a race with progress:
+///   - collective divergence: blocked ranks split across different
+///     (comm, seq) collective instances, or some entered a collective while
+///     others wait on p2p — reports the minority group as the stragglers;
+///   - p2p cycle: directed edges rank -> awaited source (specific sources
+///     only) contain a cycle;
+///   - starved: everyone blocked but no cycle/divergence structure — e.g.
+///     a receive from a rank that already finished.
+DeadlockReport analyze_wait_graph(const std::vector<RankWait>& waits);
+
+}  // namespace apv::check

@@ -176,6 +176,7 @@ void Cluster::append_to_bin(PeTx& tx, Message&& msg) {
   h.tag = msg.tag;
   h.seq = msg.seq;
   h.bytes = static_cast<std::uint32_t>(msg.payload.size());
+  h.esize = msg.esize;
   std::memcpy(bin.buf.data() + bin.used, &h, sizeof h);
   if (!msg.payload.empty()) {
     std::memcpy(bin.buf.data() + bin.used + sizeof h, msg.payload.data(),

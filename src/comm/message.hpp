@@ -51,6 +51,9 @@ struct Message {
   std::int32_t opcode = 0;    ///< Control/Migration sub-op; Aggregate count
   std::uint64_t seq = 0;      ///< per-(src,dst,comm) FIFO sequence number;
                               ///< Aggregate: summed bundled payload bytes
+  std::uint32_t esize = 0;    ///< sender-declared element size (runtime
+                              ///< checker stamp); 0 = unstamped, never
+                              ///< verified — internal traffic stays 0
   Payload payload;
 
   std::size_t size_bytes() const noexcept {
@@ -73,7 +76,7 @@ struct AggSubHeader {
   std::int32_t tag;
   std::uint64_t seq;
   std::uint32_t bytes;     ///< payload bytes following this header
-  std::uint32_t reserved;
+  std::uint32_t esize;     ///< sender-declared element size (checker stamp)
 };
 static_assert(sizeof(AggSubHeader) == 32);
 
@@ -103,6 +106,7 @@ void unbundle(Message&& agg, Fn&& fn) {
     m.comm_id = h.comm_id;
     m.tag = h.tag;
     m.seq = h.seq;
+    m.esize = h.esize;
     if (h.bytes > 0)
       m.payload = Payload::view(agg.payload, off + sizeof h, h.bytes);
     off += agg_entry_bytes(h.bytes);

@@ -38,12 +38,14 @@ void api_send(Env* e, const void* buf, int count, Datatype dt, int dst,
               int tag, CommId comm) {
   require(tag >= 0 && tag <= kMaxUserTag, ErrorCode::InvalidArgument,
           "user tag out of range");
-  rt(e).do_send(rm(e), buf, nbytes(count, dt), dst, tag, comm);
+  rt(e).do_send(rm(e), buf, nbytes(count, dt), dst, tag, comm,
+                static_cast<std::uint32_t>(datatype_size(dt)));
 }
 
 Status api_recv(Env* e, void* buf, int count, Datatype dt, int src, int tag,
                 CommId comm) {
-  Request req = rt(e).do_irecv(rm(e), buf, nbytes(count, dt), src, tag, comm);
+  Request req = rt(e).do_irecv(rm(e), buf, nbytes(count, dt), src, tag, comm,
+                               static_cast<std::uint32_t>(datatype_size(dt)));
   return rt(e).do_wait(rm(e), req);
 }
 
@@ -60,7 +62,8 @@ Request api_isend(Env* e, const void* buf, int count, Datatype dt, int dst,
 
 Request api_irecv(Env* e, void* buf, int count, Datatype dt, int src, int tag,
                   CommId comm) {
-  return rt(e).do_irecv(rm(e), buf, nbytes(count, dt), src, tag, comm);
+  return rt(e).do_irecv(rm(e), buf, nbytes(count, dt), src, tag, comm,
+                        static_cast<std::uint32_t>(datatype_size(dt)));
 }
 
 Status api_wait(Env* e, Request* req) { return rt(e).do_wait(rm(e), *req); }

@@ -15,9 +15,49 @@ namespace apv::mpi {
 using util::ErrorCode;
 using util::require;
 
+namespace {
+
+/// Entry gate for the runtime correctness checker, placed once at the top
+/// of every USER-level collective. Stamps provenance (always — the timeout
+/// post-mortem uses it even with the checker off) and, when the checker is
+/// armed, registers/compares this rank's call-site descriptor for
+/// (comm, check_seq). Depth-guarded: collectives a collective delegates to
+/// (naive allreduce -> reduce + bcast, FT/LB glue barriers) never re-gate,
+/// so the sequence advances exactly once per user call on every member.
+class CollScope {
+ public:
+  CollScope(Runtime& rt, RankMpi& rm, const char* name, std::int32_t color,
+            CommId comm, int expected, int root = -1, int opkind = -1,
+            std::uint32_t esize = 0, std::uint64_t bytes = 0)
+      : rm_(rm) {
+    if (rm.coll_depth == 0) {
+      const std::uint32_t seq = rm.check_seq_for(comm)++;
+      rm.last_coll_name = name;
+      rm.last_coll_comm = comm;
+      rm.last_coll_seq = seq;
+      if (rt.checker() != nullptr) {
+        // May throw CheckFailed (abort mode) — coll_depth stays balanced
+        // because the increment below never ran.
+        rt.coll_gate_entry(rm, name, color, comm, seq, root, opkind, esize,
+                           bytes, expected);
+      }
+    }
+    ++rm_.coll_depth;
+  }
+  ~CollScope() { --rm_.coll_depth; }
+  CollScope(const CollScope&) = delete;
+  CollScope& operator=(const CollScope&) = delete;
+
+ private:
+  RankMpi& rm_;
+};
+
+}  // namespace
+
 void Runtime::do_barrier(RankMpi& rm, CommId comm) {
   const CommInfo& ci = comm_info(comm);
   const int n = ci.size();
+  CollScope gate(*this, rm, "barrier", check::kColorBarrier, comm, n);
   if (n == 1) return;
   if (coll_hier_ && hier_barrier(rm, comm)) return;
   const int me = ci.local_of(rm.world_rank);
@@ -38,6 +78,8 @@ void Runtime::do_bcast(RankMpi& rm, void* buf, std::size_t bytes, int root,
                        CommId comm) {
   const CommInfo& ci = comm_info(comm);
   const int n = ci.size();
+  CollScope gate(*this, rm, "bcast", check::kColorBcast, comm, n, root,
+                 /*opkind=*/-1, /*esize=*/0, bytes);
   if (n == 1) return;
   if (coll_hier_ && hier_bcast(rm, buf, bytes, root, comm)) return;
   const int me = ci.local_of(rm.world_rank);
@@ -72,6 +114,8 @@ void Runtime::do_reduce(RankMpi& rm, const void* sbuf, void* rbuf, int count,
   const int me = ci.local_of(rm.world_rank);
   const std::size_t bytes =
       static_cast<std::size_t>(count) * datatype_size(dt);
+  CollScope gate(*this, rm, "reduce", check::kColorReduce, comm, n, root,
+                 static_cast<int>(op.kind), datatype_size(dt), bytes);
   if (n == 1) {
     if (me == root && rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
     return;
@@ -145,8 +189,12 @@ void Runtime::do_allreduce(RankMpi& rm, const void* sbuf, void* rbuf,
                            CommId comm) {
   const std::size_t bytes =
       static_cast<std::size_t>(count) * datatype_size(dt);
-  if (comm_info(comm).size() > 1 && coll_hier_ &&
-      hier_allreduce(rm, sbuf, rbuf, count, dt, op, comm))
+  const int n = comm_info(comm).size();
+  CollScope gate(*this, rm, "allreduce", check::kColorAllreduce, comm, n,
+                 /*root=*/-1, static_cast<int>(op.kind), datatype_size(dt),
+                 bytes);
+  if (n > 1 && coll_hier_ && hier_allreduce(rm, sbuf, rbuf, count, dt, op,
+                                            comm))
     return;
   do_reduce(rm, sbuf, rbuf, count, dt, op, /*root=*/0, comm);
   do_bcast(rm, rbuf, bytes, /*root=*/0, comm);
@@ -159,6 +207,8 @@ void Runtime::do_scan(RankMpi& rm, const void* sbuf, void* rbuf, int count,
   const int me = ci.local_of(rm.world_rank);
   const std::size_t bytes =
       static_cast<std::size_t>(count) * datatype_size(dt);
+  CollScope gate(*this, rm, "scan", check::kColorScan, comm, n, /*root=*/-1,
+                 static_cast<int>(op.kind), datatype_size(dt), bytes);
   if (n > 1 && coll_hier_ && hier_scan(rm, sbuf, rbuf, count, dt, op, comm))
     return;
   const std::uint32_t seq = rm.coll_seq_for(comm)++;
@@ -184,6 +234,9 @@ void Runtime::do_gatherv(RankMpi& rm, const void* sbuf, int scount,
   const CommInfo& ci = comm_info(comm);
   const int n = ci.size();
   const int me = ci.local_of(rm.world_rank);
+  // Per-rank counts/displacements legitimately differ: gate on the entry
+  // point and root only (esize/bytes stay 0 = unverified).
+  CollScope gate(*this, rm, "gatherv", check::kColorGatherv, comm, n, root);
   const std::uint32_t seq = rm.coll_seq_for(comm)++;
   const int tag = internal_tag(kCollGather, 0, seq);
   const std::size_t sbytes =
@@ -214,6 +267,7 @@ void Runtime::do_scatterv(RankMpi& rm, const void* sbuf, const int* scounts,
   const CommInfo& ci = comm_info(comm);
   const int n = ci.size();
   const int me = ci.local_of(rm.world_rank);
+  CollScope gate(*this, rm, "scatterv", check::kColorScatterv, comm, n, root);
   const std::uint32_t seq = rm.coll_seq_for(comm)++;
   const int tag = internal_tag(kCollScatter, 0, seq);
   const std::size_t rbytes =
@@ -244,9 +298,11 @@ void Runtime::do_alltoall(RankMpi& rm, const void* sbuf, int scount,
   const CommInfo& ci = comm_info(comm);
   const int n = ci.size();
   const int me = ci.local_of(rm.world_rank);
-  const std::uint32_t seq = rm.coll_seq_for(comm)++;
   const std::size_t sblock =
       static_cast<std::size_t>(scount) * datatype_size(sdt);
+  CollScope gate(*this, rm, "alltoall", check::kColorAlltoall, comm, n,
+                 /*root=*/-1, /*opkind=*/-1, datatype_size(sdt), sblock);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
   const std::size_t rblock =
       static_cast<std::size_t>(rcount) * datatype_size(rdt);
 
@@ -274,6 +330,9 @@ CommId Runtime::do_comm_split(RankMpi& rm, CommId parent, int color,
   const CommInfo& ci = comm_info(parent);
   const int n = ci.size();
   const int me = ci.local_of(rm.world_rank);
+  // color/key legitimately differ per rank — the gate checks only that
+  // everyone entered a split on this parent.
+  CollScope gate(*this, rm, "comm_split", check::kColorCommSplit, parent, n);
   const std::uint32_t seq = rm.comm_seq_for(parent)++;
 
   // Allgather (color, key, world) over the parent: linear gather at local

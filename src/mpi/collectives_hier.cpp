@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "mpi/runtime.hpp"
+#include "util/error.hpp"
 
 namespace apv::mpi {
 
@@ -75,7 +76,40 @@ struct GroupBlock {
   bool data_ready = false;  ///< bcast: root deposited into acc
   std::vector<std::byte> acc;  ///< fold accumulator / staging / result
   std::vector<std::vector<std::byte>> slots;  ///< ordered per-member staging
+  // Runtime-checker stamp of the first arriver's call shape (0 = unset;
+  // kCollHier* codes are nonzero).
+  std::int32_t chk_color = 0;
+  std::uint64_t chk_bytes = 0;
+  const char* chk_name = nullptr;
 };
+
+/// Secondary shared-block verification, called under blk.m at every block
+/// arrival. The first arriver stamps the block with its call shape; later
+/// arrivals compare against it. A second line of defense behind the entry
+/// gate: it also covers composite collectives' inner hierarchical phases
+/// (the depth-guarded gate checks only the outermost entry), and in abort
+/// mode it stops a size-divergent member before any shared-block fold or
+/// copy could overrun.
+void block_check(check::Checker* ck, int world_rank, int lane,
+                 GroupBlock& blk, std::int32_t color, std::uint64_t bytes,
+                 const char* name) {
+  if (ck == nullptr) [[likely]]
+    return;
+  if (blk.chk_color == 0) {
+    blk.chk_color = color;
+    blk.chk_bytes = bytes;
+    blk.chk_name = name;
+    return;
+  }
+  const std::string diag =
+      ck->block_compare(lane, world_rank, blk.chk_name, blk.chk_color,
+                        blk.chk_bytes, color, name, bytes);
+  if (diag.empty()) [[likely]]
+    return;
+  ck->record("collective-block-mismatch", world_rank, diag);
+  if (ck->mode() == check::Mode::Abort)
+    throw util::ApvError(util::ErrorCode::CheckFailed, diag);
+}
 
 }  // namespace
 
@@ -223,6 +257,8 @@ bool Runtime::hier_barrier(RankMpi& rm, CommId comm) {
   bool last = false;
   {
     std::lock_guard<std::mutex> lk(blk->m);
+    block_check(checker(), rm.world_rank, rm.resident_pe, *blk, kCollHierBarrier, 0,
+                "barrier");
     last = ++blk->arrived == gsize;
   }
   if (!am_leader) {
@@ -253,6 +289,8 @@ bool Runtime::hier_barrier(RankMpi& rm, CommId comm) {
     bool llast = false;
     {
       std::lock_guard<std::mutex> lk(lblk->m);
+      block_check(checker(), rm.world_rank, rm.resident_pe, *lblk, kCollHierBarrier, 0,
+                  "barrier");
       llast = ++lblk->arrived == L;
       if (llast) lblk->released = true;
     }
@@ -313,6 +351,8 @@ bool Runtime::hier_bcast(RankMpi& rm, void* buf, std::size_t bytes, int root,
   if (me == root) {
     {
       std::lock_guard<std::mutex> lk(blk->m);
+      block_check(checker(), rm.world_rank, rm.resident_pe, *blk, kCollHierBcast, bytes,
+                  "bcast");
       const auto* p = static_cast<const std::byte*>(buf);
       blk->acc.assign(p, p + bytes);
       blk->data_ready = true;
@@ -322,6 +362,8 @@ bool Runtime::hier_bcast(RankMpi& rm, void* buf, std::size_t bytes, int root,
       wake_coll_member(rm.resident_pe, rank_state(ci.world_of(lead)));
   } else if (!am_leader) {
     std::lock_guard<std::mutex> lk(blk->m);
+    block_check(checker(), rm.world_rank, rm.resident_pe, *blk, kCollHierBcast, bytes,
+                "bcast");
     ++blk->arrived;
   }
 
@@ -361,11 +403,15 @@ bool Runtime::hier_bcast(RankMpi& rm, void* buf, std::size_t bytes, int root,
     }
     {
       std::lock_guard<std::mutex> lk(blk->m);
+      block_check(checker(), rm.world_rank, rm.resident_pe, *blk, kCollHierBcast, bytes,
+                  "bcast");
       ++blk->arrived;
     }
   } else {
     {
       std::lock_guard<std::mutex> lk(blk->m);
+      block_check(checker(), rm.world_rank, rm.resident_pe, *blk, kCollHierBcast, bytes,
+                  "bcast");
       blk->acc.resize(bytes);
       ++blk->arrived;
     }
@@ -467,6 +513,8 @@ bool Runtime::hier_reduce(RankMpi& rm, const void* sbuf, void* rbuf,
   bool last = false;
   {
     std::lock_guard<std::mutex> lk(blk->m);
+    block_check(checker(), rm.world_rank, rm.resident_pe, *blk, kCollHierReduce, bytes,
+                "reduce");
     if (op.commutative) {
       // Incremental in-block fold: each member combines its contribution
       // through its own code copy (user ops resolve per rank).
@@ -538,6 +586,8 @@ bool Runtime::hier_reduce(RankMpi& rm, const void* sbuf, void* rbuf,
     bool llast = false;
     {
       std::lock_guard<std::mutex> lk(lblk->m);
+      block_check(checker(), rm.world_rank, rm.resident_pe, *lblk, kCollHierReduce, bytes,
+                  "reduce");
       if (lblk->acc.empty()) {
         lblk->acc.assign(acc.begin(), acc.end());
       } else {
@@ -668,6 +718,8 @@ bool Runtime::hier_allreduce(RankMpi& rm, const void* sbuf, void* rbuf,
   bool last = false;
   {
     std::lock_guard<std::mutex> lk(blk->m);
+    block_check(checker(), rm.world_rank, rm.resident_pe, *blk, kCollHierAllred, bytes,
+                "allreduce");
     if (blk->acc.empty()) {
       blk->acc.assign(sp, sp + bytes);
     } else {
@@ -714,6 +766,8 @@ bool Runtime::hier_allreduce(RankMpi& rm, const void* sbuf, void* rbuf,
     bool llast = false;
     {
       std::lock_guard<std::mutex> lk(lblk->m);
+      block_check(checker(), rm.world_rank, rm.resident_pe, *lblk, kCollHierAllred, bytes,
+                  "allreduce");
       if (lblk->acc.empty()) {
         lblk->acc.assign(acc, acc + bytes);
       } else {
@@ -899,6 +953,7 @@ bool Runtime::hier_scan(RankMpi& rm, const void* sbuf, void* rbuf, int count,
   bool last = false;
   {
     std::lock_guard<std::mutex> lk(blk->m);
+    block_check(checker(), rm.world_rank, rm.resident_pe, *blk, kCollHierScan, bytes, "scan");
     blk->slots.resize(static_cast<std::size_t>(gsize));
     blk->slots[static_cast<std::size_t>(pos)].assign(sp, sp + bytes);
     last = ++blk->arrived == gsize;

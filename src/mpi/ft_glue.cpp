@@ -204,6 +204,13 @@ void Runtime::recover_from_failure(RankMpi& rm, comm::PeId victim,
                  "across %d live PE(s)",
            epoch, victim, victims.size(), cluster_->num_live_pes());
 
+  // Checker interplay: recovery traffic is kCollFtRecover-tagged (never
+  // p2p-verified or gated), and check_seq lives on the host heap, so a
+  // victim's rewind cannot fork its checker sequence from the survivors' —
+  // the checker stays armed across recovery with no false positives. Note
+  // the event so tests can assert the checker observed a recovery.
+  if (checker_ != nullptr) checker_->note_recovery();
+
   for (std::size_t i = 1; i < survivors.size(); ++i) {
     coll_send(rm, survivors[i], release_tag, nullptr, 0, kCommWorld);
   }

@@ -25,6 +25,8 @@ struct RecvPost {
   int src = kAnySource;  ///< communicator-local, or kAnySource
   int tag = kAnyTag;
   CommId comm = kCommWorld;
+  std::uint32_t esize = 0;  ///< receiver-declared element size (checker);
+                            ///< 0 = untyped, size verification only
 };
 
 /// State of one nonblocking operation.
@@ -59,6 +61,33 @@ struct RankMpi {
   std::vector<std::uint32_t> coll_seq;
   /// Per-communicator comm-creation counters (dup/split id derivation).
   std::vector<std::uint32_t> comm_seq;
+  /// Per-communicator USER-level collective sequence for the correctness
+  /// checker. Separate from coll_seq: naive allreduce delegates to
+  /// reduce+bcast and consumes several coll_seqs per user call, but the
+  /// checker gates exactly once per user-level entry. Host heap, so a
+  /// checkpoint rewind does not fork the sequence between victims and
+  /// survivors.
+  std::vector<std::uint32_t> check_seq;
+
+  /// Collective nesting depth: >0 while inside a user-level collective, so
+  /// delegated inner collectives (naive allreduce -> reduce+bcast, FT/LB
+  /// glue barriers called from user code) don't re-gate.
+  int coll_depth = 0;
+  /// Checker provenance: last user-level collective this rank entered
+  /// (static string), and the last receive it posted. Surfaced by the
+  /// stuck-state post-mortem and the deadlock wait-graph scan.
+  const char* last_coll_name = nullptr;
+  std::int32_t last_coll_comm = -1;
+  std::uint32_t last_coll_seq = 0;
+  int last_post_src = -2;  ///< awaited world rank; kAnySource (also the
+                           ///< initial value) = wildcard or never posted —
+                           ///< either way, no definite wait-graph edge
+  std::int32_t last_post_tag = 0;
+  std::int32_t last_post_comm = -1;
+  /// Mismatch diagnosis found by the dispatcher thread at match time
+  /// (complete_recv runs on the PE loop thread, which must not throw into
+  /// rank context); thrown from the rank's next do_wait/do_test/resume.
+  std::string pending_check;
 
   bool waiting = false;  ///< ULT suspended inside a wait/recv loop
   bool finished = false;
@@ -136,6 +165,11 @@ struct RankMpi {
     return routed_delivered_[static_cast<std::size_t>(world)];
   }
 
+  std::uint32_t& check_seq_for(CommId comm) {
+    if (static_cast<std::size_t>(comm) >= check_seq.size())
+      check_seq.resize(static_cast<std::size_t>(comm) + 1, 0);
+    return check_seq[static_cast<std::size_t>(comm)];
+  }
   std::uint32_t& coll_seq_for(CommId comm) {
     if (static_cast<std::size_t>(comm) >= coll_seq.size())
       coll_seq.resize(static_cast<std::size_t>(comm) + 1, 0);

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "check/wait_graph.hpp"
 #include "mpi/api_shim.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -66,6 +68,36 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
   coll_hier_ = config_.options.get_string("coll.algo", "hier") == "hier";
   rab_cutoff_ = static_cast<std::size_t>(std::max<std::int64_t>(
       0, config_.options.get_int("coll.rab_cutoff", 32768)));
+  // Runtime correctness checker (src/check). An explicit check.mode option
+  // wins; otherwise the APV_CHECK_MODE environment variable applies, so CI
+  // can arm the checker across a whole test run without editing each job.
+  {
+    std::string mode_s = config_.options.get_string("check.mode", "");
+    if (mode_s.empty()) {
+      const char* env_mode = std::getenv("APV_CHECK_MODE");
+      mode_s = env_mode != nullptr ? env_mode : "off";
+    }
+    check::Mode cm = check::Mode::Off;
+    if (mode_s == "warn") {
+      cm = check::Mode::Warn;
+    } else if (mode_s == "abort") {
+      cm = check::Mode::Abort;
+    } else {
+      require(mode_s == "off" || mode_s.empty(), ErrorCode::InvalidArgument,
+              "check.mode must be off, warn, or abort");
+    }
+    if (cm != check::Mode::Off) {
+      const double deadlock_s =
+          config_.options.get_double("check.deadlock_s", 0.0);
+      // One gate shard per PE: co-resident members of a collective hit the
+      // same shard uncontended on their shared loop thread.
+      checker_ = std::make_unique<check::Checker>(cm, deadlock_s,
+                                                  cluster_->num_pes());
+      check_on_ = true;
+      fail_fast_ = cm == check::Mode::Abort;
+    }
+  }
+  dump_counters_ = config_.options.get_bool("util.dump_counters", false);
   init_hier_state();
   pack_api_table(api_);
   pe_state_.resize(static_cast<std::size_t>(cluster_->num_pes()));
@@ -223,7 +255,11 @@ void Runtime::rank_body(void* arg) {
 
 void Runtime::rank_finished(RankMpi& rm) {
   rm.finished = true;
-  if (live_ranks_.fetch_sub(1) == 1) {
+  // Fail-fast (checker abort mode): a failed rank wakes wait_finish
+  // immediately instead of letting its peers hang until the job timeout —
+  // the diagnosis is already recorded and the failure already stamped.
+  if (rm.failed && fail_fast_) any_failed_.store(true);
+  if (live_ranks_.fetch_sub(1) == 1 || (rm.failed && fail_fast_)) {
     std::lock_guard<std::mutex> lock(finish_mutex_);
     finish_cv_.notify_all();
   }
@@ -244,10 +280,81 @@ void Runtime::wait_finish() {
   {
     const auto timeout_s = static_cast<long>(std::max<std::int64_t>(
         1, config_.options.get_int("mpi.timeout_s", 300)));
+    const double deadlock_s =
+        checker_ != nullptr ? checker_->deadlock_s() : 0.0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(timeout_s);
     std::unique_lock<std::mutex> lock(finish_mutex_);
-    const bool done = finish_cv_.wait_for(
-        lock, std::chrono::seconds(timeout_s),
-        [this] { return live_ranks_.load() == 0; });
+    // Fail-fast (abort mode): the first rank failure ends the wait — its
+    // CheckFailed diagnosis is the job's outcome; draining the remaining
+    // ranks (now missing a collective peer) would just hang to the timeout.
+    const auto finished = [this] {
+      return live_ranks_.load() == 0 || (fail_fast_ && any_failed_.load());
+    };
+    bool done;
+    if (deadlock_s <= 0.0) {
+      done = finish_cv_.wait_until(lock, deadline, finished);
+    } else {
+      // Periodic deadlock scan (check.deadlock_s). Progress delivery is
+      // synchronous in this runtime (the netmodel paces but never defers a
+      // message to a timer), so "no context switch happened between two
+      // consecutive scans and every unfinished rank is parked" implies no
+      // progress is possible — then the wait-state graph names the culprit
+      // long before the coarse job timeout would.
+      std::uint64_t last_switches = ~std::uint64_t{0};
+      bool prior_scan_quiet = false;
+      bool reported = false;
+      const auto scan_period =
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(deadlock_s));
+      while (true) {
+        const auto scan_at = std::chrono::steady_clock::now() + scan_period;
+        done = finish_cv_.wait_until(lock, std::min(deadline, scan_at),
+                                     finished);
+        if (done || std::chrono::steady_clock::now() >= deadline) break;
+        checker_->note_deadlock_scan();
+        const std::uint64_t switches = total_context_switches();
+        bool all_blocked = true;
+        for (const auto& rm : ranks_) {
+          if (rm->finished) continue;
+          if (!rm->waiting ||
+              rm->rc->ult->state() != ult::UltState::Blocked) {
+            all_blocked = false;
+            break;
+          }
+        }
+        const bool quiet = all_blocked && switches == last_switches;
+        if (quiet && prior_scan_quiet && !reported) {
+          std::vector<check::RankWait> waits;
+          for (const auto& rm : ranks_) {
+            if (rm->finished) continue;
+            check::RankWait w;
+            w.rank = rm->world_rank;
+            w.blocked = true;
+            w.in_collective = rm->coll_depth > 0;
+            w.coll_name = rm->last_coll_name;
+            w.coll_comm = rm->last_coll_comm;
+            w.coll_seq = rm->last_coll_seq;
+            w.recv_src = rm->last_post_src;
+            w.recv_tag = rm->last_post_tag;
+            w.recv_comm = rm->last_post_comm;
+            waits.push_back(w);
+          }
+          const check::DeadlockReport rep = check::analyze_wait_graph(waits);
+          if (rep.deadlock) {
+            checker_->record("deadlock", -1, rep.message);
+            reported = true;
+            dump_stuck_state();
+            if (checker_->mode() == check::Mode::Abort)
+              throw ApvError(ErrorCode::CheckFailed, rep.message);
+            // Warn mode: diagnosis recorded; keep waiting so the job can
+            // still drain (or hit the ordinary timeout) as before.
+          }
+        }
+        prior_scan_quiet = quiet;
+        last_switches = switches;
+      }
+    }
     if (!done) {
       dump_stuck_state();
       throw ApvError(ErrorCode::Internal,
@@ -256,6 +363,7 @@ void Runtime::wait_finish() {
   }
   cluster_->stop_and_join();
   started_ = false;
+  if (dump_counters_) dump_all_counters();
   for (const auto& rm : ranks_) {
     if (rm->failed)
       throw ApvError(ErrorCode::Internal, "rank " +
@@ -280,6 +388,25 @@ void Runtime::dump_stuck_state() {
                  rm->waiting ? 1 : 0, rm->ckpt_pending ? 1 : 0,
                  rm->restore_pending ? 1 : 0, rm->restored ? 1 : 0,
                  rm->posted.size(), rm->unexpected.size(), rm->ft_epoch);
+    if (rm->finished) continue;
+    // Provenance for the wedged rank: where it last entered a collective
+    // and what it last posted — usually enough to name the mismatch without
+    // rerunning under the checker.
+    if (rm->last_coll_name != nullptr) {
+      std::fprintf(stderr,
+                   "[apv:mpi]     last collective: %s(comm=%d seq=%u)%s\n",
+                   rm->last_coll_name, rm->last_coll_comm, rm->last_coll_seq,
+                   rm->coll_depth > 0 ? " [inside it now]" : "");
+    }
+    if (rm->last_post_src != -2) {
+      std::fprintf(stderr,
+                   "[apv:mpi]     last posted recv: src=%d tag=%d comm=%d\n",
+                   rm->last_post_src, rm->last_post_tag, rm->last_post_comm);
+    }
+    if (!rm->pending_check.empty()) {
+      std::fprintf(stderr, "[apv:mpi]     undelivered check diagnosis: %s\n",
+                   rm->pending_check.c_str());
+    }
   }
   for (int p = 0; p < cluster_->num_pes(); ++p) {
     std::fprintf(stderr,
@@ -378,15 +505,58 @@ namespace {
 
 void Runtime::complete_recv(RankMpi& rm, const RecvPost& post,
                             comm::Message& msg) {
-  if (msg.payload.size() > post.max_bytes) [[unlikely]]
-    throw_truncation(msg.payload.size(), post.max_bytes);
-  if (!msg.payload.empty())
-    std::memcpy(post.buf, msg.payload.data(), msg.payload.size());
+  std::size_t copy_bytes = msg.payload.size();
+  // Match-time type/size verification. Only user traffic both sides stamped
+  // (internal collective fragments stay esize=0). This path also runs on
+  // the PE loop thread (dispatcher match), which must not throw into rank
+  // context — a mismatch is parked on rm.pending_check and thrown from the
+  // rank's next do_wait/do_test/resume instead.
+  const bool stamped = check_on_ && msg.esize != 0 && post.esize != 0 &&
+                       msg.tag < kInternalTagBase;
+  if (stamped) {
+    const check::P2pVerdict v =
+        checker_->p2p_verify(rm.resident_pe, msg.esize, msg.payload.size(),
+                             post.esize, post.max_bytes);
+    if (v != check::P2pVerdict::Ok) [[unlikely]] {
+      const int src_local = comm_info(rm, msg.comm_id).local_of(msg.src_rank);
+      std::string diag;
+      if (v == check::P2pVerdict::Truncation) {
+        diag = "p2p truncation: rank " + std::to_string(rm.world_rank) +
+               " recv(src=" + std::to_string(src_local) +
+               ", tag=" + std::to_string(msg.tag) +
+               ", comm=" + std::to_string(msg.comm_id) + ") has a " +
+               std::to_string(post.max_bytes) +
+               "-byte buffer but the sender sent " +
+               std::to_string(msg.payload.size()) + " bytes";
+      } else {
+        diag = "p2p type mismatch: rank " + std::to_string(rm.world_rank) +
+               " recv(src=" + std::to_string(src_local) +
+               ", tag=" + std::to_string(msg.tag) +
+               ", comm=" + std::to_string(msg.comm_id) +
+               ") declared element size " + std::to_string(post.esize) +
+               " but the sender declared " + std::to_string(msg.esize);
+      }
+      checker_->record(v == check::P2pVerdict::Truncation
+                           ? "p2p-truncation"
+                           : "p2p-type-mismatch",
+                       rm.world_rank, diag);
+      if (checker_->mode() == check::Mode::Abort && rm.pending_check.empty())
+        rm.pending_check = std::move(diag);
+    }
+  }
+  if (copy_bytes > post.max_bytes) [[unlikely]] {
+    // Unverified traffic keeps the historic hard error; verified traffic
+    // already diagnosed the overflow above and delivers the truncated
+    // prefix (warn mode) or aborts at the rank's next blocking call.
+    if (!stamped) throw_truncation(copy_bytes, post.max_bytes);
+    copy_bytes = post.max_bytes;
+  }
+  if (copy_bytes > 0) std::memcpy(post.buf, msg.payload.data(), copy_bytes);
   RequestState& rs = rm.requests[static_cast<std::size_t>(post.req)];
   rs.complete = true;
   rs.status.source = comm_info(rm, msg.comm_id).local_of(msg.src_rank);
   rs.status.tag = msg.tag;
-  rs.status.count_bytes = static_cast<int>(msg.payload.size());
+  rs.status.count_bytes = static_cast<int>(copy_bytes);
 }
 
 bool Runtime::try_match(RankMpi& rm, comm::Message& msg) {
@@ -418,6 +588,18 @@ void Runtime::block_current(RankMpi& rm) {
           ErrorCode::BadState, "blocking call outside the rank's ULT");
   sched->suspend();
   rm.waiting = false;
+  throw_pending_check(rm);
+}
+
+/// Delivers a mismatch the dispatcher thread found at match time: it could
+/// not throw into this rank's context, so the diagnosis waited here for the
+/// rank's next blocking call / resume.
+void Runtime::throw_pending_check(RankMpi& rm) {
+  if (rm.pending_check.empty()) [[likely]]
+    return;
+  std::string diag = std::move(rm.pending_check);
+  rm.pending_check.clear();
+  throw ApvError(ErrorCode::CheckFailed, diag);
 }
 
 void Runtime::close_run_slice(comm::PeId pe) {
@@ -434,10 +616,11 @@ void Runtime::close_run_slice(comm::PeId pe) {
 // Point-to-point
 
 void Runtime::do_send(RankMpi& rm, const void* buf, std::size_t bytes,
-                      int dst_local, int tag, CommId comm) {
+                      int dst_local, int tag, CommId comm,
+                      std::uint32_t esize) {
   const CommInfo& ci = comm_info(rm, comm);
   const int dst_world = ci.world_of(dst_local);
-  if (try_inline_send(rm, dst_world, tag, buf, bytes, comm)) {
+  if (try_inline_send(rm, dst_world, tag, buf, bytes, comm, esize)) {
     ++rm.sends;
     return;
   }
@@ -448,6 +631,8 @@ void Runtime::do_send(RankMpi& rm, const void* buf, std::size_t bytes,
   m.dst_rank = dst_world;
   m.comm_id = comm;
   m.tag = tag;
+  m.esize = esize;  // one unconditional store; verified only when stamped
+                    // on both sides and the checker is armed
   // One pooled buffer, filled once from the user's bytes; from here the
   // payload moves (or is view-shared) unmodified to the matching receive.
   // Zero-byte control tokens skip the pool entirely (empty Payload).
@@ -463,7 +648,7 @@ void Runtime::do_send(RankMpi& rm, const void* buf, std::size_t bytes,
 
 bool Runtime::try_inline_send(RankMpi& rm, int dst_world, int tag,
                               const void* data, std::size_t bytes,
-                              CommId comm) {
+                              CommId comm, std::uint32_t esize) {
   if (!inline_enabled_) return false;
   const comm::PeId pe = rm.resident_pe;
   // Only from the destination PE's own loop thread: everything below (the
@@ -497,14 +682,49 @@ bool Runtime::try_inline_send(RankMpi& rm, int dst_world, int tag,
   for (auto pit = dst.posted.begin(); pit != dst.posted.end(); ++pit) {
     if (!match_fields(dst, *pit, comm, tag, rm.world_rank)) continue;
     // Hit: one user-buffer -> user-buffer copy, no payload, no mailbox.
-    if (bytes > pit->max_bytes) [[unlikely]]
-      throw_truncation(bytes, pit->max_bytes);
-    if (bytes > 0) std::memcpy(pit->buf, data, bytes);
+    // Same match-time verification as the routed path — but this runs in
+    // the sender's own ULT context, so abort mode can throw directly.
+    std::size_t copy_bytes = bytes;
+    const bool stamped = check_on_ && esize != 0 && pit->esize != 0 &&
+                         tag < kInternalTagBase;
+    if (stamped) {
+      const check::P2pVerdict v =
+          checker_->p2p_verify(pe, esize, bytes, pit->esize, pit->max_bytes);
+      if (v != check::P2pVerdict::Ok) [[unlikely]] {
+        std::string diag;
+        if (v == check::P2pVerdict::Truncation) {
+          diag = "p2p truncation: rank " + std::to_string(dst_world) +
+                 " recv(tag=" + std::to_string(tag) +
+                 ", comm=" + std::to_string(comm) + ") has a " +
+                 std::to_string(pit->max_bytes) + "-byte buffer but rank " +
+                 std::to_string(rm.world_rank) + " sent " +
+                 std::to_string(bytes) + " bytes";
+        } else {
+          diag = "p2p type mismatch: rank " + std::to_string(dst_world) +
+                 " recv(tag=" + std::to_string(tag) +
+                 ", comm=" + std::to_string(comm) +
+                 ") declared element size " + std::to_string(pit->esize) +
+                 " but rank " + std::to_string(rm.world_rank) +
+                 " declared " + std::to_string(esize);
+        }
+        checker_->record(v == check::P2pVerdict::Truncation
+                             ? "p2p-truncation"
+                             : "p2p-type-mismatch",
+                         rm.world_rank, diag);
+        if (checker_->mode() == check::Mode::Abort)
+          throw ApvError(ErrorCode::CheckFailed, diag);
+      }
+    }
+    if (copy_bytes > pit->max_bytes) [[unlikely]] {
+      if (!stamped) throw_truncation(copy_bytes, pit->max_bytes);
+      copy_bytes = pit->max_bytes;
+    }
+    if (copy_bytes > 0) std::memcpy(pit->buf, data, copy_bytes);
     RequestState& rs = dst.requests[static_cast<std::size_t>(pit->req)];
     rs.complete = true;
     rs.status.source = comm_info(rm, comm).local_of(rm.world_rank);
     rs.status.tag = tag;
-    rs.status.count_bytes = static_cast<int>(bytes);
+    rs.status.count_bytes = static_cast<int>(copy_bytes);
     dst.posted.erase(pit);
     ++dst.recvs;
     ++ps.inline_hits;
@@ -523,6 +743,7 @@ bool Runtime::try_inline_send(RankMpi& rm, int dst_world, int tag,
   m.dst_rank = dst_world;
   m.comm_id = comm;
   m.tag = tag;
+  m.esize = esize;
   if (bytes > 0) {
     m.payload = comm::Payload::acquire(bytes);
     std::memcpy(m.payload.data(), data, bytes);
@@ -536,9 +757,18 @@ bool Runtime::try_inline_send(RankMpi& rm, int dst_world, int tag,
 }
 
 Request Runtime::do_irecv(RankMpi& rm, void* buf, std::size_t max_bytes,
-                          int src, int tag, CommId comm) {
+                          int src, int tag, CommId comm,
+                          std::uint32_t esize) {
   const Request req = rm.alloc_request(RequestState::Kind::Recv);
-  RecvPost post{req, buf, max_bytes, src, tag, comm};
+  RecvPost post{req, buf, max_bytes, src, tag, comm, esize};
+  if (check_on_ && tag < kInternalTagBase) {
+    // Wait-graph provenance: what this rank is (about to be) blocked on.
+    rm.last_post_src = src == kAnySource
+                           ? kAnySource
+                           : comm_info(rm, comm).world_of(src);
+    rm.last_post_tag = tag;
+    rm.last_post_comm = comm;
+  }
   for (auto it = rm.unexpected.begin(); it != rm.unexpected.end(); ++it) {
     if (!match_predicate(rm, post, *it)) continue;
     complete_recv(rm, post, *it);
@@ -554,6 +784,7 @@ Status Runtime::do_wait(RankMpi& rm, Request& req) {
               static_cast<std::size_t>(req) < rm.requests.size() &&
               rm.requests[static_cast<std::size_t>(req)].active,
           ErrorCode::InvalidArgument, "wait on invalid request");
+  throw_pending_check(rm);
   RequestState& rs = rm.requests[static_cast<std::size_t>(req)];
   while (!rs.complete) block_current(rm);
   const Status status = rs.status;
@@ -563,6 +794,7 @@ Status Runtime::do_wait(RankMpi& rm, Request& req) {
 }
 
 bool Runtime::do_test(RankMpi& rm, Request& req, Status* status) {
+  throw_pending_check(rm);
   if (req == kRequestNull) return true;
   RequestState& rs = rm.requests[static_cast<std::size_t>(req)];
   require(rs.active, ErrorCode::InvalidArgument, "test on invalid request");
@@ -575,6 +807,7 @@ bool Runtime::do_test(RankMpi& rm, Request& req, Status* status) {
 
 bool Runtime::do_iprobe(RankMpi& rm, int src, int tag, CommId comm,
                         Status* status) {
+  throw_pending_check(rm);
   RecvPost probe{kRequestNull, nullptr, 0, src, tag, comm};
   for (const comm::Message& msg : rm.unexpected) {
     if (!match_predicate(rm, probe, msg)) continue;
@@ -598,7 +831,9 @@ void Runtime::do_yield(RankMpi& rm) {
 
 void Runtime::coll_send(RankMpi& rm, int dst_world, int tag, const void* data,
                         std::size_t bytes, CommId comm) {
-  if (try_inline_send(rm, dst_world, tag, data, bytes, comm)) return;
+  // esize stays 0: internal collective fragments carry algorithm-shaped
+  // byte counts, not the user's declared type — never p2p-verified.
+  if (try_inline_send(rm, dst_world, tag, data, bytes, comm, 0)) return;
   comm::Message m;
   m.kind = comm::Message::Kind::UserData;
   m.src_pe = rm.resident_pe;
@@ -1104,6 +1339,54 @@ util::Counters Runtime::ckpt_counters() const {
   c.set("ckpt_store_fetches", ckpt_store_->fetches());
   c.set("ckpt_store_consolidations", ckpt_store_->consolidations());
   return c;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime correctness checker glue
+
+void Runtime::coll_gate_entry(RankMpi& rm, const char* name,
+                              std::int32_t color, CommId comm,
+                              std::uint32_t seq, int root, int opkind,
+                              std::uint32_t esize, std::uint64_t bytes,
+                              int expected) {
+  check::CollDesc d;
+  d.color = color;
+  d.root = root;
+  d.op = opkind;
+  d.esize = esize;
+  d.bytes = bytes;
+  std::string mismatch = checker_->coll_gate(rm.resident_pe, rm.world_rank,
+                                             name, comm, seq, expected, d);
+  if (mismatch.empty()) [[likely]]
+    return;
+  checker_->record("collective-mismatch", rm.world_rank, mismatch);
+  // Gates run in the calling rank's own ULT context, so abort can throw
+  // straight out of the collective entry.
+  if (checker_->mode() == check::Mode::Abort)
+    throw ApvError(ErrorCode::CheckFailed, mismatch);
+}
+
+util::Counters Runtime::check_counters() const {
+  return checker_ != nullptr ? checker_->counters() : util::Counters{};
+}
+
+util::Counters Runtime::all_counters() const {
+  util::Counters c;
+  c.merge(cluster_->stat_counters());
+  c.merge(ckpt_counters());
+  c.merge(locality_counters());
+  c.merge(check_counters());
+  c.set("context_switches", total_context_switches());
+  c.set("migrations", migrations_.load(std::memory_order_relaxed));
+  c.set("migration_bytes", migration_bytes_.load(std::memory_order_relaxed));
+  c.set("forwards", forwards_.load(std::memory_order_relaxed));
+  c.set("recoveries", recoveries_.load(std::memory_order_relaxed));
+  c.set("recovery_bytes", recovery_bytes_.load(std::memory_order_relaxed));
+  return c;
+}
+
+void Runtime::dump_all_counters() const {
+  std::fprintf(stderr, "[apv:counters] %s\n", all_counters().to_json().c_str());
 }
 
 util::Counters Runtime::locality_counters() const {

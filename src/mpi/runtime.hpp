@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "comm/cluster.hpp"
 #include "core/privatizer.hpp"
 #include "ft/checkpoint_store.hpp"
@@ -109,6 +110,27 @@ class Runtime {
   /// Hierarchical collectives active (coll.algo=hier, the default).
   bool hier_collectives_enabled() const noexcept { return coll_hier_; }
 
+  // --- runtime correctness checker (src/check) -----------------------------
+  /// The checker instance, or nullptr when check.mode=off.
+  check::Checker* checker() noexcept { return checker_.get(); }
+  /// check_* counters; empty when the checker is off.
+  util::Counters check_counters() const;
+  /// Every subsystem's counters merged into one set: comm transport,
+  /// checkpointing, locality, scheduler, and checker.
+  util::Counters all_counters() const;
+  /// Prints all_counters() as one JSON line to stderr. Runs automatically
+  /// at successful wait_finish when util.dump_counters=1.
+  void dump_all_counters() const;
+
+  /// Collective-entry gate, called once per user-level collective by the
+  /// CollScope helper in collectives.cpp. Registers this rank's call-site
+  /// descriptor for (comm, seq) and verifies it against the first arriver;
+  /// per check.mode, a mismatch warns (recorded diagnosis) or throws
+  /// CheckFailed from the offending rank's context.
+  void coll_gate_entry(RankMpi& rm, const char* name, std::int32_t color,
+                       CommId comm, std::uint32_t seq, int root, int opkind,
+                       std::uint32_t esize, std::uint64_t bytes, int expected);
+
   /// Group-block registry for hierarchical collectives; defined in
   /// collectives_hier.cpp. Public only so that file's helpers can name it.
   struct CollHierState;
@@ -124,9 +146,9 @@ class Runtime {
   // --- implementation surface used by the ApiTable shim ---------------------
   // (public so the packed free functions can reach it; not for end users)
   void do_send(RankMpi& rm, const void* buf, std::size_t bytes, int dst_local,
-               int tag, CommId comm);
+               int tag, CommId comm, std::uint32_t esize = 0);
   Request do_irecv(RankMpi& rm, void* buf, std::size_t max_bytes, int src,
-                   int tag, CommId comm);
+                   int tag, CommId comm, std::uint32_t esize = 0);
   Status do_wait(RankMpi& rm, Request& req);
   bool do_test(RankMpi& rm, Request& req, Status* status);
   bool do_iprobe(RankMpi& rm, int src, int tag, CommId comm, Status* status);
@@ -240,7 +262,7 @@ class Runtime {
   /// pooled copy on its unexpected queue), bypassing the mailbox entirely.
   /// Returns false when the routed path must be used instead.
   bool try_inline_send(RankMpi& rm, int dst_world, int tag, const void* data,
-                       std::size_t bytes, CommId comm);
+                       std::size_t bytes, CommId comm, std::uint32_t esize);
   /// Wakes a collective peer parked in a group-block wait: directly when it
   /// is resident on the calling PE thread, else via a kCtlCollWake control
   /// message processed on its own PE thread (cross-thread ready() would
@@ -264,6 +286,9 @@ class Runtime {
 
   /// Suspends the calling ULT until woken by the dispatcher.
   void block_current(RankMpi& rm);
+  /// Throws a CheckFailed diagnosis the dispatcher parked on rm (it cannot
+  /// throw into rank context itself); no-op when none is pending.
+  void throw_pending_check(RankMpi& rm);
 
   /// Prints every rank's wait state and every PE's queue depths to stderr.
   /// Called from the wait_finish timeout path so a wedged job leaves a
@@ -317,6 +342,16 @@ class Runtime {
   std::atomic<std::uint64_t> migrations_{0};
   std::atomic<std::uint64_t> migration_bytes_{0};
   std::atomic<std::uint64_t> forwards_{0};
+
+  // Runtime correctness checker (check.mode != off). check_on_ caches
+  // enabled() for the per-message fast path; fail_fast_ (abort mode) makes
+  // wait_finish return on the first rank failure instead of draining the
+  // job; any_failed_ is its wake flag.
+  std::unique_ptr<check::Checker> checker_;
+  bool check_on_ = false;
+  bool fail_fast_ = false;
+  std::atomic<bool> any_failed_{false};
+  bool dump_counters_ = false;  ///< util.dump_counters: JSON line at finish
 
   // Fault tolerance: versioned buddy checkpoint store + optional injector.
   std::unique_ptr<ft::CheckpointStore> ckpt_store_;

@@ -17,6 +17,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::MigrationRefused: return "MigrationRefused";
     case ErrorCode::CheckpointRefused: return "CheckpointRefused";
     case ErrorCode::ReductionOnEmptyPe: return "ReductionOnEmptyPe";
+    case ErrorCode::CheckFailed: return "CheckFailed";
     case ErrorCode::Internal: return "Internal";
   }
   return "Unknown";

@@ -23,6 +23,8 @@ enum class ErrorCode : std::uint32_t {
   MigrationRefused,  ///< privatization method cannot migrate this rank
   CheckpointRefused, ///< method cannot take recoverable (buddy) checkpoints
   ReductionOnEmptyPe,///< PIEglobals user-op applied on a PE with no ranks
+  CheckFailed,       ///< runtime correctness checker found a violation
+                     ///< (collective mismatch, type/size mismatch, deadlock)
   Internal,
 };
 
