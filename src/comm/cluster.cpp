@@ -1,7 +1,9 @@
 #include "comm/cluster.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -55,6 +57,23 @@ Cluster::Cluster(const Config& config)
       std::max<std::int64_t>(2, opt.get_int("comm.mailbox_slots", 1024)));
   pe_cfg.drain_batch = static_cast<std::size_t>(
       std::max<std::int64_t>(1, opt.get_int("comm.drain_batch", 64)));
+  hipri_bytes_ = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, opt.get_int("comm.hipri_bytes", 256)));
+
+  pe_cfg.sched.lanes = opt.get_string("sched.policy", "prio") != "fifo";
+  // Explicit option wins; otherwise the CI arming env var decides (the
+  // APV_CHECK_MODE pattern — lets the full suite run preempted without
+  // touching every test's option set).
+  std::string preempt_s = opt.get_string("sched.preempt", "");
+  if (preempt_s.empty()) {
+    if (const char* env = std::getenv("APV_SCHED_PREEMPT")) preempt_s = env;
+  }
+  pe_cfg.sched.preempt =
+      preempt_s == "on" || preempt_s == "1" || preempt_s == "true";
+  pe_cfg.sched.quantum_us = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, opt.get_int("sched.quantum_us", 200)));
+  pe_cfg.sched.starve_limit = static_cast<int>(
+      std::max<std::int64_t>(1, opt.get_int("sched.starve_limit", 8)));
 
   const int total = config.nodes * config.pes_per_node;
   pes_.reserve(total);
@@ -126,6 +145,15 @@ void Cluster::send(Message&& msg) {
       msg.src_pe = cur->id();
     }
   }
+  // Message-class priority: runtime-internal traffic (control, migration,
+  // FT/checker plumbing) and small p2p payloads are latency-critical — they
+  // wake their destination rank on the High scheduler lane. The bit rides
+  // the envelope (and survives bundling via kAggHipriBit); it never changes
+  // routing, pacing, or aggregation.
+  if (msg.kind != Message::Kind::UserData ||
+      msg.payload.size() <= hipri_bytes_) {
+    msg.prio = 1;
+  }
   if (failed_[msg.dst_pe].load(std::memory_order_acquire)) {
     divert(std::move(msg));
     return;
@@ -176,6 +204,7 @@ void Cluster::append_to_bin(PeTx& tx, Message&& msg) {
   h.tag = msg.tag;
   h.seq = msg.seq;
   h.bytes = static_cast<std::uint32_t>(msg.payload.size());
+  if (msg.prio != 0) h.bytes |= kAggHipriBit;
   h.esize = msg.esize;
   std::memcpy(bin.buf.data() + bin.used, &h, sizeof h);
   if (!msg.payload.empty()) {

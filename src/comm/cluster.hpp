@@ -42,6 +42,19 @@ struct CommCounters {
 ///  - comm.agg_threshold  bundle UserData below this many payload bytes
 ///                        (default 512; 0 disables aggregation)
 ///  - comm.agg_max_bytes  flush a bin when it holds this much (default 16384)
+///  - comm.hipri_bytes    UserData payloads <= this many bytes are stamped
+///                        prio=1 and wake their rank on the High scheduler
+///                        lane (default 256; 0 = only non-UserData is hipri)
+///
+/// Scheduler options (`sched.*` keys, applied to every PE's runqueue):
+///  - sched.policy        "prio" (default; three-lane runqueue) or "fifo"
+///                        (seed-exact single-lane cooperative FIFO)
+///  - sched.preempt       cooperative quantum preemption on/off (default
+///                        off; APV_SCHED_PREEMPT=on|off overrides the
+///                        default when the option is not set explicitly)
+///  - sched.quantum_us    preemption slice in microseconds (default 200)
+///  - sched.starve_limit  consecutive High-lane dispatches before a lower
+///                        lane is guaranteed a slot (default 8)
 class Cluster {
  public:
   struct Config {
@@ -71,6 +84,11 @@ class Cluster {
   }
 
   const NetModel& net() const noexcept { return net_; }
+
+  /// UserData payloads at or below this size are stamped hipri (see the
+  /// option table above). The MPI layer reuses the same cutoff to pick the
+  /// wake lane on its same-PE inline path, which bypasses Cluster::send.
+  std::size_t hipri_bytes() const noexcept { return hipri_bytes_; }
 
   /// Sizes the authoritative rank-location table. Must be called before
   /// start(); the upper layer seeds initial placements with set_location.
@@ -198,6 +216,7 @@ class Cluster {
   bool started_ = false;
   std::size_t agg_threshold_ = 512;
   std::size_t agg_max_bytes_ = 16384;
+  std::size_t hipri_bytes_ = 256;
   std::atomic<std::uint64_t> internode_{0};
 
   std::unique_ptr<std::atomic<bool>[]> failed_;

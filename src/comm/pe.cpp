@@ -28,7 +28,7 @@ Pe::Pe(PeId id, NodeId node, ult::ContextBackend backend,
        const Config& config)
     : id_(id),
       node_(node),
-      sched_(backend),
+      sched_(backend, config.sched),
       mailbox_(config.mailbox),
       drain_batch_(config.drain_batch == 0 ? 1 : config.drain_batch) {
   drain_buf_.reserve(drain_batch_);

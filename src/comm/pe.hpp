@@ -32,6 +32,7 @@ class Pe {
   struct Config {
     Mailbox::Config mailbox;
     std::size_t drain_batch = 64;  ///< envelopes moved out per drain pass
+    ult::Scheduler::Config sched;  ///< runqueue policy for this PE
   };
 
   Pe(PeId id, NodeId node,

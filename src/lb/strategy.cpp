@@ -224,4 +224,20 @@ int migration_count(const LbStats& stats, const Assignment& assignment) {
   return moves;
 }
 
+int pick_steal_victim(const std::vector<std::size_t>& ready_depth, int self,
+                      std::size_t min_ready) {
+  int victim = -1;
+  std::size_t best = 0;
+  for (std::size_t p = 0; p < ready_depth.size(); ++p) {
+    if (static_cast<int>(p) == self) continue;
+    const std::size_t d = ready_depth[p];
+    if (d < min_ready) continue;
+    if (d > best) {
+      best = d;
+      victim = static_cast<int>(p);
+    }
+  }
+  return victim;
+}
+
 }  // namespace apv::lb

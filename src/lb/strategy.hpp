@@ -106,4 +106,13 @@ double assignment_imbalance(const LbStats& stats,
 /// Number of ranks whose PE differs from the current placement.
 int migration_count(const LbStats& stats, const Assignment& assignment);
 
+/// Victim selection for idle-PE rank stealing: the PE with the deepest
+/// ready-queue backlog, ties broken toward the lowest PE id. `ready_depth`
+/// is indexed by PE (callers zero out dead PEs and themselves); a PE
+/// qualifies only with at least `min_ready` queued ranks — stealing the
+/// victim's sole runnable rank would just relocate the imbalance. Returns
+/// -1 when no PE qualifies.
+int pick_steal_victim(const std::vector<std::size_t>& ready_depth, int self,
+                      std::size_t min_ready = 1);
+
 }  // namespace apv::lb

@@ -31,6 +31,11 @@ class CollScope {
             std::uint32_t esize = 0, std::uint64_t bytes = 0)
       : rm_(rm) {
     if (rm.coll_depth == 0) {
+      // Collective phase boundary: one cooperative-preemption safe point
+      // per user-level collective (delegated inner collectives skip it
+      // along with the gate). Runs before the gate registers anything, so
+      // a demotion here cannot wedge a half-entered descriptor.
+      if (ult::Scheduler* s = ult::current_scheduler()) s->preempt_point();
       const std::uint32_t seq = rm.check_seq_for(comm)++;
       rm.last_coll_name = name;
       rm.last_coll_comm = comm;

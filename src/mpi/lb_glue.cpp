@@ -81,6 +81,16 @@ void Runtime::do_load_balance(RankMpi& rm, const std::string& strategy) {
   const comm::PeId my_dest = dest[static_cast<std::size_t>(me)];
   if (my_dest != rm.resident_pe) do_migrate_to(rm, my_dest);
   do_barrier(rm, kCommWorld);
+
+  // Steal interplay: the epoch just rebalanced deliberately (and the
+  // allgather above used rm.resident_pe, so earlier steals were already
+  // folded into the stats). Restart this PE's idle clock so the thief
+  // logic doesn't immediately second-guess the fresh placement with a
+  // steal of its own.
+  if (steal_on_) {
+    auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+    ps.idle_since_ns = 0;
+  }
 }
 
 }  // namespace apv::mpi

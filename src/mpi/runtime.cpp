@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "check/wait_graph.hpp"
+#include "lb/strategy.hpp"
 #include "mpi/api_shim.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -97,6 +98,28 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
       fail_fast_ = cm == check::Mode::Abort;
     }
   }
+  // Idle-PE rank stealing (fast complement to epoch LB). Same arming shape
+  // as the checker: an explicit sched.steal option wins, else the
+  // APV_SCHED_STEAL environment variable lets CI run whole suites with
+  // stealing on.
+  {
+    std::string steal_s = config_.options.get_string("sched.steal", "");
+    if (steal_s.empty()) {
+      const char* env = std::getenv("APV_SCHED_STEAL");
+      if (env != nullptr) steal_s = env;
+    }
+    steal_on_ = (steal_s == "on" || steal_s == "1" || steal_s == "true") &&
+                cluster_->num_pes() > 1;
+    steal_idle_ns_ = static_cast<std::uint64_t>(std::max<std::int64_t>(
+                         1, config_.options.get_int("sched.steal_idle_us",
+                                                    500))) *
+                     1000;
+    steal_timeout_ns_ = static_cast<std::uint64_t>(std::max<std::int64_t>(
+                            1, config_.options.get_int(
+                                   "sched.steal_timeout_us", 5000))) *
+                        1000;
+    hipri_bytes_ = cluster_->hipri_bytes();
+  }
   dump_counters_ = config_.options.get_bool("util.dump_counters", false);
   init_hier_state();
   pack_api_table(api_);
@@ -152,6 +175,15 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
     for (auto& rm : ranks_) rm->placement_view = initial;
   }
 
+  // Stealing rides the packed-image migration machinery; methods whose
+  // segments the dynamic linker allocated (PiPglobals, FSglobals) cannot
+  // move ranks at all, so stealing silently stands down for them.
+  if (steal_on_ && !privs_[0]->supports_migration()) {
+    steal_on_ = false;
+    APV_DEBUG("mpi", "rank stealing disabled: %s does not support migration",
+              core::method_name(config_.method));
+  }
+
   // Per-PE hooks: privatization switch work, load timing, and dispatch.
   for (int p = 0; p < cluster_->num_pes(); ++p) {
     comm::Pe& pe = cluster_->pe(p);
@@ -173,6 +205,7 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
     pe.set_dispatcher(
         [this, p](comm::Message&& msg) { dispatch(p, std::move(msg)); });
     pe.add_idle_hook([this, p] { close_run_slice(p); });
+    if (steal_on_) pe.add_idle_hook([this, p] { maybe_steal(p); });
   }
 
   init_time_s_ = init_timer.elapsed_s();
@@ -470,9 +503,13 @@ void Runtime::deliver_user(comm::PeId pe, comm::Message&& msg) {
   // Final routed delivery: the pair's FIFO counters agree again once this
   // lands in the rank's queues, re-enabling the inline fast path.
   if (msg.src_rank >= 0) ++rm.routed_delivered_from(msg.src_rank);
+  // The envelope priority bit (stamped in Cluster::send, preserved through
+  // aggregation) picks the wake lane: latency-critical arrivals resume
+  // their rank ahead of Normal/Bulk work already queued on this PE.
+  const ult::Lane lane = msg.prio != 0 ? ult::Lane::High : ult::Lane::Normal;
   if (!try_match(rm, msg)) rm.unexpected.push_back(std::move(msg));
   ++rm.recvs;
-  wake_if_waiting(rm);
+  wake_if_waiting(rm, lane);
 }
 
 bool Runtime::match_fields(RankMpi& rm, const RecvPost& post, CommId comm,
@@ -569,16 +606,16 @@ bool Runtime::try_match(RankMpi& rm, comm::Message& msg) {
   return false;
 }
 
-void Runtime::wake_if_waiting(RankMpi& rm) {
+void Runtime::wake_if_waiting(RankMpi& rm, ult::Lane lane) {
   if (!rm.waiting) return;
   // A rank parked for a control operation must not be woken by ordinary
   // message arrivals: its ULT is about to be packed (migration,
-  // checkpoint) or its current stack frames are about to be rewound
-  // (restore). The control handler performs the wake itself.
+  // checkpoint, steal departure) or its current stack frames are about to
+  // be rewound (restore). The control handler performs the wake itself.
   if (rm.migrate_dest != comm::kInvalidPe) return;
   if (rm.ckpt_pending || rm.restore_pending) return;
   if (rm.rc->ult->state() != ult::UltState::Blocked) return;
-  cluster_->pe(rm.resident_pe).scheduler().ready(rm.rc->ult);
+  cluster_->pe(rm.resident_pe).scheduler().ready(rm.rc->ult, lane);
 }
 
 void Runtime::block_current(RankMpi& rm) {
@@ -615,9 +652,20 @@ void Runtime::close_run_slice(comm::PeId pe) {
 // ---------------------------------------------------------------------------
 // Point-to-point
 
+namespace {
+// Cooperative-preemption safe point: send entries, matching probes, and
+// collective boundaries are the places a rank is suspension-legal (its own
+// scheduler, no runtime locks held) and visits often enough that a hog
+// cannot outrun its quantum by much.
+inline void preempt_point() {
+  if (ult::Scheduler* s = ult::current_scheduler()) s->preempt_point();
+}
+}  // namespace
+
 void Runtime::do_send(RankMpi& rm, const void* buf, std::size_t bytes,
                       int dst_local, int tag, CommId comm,
                       std::uint32_t esize) {
+  preempt_point();
   const CommInfo& ci = comm_info(rm, comm);
   const int dst_world = ci.world_of(dst_local);
   if (try_inline_send(rm, dst_world, tag, buf, bytes, comm, esize)) {
@@ -729,7 +777,10 @@ bool Runtime::try_inline_send(RankMpi& rm, int dst_world, int tag,
     ++dst.recvs;
     ++ps.inline_hits;
     ps.inline_bytes += bytes;
-    wake_if_waiting(dst);
+    // The inline path bypasses Cluster::send's prio stamp; apply the same
+    // small-payload cutoff to the wake lane directly.
+    wake_if_waiting(dst, bytes <= hipri_bytes_ ? ult::Lane::High
+                                               : ult::Lane::Normal);
     return true;
   }
   // Miss: no matching posted receive yet. Park a copy on the unexpected
@@ -752,7 +803,8 @@ bool Runtime::try_inline_send(RankMpi& rm, int dst_world, int tag,
   ++dst.recvs;
   ++ps.inline_misses;
   ps.inline_bytes += bytes;
-  wake_if_waiting(dst);
+  wake_if_waiting(dst, bytes <= hipri_bytes_ ? ult::Lane::High
+                                             : ult::Lane::Normal);
   return true;
 }
 
@@ -794,6 +846,7 @@ Status Runtime::do_wait(RankMpi& rm, Request& req) {
 }
 
 bool Runtime::do_test(RankMpi& rm, Request& req, Status* status) {
+  preempt_point();
   throw_pending_check(rm);
   if (req == kRequestNull) return true;
   RequestState& rs = rm.requests[static_cast<std::size_t>(req)];
@@ -807,6 +860,7 @@ bool Runtime::do_test(RankMpi& rm, Request& req, Status* status) {
 
 bool Runtime::do_iprobe(RankMpi& rm, int src, int tag, CommId comm,
                         Status* status) {
+  preempt_point();
   throw_pending_check(rm);
   RecvPost probe{kRequestNull, nullptr, 0, src, tag, comm};
   for (const comm::Message& msg : rm.unexpected) {
@@ -831,6 +885,7 @@ void Runtime::do_yield(RankMpi& rm) {
 
 void Runtime::coll_send(RankMpi& rm, int dst_world, int tag, const void* data,
                         std::size_t bytes, CommId comm) {
+  preempt_point();
   // esize stays 0: internal collective fragments carry algorithm-shaped
   // byte counts, not the user's declared type — never p2p-verified.
   if (try_inline_send(rm, dst_world, tag, data, bytes, comm, 0)) return;
@@ -853,6 +908,7 @@ void Runtime::coll_send(RankMpi& rm, int dst_world, int tag, const void* data,
 std::size_t Runtime::coll_recv(RankMpi& rm, int src_world, int tag,
                                void* data, std::size_t max_bytes,
                                CommId comm) {
+  preempt_point();
   const int src_local = src_world == kAnySource
                             ? kAnySource
                             : comm_info(rm, comm).local_of(src_world);
@@ -983,7 +1039,20 @@ void Runtime::handle_control(comm::PeId pe, comm::Message&& msg) {
         }
         return;
       }
-      wake_if_waiting(*it->second);
+      wake_if_waiting(*it->second, ult::Lane::High);
+      return;
+    }
+    case kCtlStealRequest:
+      handle_steal_request(pe, static_cast<comm::PeId>(msg.tag));
+      return;
+    case kCtlStealNack: {
+      // Victim had nothing stealable. Clear the in-flight marker and
+      // restart the idle clock: the thief re-arms only after another full
+      // idle period, which doubles as backoff.
+      auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+      ++ps.steal_fails;
+      ps.steal_req_ns = 0;
+      ps.idle_since_ns = 0;
       return;
     }
     default:
@@ -999,7 +1068,7 @@ void Runtime::wake_coll_member(comm::PeId my_pe, RankMpi& member) {
   // dispatcher handling the wake message.
   if (member.resident_pe == my_pe &&
       comm::Pe::current() == &cluster_->pe(my_pe)) {
-    wake_if_waiting(member);
+    wake_if_waiting(member, ult::Lane::High);
     return;
   }
   comm::Message wake;
@@ -1077,7 +1146,156 @@ void Runtime::handle_migration_arrival(comm::PeId pe, comm::Message&& msg) {
   rm.resident_pe = pe;
   pe_state_[static_cast<std::size_t>(pe)].resident[msg.dst_rank] = &rm;
   rm.migrate_dest = comm::kInvalidPe;
+  if (msg.opcode == kMigSteal) {
+    // A stolen rank arriving answers this PE's own steal request: settle
+    // the in-flight marker and the idle clock (we have work now).
+    auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+    ++ps.steals_in;
+    ps.steal_req_ns = 0;
+    ps.idle_since_ns = 0;
+  }
   cluster_->pe(pe).scheduler().ready(rm.rc->ult);
+}
+
+// ---------------------------------------------------------------------------
+// Idle-PE rank stealing
+//
+// The thief half runs as an idle hook on an empty PE; the victim half runs
+// as a control handler on the loaded PE's own thread, so the whole protocol
+// only ever touches scheduler/resident state from its owning thread. The
+// transfer itself is the ordinary packed-image migration — a stolen rank
+// keeps the "ranks only run on their resident PE" invariant at every step.
+
+void Runtime::maybe_steal(comm::PeId pe) {
+  auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+  const std::uint64_t now = util::wall_time_ns();
+  if (ps.steal_req_ns != 0) {
+    // One request in flight at a time. A request (or its answer) can be
+    // dropped outright when the victim dies — the timeout, not a reply, is
+    // what guarantees the thief recovers.
+    if (now - ps.steal_req_ns < steal_timeout_ns_) return;
+    ++ps.steal_fails;
+    ps.steal_req_ns = 0;
+    ps.idle_since_ns = 0;
+    return;
+  }
+  comm::Pe& mype = cluster_->pe(pe);
+  if (mype.failed()) return;
+  if (mype.mailbox_depth() > 0 || mype.scheduler().ready_count() > 0) {
+    ps.idle_since_ns = 0;
+    return;
+  }
+  for (const auto& [rank, rm] : ps.resident) {
+    // FT interplay: while any resident is mid-checkpoint or parked for
+    // restore/adoption (a dying PE's victims among them), this PE is in a
+    // recovery protocol, not idle — pulling a foreign rank in now could
+    // land it on a PE about to be declared dead.
+    if (rm->ckpt_pending || rm->restore_pending) {
+      ps.idle_since_ns = 0;
+      return;
+    }
+  }
+  if (ps.idle_since_ns == 0) {
+    ps.idle_since_ns = now;
+    return;
+  }
+  if (now - ps.idle_since_ns < steal_idle_ns_) return;
+  // Genuinely idle past the threshold: pick the PE with the deepest ready
+  // backlog (depths are lock-free reads of each scheduler's counters).
+  std::vector<std::size_t> depth(static_cast<std::size_t>(
+      cluster_->num_pes()));
+  for (int p = 0; p < cluster_->num_pes(); ++p) {
+    depth[static_cast<std::size_t>(p)] =
+        (p == pe || cluster_->pe_failed(p))
+            ? 0
+            : cluster_->pe(p).scheduler().ready_count();
+  }
+  const int victim = lb::pick_steal_victim(depth, pe, /*min_ready=*/1);
+  if (victim < 0) return;
+  ++ps.steal_requests;
+  ps.steal_req_ns = now;
+  comm::Message req;
+  req.kind = comm::Message::Kind::Control;
+  req.opcode = kCtlStealRequest;
+  req.src_pe = pe;
+  req.dst_pe = victim;
+  req.tag = pe;  // thief id travels in the tag
+  cluster_->send(std::move(req));
+}
+
+void Runtime::handle_steal_request(comm::PeId pe, comm::PeId thief) {
+  auto& ps = pe_state_[static_cast<std::size_t>(pe)];
+  close_run_slice(pe);  // settle busy-time accounting before choosing
+  const auto nack = [&] {
+    comm::Message n;
+    n.kind = comm::Message::Kind::Control;
+    n.opcode = kCtlStealNack;
+    n.src_pe = pe;
+    n.dst_pe = thief;
+    cluster_->send(std::move(n));
+  };
+  if (thief < 0 || thief >= cluster_->num_pes() || thief == pe ||
+      cluster_->pe_failed(thief) || cluster_->pe_failed(pe)) {
+    if (thief >= 0 && thief < cluster_->num_pes() &&
+        !cluster_->pe_failed(thief)) {
+      nack();
+    }
+    return;
+  }
+  // Candidates: ready (queued, not running, not blocked), not entangled in
+  // a collective (group blocks and gate shards hold per-PE references), not
+  // under any control operation, and not this PE's only resident. The
+  // busiest candidate goes — it is the one most worth running elsewhere.
+  RankMpi* best = nullptr;
+  for (const auto& [rank, rm] : ps.resident) {
+    if (rm->finished || rm->failed || rm->waiting) continue;
+    if (rm->migrate_dest != comm::kInvalidPe || rm->ckpt_pending ||
+        rm->restore_pending)
+      continue;
+    if (rm->coll_depth > 0) continue;
+    if (rm->rc->ult->state() != ult::UltState::Ready) continue;
+    if (best == nullptr || rm->busy_time_s > best->busy_time_s) best = rm;
+  }
+  if (best == nullptr || ps.resident.size() < 2) {
+    nack();
+    return;
+  }
+  ult::Scheduler& sched = cluster_->pe(pe).scheduler();
+  if (!sched.unqueue(best->rc->ult)) {
+    // Raced with dispatch (it is running right now) — nothing to hand over.
+    nack();
+    return;
+  }
+  ++ps.steals_out;
+  const comm::RankId stolen = best->world_rank;
+  // From here this is a migration departure with dest=thief. Setting
+  // migrate_dest reuses the existing wake guards: no late message arrival
+  // or stale kCtlCollWake can re-ready the ULT while its image is in
+  // flight. The arrival side clears it and requeues the rank.
+  best->migrate_dest = thief;
+  const comm::NodeId src_node = cluster_->node_of(pe);
+  privs_[static_cast<std::size_t>(src_node)]->rank_departed(best->rc);
+  ps.resident.erase(best->world_rank);
+
+  util::ByteBuffer buf;
+  iso::pack_slot(*arena_, best->rc->slot, pack_mode_, buf);
+
+  comm::Message mig;
+  mig.kind = comm::Message::Kind::Migration;
+  mig.opcode = kMigSteal;
+  mig.src_pe = pe;
+  mig.dst_pe = thief;
+  mig.dst_rank = best->world_rank;
+  migration_bytes_.fetch_add(buf.size(), std::memory_order_relaxed);
+  mig.payload = comm::Payload::adopt(buf.take());
+  // Deliberately not counted in migrations_: that counter means "explicit
+  // migrations the program asked for" (AMPI_Migrate / fault recovery), and
+  // steals are reported separately via sched_steals_out/in.
+  // Location first, then the image: forwards chase the thief and queue
+  // behind the migration message (same ordering as plain departures).
+  cluster_->set_location(stolen, thief);
+  cluster_->send(std::move(mig));
+  APV_DEBUG("mpi", "PE %d: rank %d stolen by idle PE %d", pe, stolen, thief);
 }
 
 int Runtime::do_checkpoint(RankMpi& rm) {
@@ -1175,7 +1393,7 @@ void Runtime::perform_checkpoint_pack(comm::PeId pe, comm::RankId rank,
   // next epoch's delta covers exactly the writes from here on.
   if (dirty_tracker_ != nullptr) dirty_tracker_->arm(slot);
   rm.ckpt_pending = false;
-  cluster_->pe(pe).scheduler().ready(rm.rc->ult);
+  cluster_->pe(pe).scheduler().ready(rm.rc->ult, ult::Lane::High);
 }
 
 int Runtime::do_restore(RankMpi& rm) {
@@ -1236,7 +1454,7 @@ void Runtime::perform_restore_unpack(comm::PeId pe, comm::RankId rank,
   rm.restored = true;
   rm.ckpt_pending = false;
   rm.restore_pending = false;
-  cluster_->pe(pe).scheduler().ready(rm.rc->ult);
+  cluster_->pe(pe).scheduler().ready(rm.rc->ult, ult::Lane::High);
 }
 
 comm::PeId Runtime::buddy_of(comm::PeId pe) const {
@@ -1301,16 +1519,27 @@ void Runtime::perform_ft_adopt(comm::PeId pe, comm::RankId rank,
   APV_INFO("ft", "rank %d adopted by PE %d from buddy copy (epoch %u, "
                  "%zu image(s), %zu bytes)",
            rank, pe, epoch, chain.size(), chain_bytes);
-  cluster_->pe(pe).scheduler().ready(rm.rc->ult);
+  cluster_->pe(pe).scheduler().ready(rm.rc->ult, ult::Lane::High);
 }
 
 void Runtime::do_compute(RankMpi& rm, double seconds) {
   (void)rm;
-  const std::uint64_t until =
-      util::wall_time_ns() + static_cast<std::uint64_t>(seconds * 1e9);
-  while (util::wall_time_ns() < until) {
-    // Spin: models CPU-bound application work; accrues into the rank's
-    // busy-time slice via the scheduler timing hook.
+  // Spin: models CPU-bound application work; accrues into the rank's
+  // busy-time slice via the scheduler timing hook. Spun in bounded chunks
+  // with a preempt point between them, so a long compute() cannot starve
+  // its PE when sched.preempt is armed — and only time actually spent
+  // spinning counts as work (a preemption gap does not shrink the job).
+  constexpr std::uint64_t kChunkNs = 10 * 1000;
+  auto remaining_ns = static_cast<std::int64_t>(seconds * 1e9);
+  while (remaining_ns > 0) {
+    const std::uint64_t t0 = util::wall_time_ns();
+    const std::uint64_t chunk_end =
+        t0 + std::min<std::int64_t>(remaining_ns,
+                                    static_cast<std::int64_t>(kChunkNs));
+    while (util::wall_time_ns() < chunk_end) {
+    }
+    remaining_ns -= static_cast<std::int64_t>(chunk_end - t0);
+    preempt_point();
   }
 }
 
@@ -1370,11 +1599,46 @@ util::Counters Runtime::check_counters() const {
   return checker_ != nullptr ? checker_->counters() : util::Counters{};
 }
 
+util::Counters Runtime::sched_counters() const {
+  util::Counters c;
+  auto& cluster = const_cast<comm::Cluster&>(*cluster_);
+  std::uint64_t hi = 0, normal = 0, bulk = 0;
+  std::uint64_t preempts = 0, overruns = 0, remote = 0;
+  for (int p = 0; p < cluster.num_pes(); ++p) {
+    const ult::Scheduler& s = cluster.pe(p).scheduler();
+    hi += s.lane_dispatches(ult::Lane::High);
+    normal += s.lane_dispatches(ult::Lane::Normal);
+    bulk += s.lane_dispatches(ult::Lane::Bulk);
+    preempts += s.preempt_count();
+    overruns += s.overrun_count();
+    remote += s.remote_ready_count();
+  }
+  std::uint64_t reqs = 0, fails = 0, in = 0, out = 0;
+  for (const PeState& ps : pe_state_) {
+    reqs += ps.steal_requests;
+    fails += ps.steal_fails;
+    in += ps.steals_in;
+    out += ps.steals_out;
+  }
+  c.set("sched_dispatch_high", hi);
+  c.set("sched_dispatch_normal", normal);
+  c.set("sched_dispatch_bulk", bulk);
+  c.set("sched_preemptions", preempts);
+  c.set("sched_quantum_overruns", overruns);
+  c.set("sched_remote_readies", remote);
+  c.set("sched_steal_requests", reqs);
+  c.set("sched_steal_fails", fails);
+  c.set("sched_steals_in", in);
+  c.set("sched_steals_out", out);
+  return c;
+}
+
 util::Counters Runtime::all_counters() const {
   util::Counters c;
   c.merge(cluster_->stat_counters());
   c.merge(ckpt_counters());
   c.merge(locality_counters());
+  c.merge(sched_counters());
   c.merge(check_counters());
   c.set("context_switches", total_context_switches());
   c.set("migrations", migrations_.load(std::memory_order_relaxed));

@@ -105,6 +105,13 @@ class Runtime {
   /// delivery hits/misses/bytes, FIFO fallbacks to the routed path, and
   /// hierarchical-collective leader-phase messages / local combines.
   util::Counters locality_counters() const;
+
+  /// Scheduler instrumentation (cumulative, summed over PEs): per-lane
+  /// dispatch counts, preemptions, quantum overruns, cross-thread readies,
+  /// and the steal protocol's request/fail/in/out counts.
+  util::Counters sched_counters() const;
+  /// Idle-PE rank stealing active (sched.steal=on or APV_SCHED_STEAL=on).
+  bool steal_enabled() const noexcept { return steal_on_; }
   /// Same-PE inline delivery active (comm.inline=on, the default).
   bool inline_enabled() const noexcept { return inline_enabled_; }
   /// Hierarchical collectives active (coll.algo=hier, the default).
@@ -227,6 +234,16 @@ class Runtime {
     RankMpi* running = nullptr;        // load-timing bookkeeping
     std::uint64_t slice_start_ns = 0;
     std::uint64_t forward_retries = 0;
+    // Rank stealing, written only by this PE's loop thread: when the PE
+    // went idle (0 = busy), and the outstanding steal request's send time
+    // (0 = none in flight; a request to a PE that dies is simply dropped,
+    // so the thief retries after steal_timeout).
+    std::uint64_t idle_since_ns = 0;
+    std::uint64_t steal_req_ns = 0;
+    std::uint64_t steal_requests = 0;
+    std::uint64_t steal_fails = 0;
+    std::uint64_t steals_in = 0;
+    std::uint64_t steals_out = 0;
     // Locality counters, written only by this PE's loop thread (summed by
     // locality_counters() after the fact).
     std::uint64_t inline_hits = 0;
@@ -254,7 +271,18 @@ class Runtime {
   bool match_fields(RankMpi& rm, const RecvPost& post, CommId comm, int tag,
                     int src_world) const;
   void complete_recv(RankMpi& rm, const RecvPost& post, comm::Message& msg);
-  void wake_if_waiting(RankMpi& rm);
+  void wake_if_waiting(RankMpi& rm,
+                       ult::Lane lane = ult::Lane::Normal);
+
+  // --- idle-PE rank stealing (fast complement to epoch LB) -----------------
+  /// Idle-hook half: after steal_idle_us of genuine idleness (empty mailbox,
+  /// empty runqueue, nothing resident runnable) pick the most-loaded victim
+  /// and request one rank (kCtlStealRequest). At most one request in flight.
+  void maybe_steal(comm::PeId pe);
+  /// Victim half: pick a ready, unentangled resident rank, dequeue it and
+  /// ship it to the thief via the packed-image migration path (kMigSteal),
+  /// or answer kCtlStealNack.
+  void handle_steal_request(comm::PeId pe, comm::PeId thief);
 
   /// Same-PE inline delivery: when the destination rank is co-resident and
   /// no routed message for the pair is in flight, match against its posted
@@ -353,6 +381,13 @@ class Runtime {
   std::atomic<bool> any_failed_{false};
   bool dump_counters_ = false;  ///< util.dump_counters: JSON line at finish
 
+  // Idle-PE rank stealing (sched.steal / APV_SCHED_STEAL): off by default.
+  bool steal_on_ = false;
+  std::uint64_t steal_idle_ns_ = 0;     ///< sched.steal_idle_us * 1000
+  std::uint64_t steal_timeout_ns_ = 0;  ///< give up on an unanswered request
+  std::size_t hipri_bytes_ = 256;       ///< mirror of comm.hipri_bytes for
+                                        ///< the inline path's lane choice
+
   // Fault tolerance: versioned buddy checkpoint store + optional injector.
   std::unique_ptr<ft::CheckpointStore> ckpt_store_;
   std::unique_ptr<ft::FaultInjector> injector_;
@@ -383,6 +418,18 @@ enum CtlOp : int {
   kCtlCollWake,         ///< wake dst_rank if parked in a group-block wait;
                         ///< processed on its resident PE thread so the wake
                         ///< cannot race the ULT's own suspend
+  kCtlStealRequest,     ///< idle thief asks the victim PE for one ready rank;
+                        ///< msg.tag carries the thief's PE id
+  kCtlStealNack,        ///< victim had nothing stealable; thief may retry
+                        ///< another victim after its idle timer re-fires
+};
+
+/// Migration-message sub-opcodes (comm::Message::opcode when kind ==
+/// Migration). The seed used opcode 0 implicitly; kMigSteal lets the
+/// arrival side count steals without a second bookkeeping channel.
+enum MigOp : int {
+  kMigPlain = 0,  ///< migrate_to / LB epoch migration
+  kMigSteal = 1,  ///< rank shipped in answer to a steal request
 };
 
 }  // namespace apv::mpi

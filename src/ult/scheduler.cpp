@@ -1,10 +1,12 @@
 #include "ult/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace apv::ult {
 
@@ -13,6 +15,28 @@ using util::require;
 
 namespace {
 thread_local Scheduler* g_current_scheduler = nullptr;
+
+inline std::size_t lane_index(Lane lane) noexcept {
+  return static_cast<std::size_t>(lane);
+}
+
+// Single-writer counter bump: plain load+store, no RMW on the hot path.
+inline void bump(std::atomic<std::uint64_t>& c) noexcept {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+inline int lowest_set(unsigned mask) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctz(mask);
+#else
+  int i = 0;
+  while ((mask & 1u) == 0) {
+    mask >>= 1;
+    ++i;
+  }
+  return i;
+#endif
+}
 }  // namespace
 
 Scheduler* current_scheduler() noexcept { return g_current_scheduler; }
@@ -51,33 +75,126 @@ void Ult::entry_thunk(void* self) {
   sched->exit_current();
 }
 
-Scheduler::Scheduler(ContextBackend backend) : backend_(backend) {
+Scheduler::Scheduler(ContextBackend backend)
+    : Scheduler(backend, Config{}) {}
+
+Scheduler::Scheduler(ContextBackend backend, const Config& config)
+    : backend_(backend), config_(config) {
   require(context_backend_available(backend), ErrorCode::NotSupported,
           "requested context backend not available");
+  // FIFO policy collapses to one lane; a quantum is meaningless there.
+  preempt_armed_ = config_.lanes && config_.preempt;
+  quantum_ns_ = config_.quantum_us * 1000;
   sched_ctx_.create_native(backend);
 }
 
-void Scheduler::ready(Ult* t) {
+void Scheduler::bind_owner() noexcept {
+  if (owner_.load(std::memory_order_relaxed) == std::thread::id{})
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+}
+
+void Scheduler::push_local(Ult* t, Lane lane) {
+  const std::size_t l = lane_index(lane);
+  lanes_[l].push_back(t);
+  lane_mask_ |= 1u << l;
+  bump(local_n_);
+}
+
+void Scheduler::ready(Ult* t, Lane lane) {
   require(t != nullptr, ErrorCode::InvalidArgument, "ready(nullptr)");
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    t->set_state(UltState::Ready);
-    ready_.push_back(t);
+  if (!config_.lanes) lane = Lane::Normal;
+  t->set_state(UltState::Ready);
+  t->set_ready_lane(lane);
+  if (owner_thread()) {
+    // Fast path: the PE waking one of its own ranks — no lock, no RMW.
+    // No notify needed either: the owner is by definition not sleeping
+    // in idle_wait while it executes this.
+    push_local(t, lane);
+    return;
   }
+  // Cross-thread (or pre-bind) path: lock-free Treiber push. The stack is
+  // LIFO; drain_remote() reverses it so enqueue order is preserved. No ABA
+  // concern: only the owner pops, and only via a whole-stack exchange.
+  remote_n_.fetch_add(1, std::memory_order_relaxed);
+  Ult* head = remote_head_.load(std::memory_order_relaxed);
+  do {
+    t->remote_next_ = head;
+  } while (!remote_head_.compare_exchange_weak(head, t,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+  bump(remote_readies_);
+  // Pass through the mutex before notifying so the wakeup cannot land
+  // between the sleeper's predicate check and its wait (see header).
+  { std::lock_guard<std::mutex> lock(mutex_); }
   cv_.notify_one();
 }
 
+void Scheduler::drain_remote() {
+  Ult* h = remote_head_.exchange(nullptr, std::memory_order_acquire);
+  if (h == nullptr) return;
+  // Reverse the LIFO stack back into push order.
+  Ult* rev = nullptr;
+  std::uint64_t n = 0;
+  while (h != nullptr) {
+    Ult* next = h->remote_next_;
+    h->remote_next_ = rev;
+    rev = h;
+    h = next;
+    ++n;
+  }
+  while (rev != nullptr) {
+    Ult* next = rev->remote_next_;
+    rev->remote_next_ = nullptr;
+    push_local(rev, rev->ready_lane());
+    rev = next;
+  }
+  remote_n_.fetch_sub(n, std::memory_order_relaxed);
+}
+
 Ult* Scheduler::pop_ready() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (ready_.empty()) return nullptr;
-  Ult* t = ready_.front();
-  ready_.pop_front();
+  drain_remote();
+  if (lane_mask_ == 0) return nullptr;
+  int l = lowest_set(lane_mask_);
+  if (config_.lanes && l == static_cast<int>(Lane::High)) {
+    // Starvation freedom: after starve_limit consecutive High dispatches,
+    // give one slot to the lowest non-High lane that has work.
+    const unsigned lower = lane_mask_ & ~1u;
+    if (hi_streak_ >= config_.starve_limit && lower != 0) {
+      l = lowest_set(lower);
+      hi_streak_ = 0;
+    } else {
+      ++hi_streak_;
+    }
+  } else {
+    hi_streak_ = 0;
+  }
+  auto& q = lanes_[static_cast<std::size_t>(l)];
+  Ult* t = q.front();
+  q.pop_front();
+  if (q.empty()) lane_mask_ &= ~(1u << l);
+  local_n_.store(local_n_.load(std::memory_order_relaxed) - 1,
+                 std::memory_order_relaxed);
+  bump(lane_dispatch_[static_cast<std::size_t>(l)]);
   return t;
 }
 
-std::size_t Scheduler::ready_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return ready_.size();
+bool Scheduler::unqueue(Ult* t) {
+  require(t != nullptr, ErrorCode::InvalidArgument, "unqueue(nullptr)");
+  require(owner_thread() ||
+              owner_.load(std::memory_order_relaxed) == std::thread::id{},
+          ErrorCode::BadState, "unqueue from a non-owner thread");
+  drain_remote();
+  for (std::size_t l = 0; l < lanes_.size(); ++l) {
+    auto& q = lanes_[l];
+    auto it = std::find(q.begin(), q.end(), t);
+    if (it == q.end()) continue;
+    q.erase(it);
+    if (q.empty()) lane_mask_ &= ~(1u << l);
+    local_n_.store(local_n_.load(std::memory_order_relaxed) - 1,
+                   std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 void Scheduler::enter(Ult* next) {
@@ -87,6 +204,7 @@ void Scheduler::enter(Ult* next) {
   next->set_state(UltState::Running);
   current_ = next;
   ++switches_;
+  if (preempt_armed_) slice_start_ns_ = util::wall_time_ns();
   sched_ctx_.switch_to(next->context());
   current_ = nullptr;
   g_current_scheduler = outer;
@@ -95,6 +213,7 @@ void Scheduler::enter(Ult* next) {
 bool Scheduler::run_one() {
   require(current_ == nullptr, ErrorCode::BadState,
           "run_one called from inside a ULT");
+  bind_owner();
   Ult* next = pop_ready();
   if (next == nullptr) return false;
   enter(next);
@@ -108,11 +227,14 @@ void Scheduler::run_until_quiescent() {
 
 bool Scheduler::idle_wait(const std::function<bool()>& stop,
                           std::int64_t timeout_us) {
+  bind_owner();
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
-               [&] { return !ready_.empty() || stop(); });
-  return !ready_.empty();
+               [&] { return ready_count() > 0 || stop(); });
+  return ready_count() > 0;
 }
+
+void Scheduler::ready_notify() { cv_.notify_one(); }
 
 void Scheduler::leave_current(UltState new_state) {
   Ult* self = current_;
@@ -125,10 +247,8 @@ void Scheduler::leave_current(UltState new_state) {
 void Scheduler::yield() {
   Ult* self = current_;
   require(self != nullptr, ErrorCode::BadState, "yield outside a ULT");
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ready_.push_back(self);
-  }
+  self->set_ready_lane(Lane::Normal);
+  push_local(self, Lane::Normal);
   leave_current(UltState::Ready);
 }
 
@@ -137,6 +257,25 @@ void Scheduler::suspend() { leave_current(UltState::Blocked); }
 void Scheduler::exit_current() {
   leave_current(UltState::Done);
   std::abort();  // a Done ULT must never be resumed
+}
+
+void Scheduler::preempt_check() {
+  const std::uint64_t now = util::wall_time_ns();
+  if (now - slice_start_ns_ < quantum_ns_) return;
+  drain_remote();
+  if (lane_mask_ == 0) {
+    // Overran the quantum but nobody else is waiting: note it and let the
+    // slice restart rather than paying a pointless switch.
+    bump(overruns_);
+    slice_start_ns_ = now;
+    return;
+  }
+  bump(preempts_);
+  Ult* self = current_;
+  self->set_ready_lane(Lane::Bulk);
+  push_local(self, Lane::Bulk);
+  leave_current(UltState::Ready);
+  // Resumed: enter() restamped slice_start_ns_.
 }
 
 int Scheduler::add_switch_hook(SwitchHook hook) {

@@ -19,6 +19,18 @@ enum class UltState : std::uint8_t {
 /// Stable string form of an UltState.
 const char* ult_state_name(UltState state) noexcept;
 
+/// Runqueue lane a ready ULT is queued on. Lower values dispatch first
+/// (bitmap-selected in Scheduler::pop_ready, RROS-style): High carries
+/// latency-critical wakeups (control traffic, small messages), Normal is
+/// the default, Bulk holds ULTs demoted for exceeding their quantum.
+enum class Lane : std::uint8_t {
+  High = 0,
+  Normal = 1,
+  Bulk = 2,
+};
+
+inline constexpr int kLaneCount = 3;
+
 /// A user-level thread: a body function, a stack, and a saved Context.
 ///
 /// Ult stores no heap pointers and no pointers to scheduler-owned state, so
@@ -52,6 +64,10 @@ class Ult {
   void* user_data() const noexcept { return user_data_; }
   void set_user_data(void* p) noexcept { user_data_ = p; }
 
+  /// Lane this ULT is (or will next be) queued on; owned by the scheduler.
+  Lane ready_lane() const noexcept { return ready_lane_; }
+  void set_ready_lane(Lane lane) noexcept { ready_lane_ = lane; }
+
  private:
   static void entry_thunk(void* self);
 
@@ -61,8 +77,17 @@ class Ult {
   void* stack_base_;
   std::size_t stack_size_;
   UltState state_ = UltState::Created;
+  Lane ready_lane_ = Lane::Normal;
   void* user_data_ = nullptr;
   Context context_;
+
+  /// Intrusive link for the scheduler's cross-thread MPSC ready stack.
+  /// Transient: non-null only while the ULT sits in that stack, and a
+  /// queued ULT is never packed/migrated, so this host pointer never
+  /// travels with a slot image (cf. the class comment above).
+  Ult* remote_next_ = nullptr;
+
+  friend class Scheduler;
 };
 
 }  // namespace apv::ult

@@ -148,3 +148,29 @@ TEST(Helpers, ImbalanceAndMigrationCount) {
   EXPECT_EQ(lb::migration_count(stats, moved), 1);
   EXPECT_EQ(stats.pe_loads()[0], 4.0);
 }
+
+TEST(StealVictim, DeepestBacklogWins) {
+  EXPECT_EQ(lb::pick_steal_victim({0, 3, 7, 2}, 0), 2);
+  EXPECT_EQ(lb::pick_steal_victim({9, 3, 7, 2}, 3), 0);
+}
+
+TEST(StealVictim, TiesBreakTowardLowestPe) {
+  EXPECT_EQ(lb::pick_steal_victim({0, 5, 5, 5}, 0), 1);
+}
+
+TEST(StealVictim, SelfNeverPicked) {
+  // PE 2 has the deepest queue but is asking for itself.
+  EXPECT_EQ(lb::pick_steal_victim({0, 1, 9}, 2), 1);
+}
+
+TEST(StealVictim, MinReadyFilters) {
+  // Stealing a victim's only runnable rank just relocates the imbalance.
+  EXPECT_EQ(lb::pick_steal_victim({0, 1, 1}, 0, 2), -1);
+  EXPECT_EQ(lb::pick_steal_victim({0, 1, 2}, 0, 2), 2);
+}
+
+TEST(StealVictim, NoQualifierReturnsMinusOne) {
+  EXPECT_EQ(lb::pick_steal_victim({0, 0, 0}, 1), -1);
+  EXPECT_EQ(lb::pick_steal_victim({}, 0), -1);
+  EXPECT_EQ(lb::pick_steal_victim({4}, 0), -1);  // alone in the cluster
+}

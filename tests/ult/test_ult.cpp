@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ult/scheduler.hpp"
@@ -238,6 +240,193 @@ TEST(Scheduler, CurrentUltVisibleFromInside) {
   sched.run_until_quiescent();
   EXPECT_EQ(observed, &t);
   EXPECT_EQ(ult::current_ult(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-lane runqueue + preemption
+
+namespace {
+// A body that appends one character and exits; the char rides in the low
+// byte of the arg pointer's pointee.
+struct Tagged {
+  Recorder* rec;
+  char tag;
+};
+
+void tag_once(void* arg) {
+  auto* t = static_cast<Tagged*>(arg);
+  t->rec->log += t->tag;
+}
+}  // namespace
+
+TEST(SchedulerLanes, HighBeforeNormalBeforeBulk) {
+  ult::Scheduler sched;
+  Recorder rec;
+  std::vector<std::vector<char>> stacks(3, std::vector<char>(32 << 10));
+  Tagged th{&rec, 'h'}, tn{&rec, 'n'}, tb{&rec, 'b'};
+  ult::Ult b(1, &tag_once, &tb, stacks[0].data(), stacks[0].size());
+  ult::Ult n(2, &tag_once, &tn, stacks[1].data(), stacks[1].size());
+  ult::Ult h(3, &tag_once, &th, stacks[2].data(), stacks[2].size());
+  // Enqueue lowest-priority first: lane order must override arrival order.
+  sched.ready(&b, ult::Lane::Bulk);
+  sched.ready(&n, ult::Lane::Normal);
+  sched.ready(&h, ult::Lane::High);
+  sched.run_until_quiescent();
+  EXPECT_EQ(rec.log, "hnb");
+  EXPECT_EQ(sched.lane_dispatches(ult::Lane::High), 1u);
+  EXPECT_EQ(sched.lane_dispatches(ult::Lane::Normal), 1u);
+  EXPECT_EQ(sched.lane_dispatches(ult::Lane::Bulk), 1u);
+}
+
+TEST(SchedulerLanes, FifoConfigCollapsesLanes) {
+  ult::Scheduler::Config cfg;
+  cfg.lanes = false;
+  ult::Scheduler sched(ult::default_context_backend(), cfg);
+  Recorder rec;
+  std::vector<std::vector<char>> stacks(3, std::vector<char>(32 << 10));
+  Tagged th{&rec, 'h'}, tn{&rec, 'n'}, tb{&rec, 'b'};
+  ult::Ult b(1, &tag_once, &tb, stacks[0].data(), stacks[0].size());
+  ult::Ult n(2, &tag_once, &tn, stacks[1].data(), stacks[1].size());
+  ult::Ult h(3, &tag_once, &th, stacks[2].data(), stacks[2].size());
+  sched.ready(&b, ult::Lane::Bulk);
+  sched.ready(&n, ult::Lane::Normal);
+  sched.ready(&h, ult::Lane::High);
+  sched.run_until_quiescent();
+  // Seed-exact FIFO: arrival order wins, hints ignored, everything counts
+  // as a Normal-lane dispatch.
+  EXPECT_EQ(rec.log, "bnh");
+  EXPECT_EQ(sched.lane_dispatches(ult::Lane::High), 0u);
+  EXPECT_EQ(sched.lane_dispatches(ult::Lane::Normal), 3u);
+  EXPECT_EQ(sched.lane_dispatches(ult::Lane::Bulk), 0u);
+}
+
+TEST(SchedulerLanes, StarvationEscapeYieldsToLowerLane) {
+  ult::Scheduler::Config cfg;
+  cfg.starve_limit = 2;
+  ult::Scheduler sched(ult::default_context_backend(), cfg);
+  Recorder rec;
+  constexpr int kHigh = 5;
+  std::vector<std::vector<char>> stacks(kHigh + 1,
+                                        std::vector<char>(32 << 10));
+  Tagged th{&rec, 'h'}, tn{&rec, 'n'};
+  std::vector<std::unique_ptr<ult::Ult>> highs;
+  for (int i = 0; i < kHigh; ++i) {
+    highs.push_back(std::make_unique<ult::Ult>(
+        i + 1, &tag_once, &th, stacks[static_cast<std::size_t>(i)].data(),
+        stacks[static_cast<std::size_t>(i)].size()));
+  }
+  ult::Ult normal(99, &tag_once, &tn, stacks[kHigh].data(),
+                  stacks[kHigh].size());
+  sched.ready(&normal, ult::Lane::Normal);
+  for (auto& u : highs) sched.ready(u.get(), ult::Lane::High);
+  sched.run_until_quiescent();
+  // After starve_limit consecutive High dispatches the Normal ULT must get
+  // a slot — not wait behind the whole High backlog.
+  EXPECT_EQ(rec.log, "hhnhhh");
+}
+
+TEST(SchedulerLanes, CrossThreadReadyIsFifoAndCounted) {
+  ult::Scheduler sched;
+  EXPECT_FALSE(sched.run_one());  // binds the owner to this thread
+  Recorder rec;
+  constexpr int kN = 4;
+  std::vector<std::vector<char>> stacks(kN, std::vector<char>(32 << 10));
+  Tagged tags[kN] = {{&rec, '0'}, {&rec, '1'}, {&rec, '2'}, {&rec, '3'}};
+  std::vector<std::unique_ptr<ult::Ult>> ults;
+  for (int i = 0; i < kN; ++i) {
+    ults.push_back(std::make_unique<ult::Ult>(
+        i, &tag_once, &tags[i], stacks[static_cast<std::size_t>(i)].data(),
+        stacks[static_cast<std::size_t>(i)].size()));
+  }
+  std::thread producer([&] {
+    for (auto& u : ults) sched.ready(u.get());
+  });
+  producer.join();
+  EXPECT_EQ(sched.ready_count(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(sched.remote_ready_count(), static_cast<std::uint64_t>(kN));
+  sched.run_until_quiescent();
+  // The MPSC push stack is LIFO internally; the drain must restore FIFO.
+  EXPECT_EQ(rec.log, "0123");
+}
+
+TEST(SchedulerLanes, UnqueueRemovesWithoutRunning) {
+  ult::Scheduler sched;
+  Recorder rec;
+  std::vector<std::vector<char>> stacks(2, std::vector<char>(32 << 10));
+  Tagged ta{&rec, 'a'}, tb{&rec, 'b'};
+  ult::Ult a(1, &tag_once, &ta, stacks[0].data(), stacks[0].size());
+  ult::Ult b(2, &tag_once, &tb, stacks[1].data(), stacks[1].size());
+  sched.ready(&a);
+  sched.ready(&b, ult::Lane::Bulk);
+  EXPECT_EQ(sched.ready_count(), 2u);
+  EXPECT_TRUE(sched.unqueue(&b));
+  EXPECT_FALSE(sched.unqueue(&b));  // already gone
+  EXPECT_EQ(sched.ready_count(), 1u);
+  sched.run_until_quiescent();
+  EXPECT_EQ(rec.log, "a");
+  EXPECT_EQ(b.state(), ult::UltState::Ready);  // untouched, still runnable
+  sched.ready(&b);
+  sched.run_until_quiescent();
+  EXPECT_EQ(rec.log, "ab");
+}
+
+namespace {
+void preempt_hog(void* arg) {
+  auto* r = static_cast<Recorder*>(arg);
+  r->log += 'H';
+  // With quantum_us=0 the very first preempt point is over-quantum; the
+  // scheduler must demote us behind the queued Normal ULT.
+  ult::current_scheduler()->preempt_point();
+  r->log += 'h';
+}
+}  // namespace
+
+TEST(SchedulerPreempt, OverQuantumHogYieldsToWaiter) {
+  ult::Scheduler::Config cfg;
+  cfg.preempt = true;
+  cfg.quantum_us = 0;
+  ult::Scheduler sched(ult::default_context_backend(), cfg);
+  Recorder rec;
+  std::vector<std::vector<char>> stacks(2, std::vector<char>(32 << 10));
+  Tagged tv{&rec, 'v'};
+  ult::Ult hog(1, &preempt_hog, &rec, stacks[0].data(), stacks[0].size());
+  ult::Ult victim(2, &tag_once, &tv, stacks[1].data(), stacks[1].size());
+  sched.ready(&hog);
+  sched.ready(&victim);
+  sched.run_until_quiescent();
+  EXPECT_EQ(rec.log, "Hvh");
+  EXPECT_GE(sched.preempt_count(), 1u);
+}
+
+TEST(SchedulerPreempt, OverrunWithEmptyQueueKeepsRunning) {
+  ult::Scheduler::Config cfg;
+  cfg.preempt = true;
+  cfg.quantum_us = 0;
+  ult::Scheduler sched(ult::default_context_backend(), cfg);
+  Recorder rec;
+  std::vector<char> s1(32 << 10);
+  ult::Ult hog(1, &preempt_hog, &rec, s1.data(), s1.size());
+  sched.ready(&hog);
+  sched.run_until_quiescent();
+  // Nobody else is ready: the hog keeps its slice uninterrupted (an
+  // overrun is recorded, no preemption).
+  EXPECT_EQ(rec.log, "Hh");
+  EXPECT_EQ(sched.preempt_count(), 0u);
+  EXPECT_GE(sched.overrun_count(), 1u);
+}
+
+TEST(SchedulerPreempt, DisarmedPointIsNoop) {
+  ult::Scheduler sched;  // default config: preempt off
+  Recorder rec;
+  std::vector<std::vector<char>> stacks(2, std::vector<char>(32 << 10));
+  Tagged tv{&rec, 'v'};
+  ult::Ult hog(1, &preempt_hog, &rec, stacks[0].data(), stacks[0].size());
+  ult::Ult victim(2, &tag_once, &tv, stacks[1].data(), stacks[1].size());
+  sched.ready(&hog);
+  sched.ready(&victim);
+  sched.run_until_quiescent();
+  EXPECT_EQ(rec.log, "Hhv");  // hog ran to completion despite the point
+  EXPECT_EQ(sched.preempt_count(), 0u);
 }
 
 TEST(Scheduler, ManyUltsLongRun) {
