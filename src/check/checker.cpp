@@ -98,9 +98,7 @@ std::string Checker::coll_gate_locked(int lane_idx, int world_rank,
   for (int p = 0; p < kProbeLen; ++p) {
     GateSlot& s = slots_[(home + static_cast<std::size_t>(p)) & mask];
     if (s.key.load(std::memory_order_acquire) != kEmptyKey) continue;
-    s.ref = mine;
-    s.name = name;
-    s.ref_rank = world_rank;
+    s.store_desc(mine, name, world_rank);
     s.arrived.store(1, std::memory_order_relaxed);
     s.key.store(key, std::memory_order_release);
     return {};

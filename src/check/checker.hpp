@@ -165,14 +165,57 @@ class Checker {
   };
 
   /// One open-addressed gate slot. `key` doubles as the publication flag:
-  /// kEmpty means free; anything else means ref/name/ref_rank are immutable
-  /// until the slot is reclaimed (key back to kEmpty by the last arriver).
+  /// kEmpty means free; anything else means the descriptor cells are
+  /// immutable until the slot is reclaimed (key back to kEmpty by the last
+  /// arriver).
+  ///
+  /// The descriptor cells are atomics rather than plain fields: a
+  /// comparer's snapshot can race with a re-deposit after the slot was
+  /// reclaimed mid-read. The seqlock-style key re-check already discards
+  /// such torn snapshots *logically*, but the racing loads themselves must
+  /// be atomic for the program to be data-race-free (and TSan-clean).
+  /// Deposits release-store the key after writing the cells; comparers
+  /// acquire-load the key before reading them, and load the cells
+  /// themselves with acquire so the validating key re-check cannot be
+  /// hoisted above them (see load_entry — this replaces a read fence,
+  /// which TSan does not model).
   struct alignas(64) GateSlot {
     std::atomic<std::uint64_t> key{~0ull};
     std::atomic<std::int32_t> arrived{0};
-    CollDesc ref;
-    const char* name = nullptr;
-    int ref_rank = -1;
+    std::atomic<std::int32_t> ref_color{0};
+    std::atomic<std::int32_t> ref_root{-1};
+    std::atomic<std::int32_t> ref_op{-1};
+    std::atomic<std::uint32_t> ref_esize{0};
+    std::atomic<std::uint64_t> ref_bytes{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::int32_t> ref_rank{-1};
+
+    void store_desc(const CollDesc& d, const char* n,
+                    std::int32_t rank) noexcept {
+      ref_color.store(d.color, std::memory_order_relaxed);
+      ref_root.store(d.root, std::memory_order_relaxed);
+      ref_op.store(d.op, std::memory_order_relaxed);
+      ref_esize.store(d.esize, std::memory_order_relaxed);
+      ref_bytes.store(d.bytes, std::memory_order_relaxed);
+      name.store(n, std::memory_order_relaxed);
+      ref_rank.store(rank, std::memory_order_relaxed);
+    }
+    /// Every cell load is acquire (not relaxed + trailing fence): the
+    /// caller's key re-check must not be hoisted above ANY cell read for
+    /// the torn-snapshot discard to work, acquire loads forbid exactly
+    /// that, and TSan does not model standalone fences. Acquire loads cost
+    /// the same plain mov as relaxed on x86.
+    GateEntry load_entry() const noexcept {
+      GateEntry e;
+      e.ref.color = ref_color.load(std::memory_order_acquire);
+      e.ref.root = ref_root.load(std::memory_order_acquire);
+      e.ref.op = ref_op.load(std::memory_order_acquire);
+      e.ref.esize = ref_esize.load(std::memory_order_acquire);
+      e.ref.bytes = ref_bytes.load(std::memory_order_acquire);
+      e.name = name.load(std::memory_order_acquire);
+      e.ref_rank = ref_rank.load(std::memory_order_acquire);
+      return e;
+    }
   };
 
   /// Per-PE single-writer counter cells; padded so lanes never share a
@@ -267,13 +310,17 @@ inline std::string Checker::coll_gate(int lane_idx, int world_rank,
   for (int p = 0; p < kProbeLen; ++p) {
     GateSlot& s = slots_[(home + static_cast<std::size_t>(p)) & mask];
     if (s.key.load(std::memory_order_acquire) != key) continue;
-    // The depositor wrote ref/name/ref_rank before the release-store of
+    // The depositor wrote the descriptor cells before the release-store of
     // key, so seeing `key` makes them readable. Re-check key after the
     // reads: if the slot was reclaimed (and possibly re-deposited for a
     // different gate) mid-read, the key changed — (comm, seq) pairs are
     // never reused, so an unchanged key proves the snapshot is ours.
-    const GateEntry snap{s.ref, s.name, s.ref_rank, 0};
-    std::atomic_thread_fence(std::memory_order_acquire);
+    // Fence-free seqlock validation: every cell load in load_entry is
+    // acquire, so this re-check cannot be hoisted above any of the cell
+    // reads (equivalently: no cell read can sink below it). A trailing
+    // read fence would do the same, but TSan does not model fences — the
+    // acquire loads keep the fast path warning-free and sanitizer-visible.
+    const GateEntry snap = s.load_entry();
     if (s.key.load(std::memory_order_relaxed) != key) break;  // reclaimed
     std::string mismatch;
     if (desc_matches(mine, snap.ref)) [[likely]]

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <new>
 
+#include "util/sanitizers.hpp"
+
 namespace apv::comm {
 
 namespace {
@@ -112,10 +114,12 @@ struct ThreadCache {
         GlobalFreelist& gl = g_freelists[c];
         std::lock_guard<std::mutex> lock(gl.mutex);
         if (gl.count < kGlobalCap) {
+          // Cached chunks are quarantined (poisoned) — spilling keeps them so.
           slots[c][i]->next_free = gl.head;
           gl.head = slots[c][i];
           ++gl.count;
         } else {
+          APV_ASAN_UNPOISON(slots[c][i]->mem, slots[c][i]->capacity);
           delete slots[c][i];
         }
       }
@@ -129,7 +133,9 @@ Payload::Chunk* pool_get(int cls) {
   ThreadCache& tc = t_cache;
   if (tc.counts[cls] > 0) {
     bump(tc.stats_block->hits);
-    return tc.slots[cls][--tc.counts[cls]];
+    Payload::Chunk* c = tc.slots[cls][--tc.counts[cls]];
+    APV_ASAN_UNPOISON(c->mem, c->capacity);  // leaving quarantine
+    return c;
   }
   GlobalFreelist& gl = g_freelists[cls];
   {
@@ -140,6 +146,7 @@ Payload::Chunk* pool_get(int cls) {
       --gl.count;
       c->next_free = nullptr;
       bump(tc.stats_block->hits);
+      APV_ASAN_UNPOISON(c->mem, c->capacity);  // leaving quarantine
       return c;
     }
   }
@@ -149,6 +156,13 @@ Payload::Chunk* pool_get(int cls) {
 void pool_put(Payload::Chunk* c) {
   const int cls = c->size_class;
   ThreadCache& tc = t_cache;
+  // Quarantine-on-release: a recycled chunk's bytes are off-limits until
+  // the next acquire, so a stale Payload view (refcount bug) dereferencing
+  // into it dies with a use-after-poison report instead of silently reading
+  // whatever the next message wrote. The chunk's freelist link lives in the
+  // Chunk header (a separate heap object), so pooling itself never touches
+  // the poisoned buffer.
+  APV_ASAN_POISON(c->mem, c->capacity);
   if (tc.counts[cls] < kThreadCacheCap) {
     tc.slots[cls][tc.counts[cls]++] = c;
     bump(tc.stats_block->returns);
@@ -166,6 +180,7 @@ void pool_put(Payload::Chunk* c) {
     }
   }
   g_drops.fetch_add(1, std::memory_order_relaxed);
+  APV_ASAN_UNPOISON(c->mem, c->capacity);  // hand clean shadow back to ::delete
   delete c;
 }
 

@@ -46,6 +46,12 @@ void Pe::add_idle_hook(IdleHook hook) {
   idle_hooks_.push_back(std::move(hook));
 }
 
+void Pe::set_stop_drain(StopDrain drain) {
+  require(!running_.load(), ErrorCode::BadState,
+          "cannot change the stop drain while the PE loop runs");
+  stop_drain_ = std::move(drain);
+}
+
 void Pe::post(Message&& msg) {
   mailbox_.push(std::move(msg));
   // Wake the scheduler's idle wait; ready() notification path is reused by
@@ -123,6 +129,10 @@ void Pe::run_loop() {
         },
         200);
   }
+  // Orderly stop (not a simulated crash): let the upper layer unwind
+  // whatever is still parked on this scheduler, on this thread, while the
+  // switch hooks and sigaltstack are still in place.
+  if (stop_drain_ && !failed_.load()) stop_drain_();
   running_.store(false);
   g_current_pe = nullptr;
   APV_DEBUG("pe", "PE %d loop exited after %llu messages", id_,

@@ -28,6 +28,12 @@ class Pe {
   using Dispatcher = std::function<void(Message&&)>;
   /// Runs once per idle loop iteration (progress hook for the upper layer).
   using IdleHook = std::function<void()>;
+  /// Runs on the PE thread after the loop exits via stop() — not after a
+  /// simulated crash (fail()), whose semantics are precisely "no cleanup
+  /// ran". The MPI layer uses it to force-unwind ranks still parked here
+  /// (fail-fast teardown abandons them mid-wait) so their fiber stacks
+  /// release held resources before the slots are freed.
+  using StopDrain = std::function<void()>;
 
   struct Config {
     Mailbox::Config mailbox;
@@ -51,6 +57,8 @@ class Pe {
   /// The comm layer uses one to flush aggregation bins; the MPI layer uses
   /// one to close load-accounting slices.
   void add_idle_hook(IdleHook hook);
+  /// Installs the stop-drain callback. Must happen before the loop starts.
+  void set_stop_drain(StopDrain drain);
 
   /// Thread-safe: enqueues a message and wakes the PE if idle.
   void post(Message&& msg);
@@ -93,6 +101,7 @@ class Pe {
   ult::Scheduler sched_;
   Dispatcher dispatcher_;
   std::vector<IdleHook> idle_hooks_;
+  StopDrain stop_drain_;
 
   Mailbox mailbox_;
   std::size_t drain_batch_;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/method.hpp"
@@ -24,7 +25,7 @@ class NoneMethod final : public PrivatizationMethod {
  private:
   ProcessEnv* env_ = nullptr;
   const img::ImageInstance* primary_ = nullptr;
-  std::byte* shared_tls_ = nullptr;  // one TLS block shared by all ranks
+  std::unique_ptr<std::byte[]> shared_tls_;  // one block shared by all ranks
 };
 
 /// TLSglobals (paper §2.3.4): variables the user tagged thread_local get a
@@ -87,7 +88,7 @@ class PipGlobalsMethod final : public PrivatizationMethod {
  private:
   ProcessEnv* env_ = nullptr;
   const img::ImageInstance* primary_ = nullptr;
-  std::byte* shared_tls_ = nullptr;
+  std::unique_ptr<std::byte[]> shared_tls_;
 };
 
 /// FSglobals (paper §3.2): per-rank binary copies written to and loaded
@@ -107,7 +108,7 @@ class FsGlobalsMethod final : public PrivatizationMethod {
  private:
   ProcessEnv* env_ = nullptr;
   const img::ImageInstance* primary_ = nullptr;
-  std::byte* shared_tls_ = nullptr;
+  std::unique_ptr<std::byte[]> shared_tls_;
 };
 
 /// How PIEglobals rewrites pointers into the original segments after

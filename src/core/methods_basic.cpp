@@ -2,6 +2,7 @@
 // baseline, TLSglobals, and Swapglobals.
 
 #include <cstring>
+#include <memory>
 
 #include "core/access.hpp"
 #include "core/methods.hpp"
@@ -26,11 +27,10 @@ std::byte* make_tls_block(RankContext& rc, const img::ProgramImage& image) {
 }
 
 // Shared (process-wide) TLS block for methods that do not privatize TLS
-// variables per rank. Leaked intentionally at process teardown emulation;
-// owned by the method object in practice.
-std::byte* make_shared_tls(const img::ProgramImage& image) {
-  auto* block = new std::byte[image.tls_size()];
-  image.materialize_tls(block);
+// variables per rank. Owned by the method object; freed with it.
+std::unique_ptr<std::byte[]> make_shared_tls(const img::ProgramImage& image) {
+  auto block = std::make_unique<std::byte[]>(image.tls_size());
+  image.materialize_tls(block.get());
   return block;
 }
 
@@ -56,7 +56,7 @@ void NoneMethod::on_switch_in(RankContext* rc) noexcept {
   (void)rc;
   // No privatization work. The shared TLS block is installed lazily, once
   // per PE thread, not per switch.
-  if (tl_tls_base != shared_tls_) tl_tls_base = shared_tls_;
+  if (tl_tls_base != shared_tls_.get()) tl_tls_base = shared_tls_.get();
 }
 
 void NoneMethod::destroy_rank(RankContext& rc) { rc.instance = nullptr; }

@@ -3,6 +3,8 @@
 // linker, which allocates outside Isomalloc — so neither supports rank
 // migration.
 
+#include <memory>
+
 #include "core/access.hpp"
 #include "core/methods.hpp"
 #include "util/error.hpp"
@@ -14,9 +16,9 @@ using util::ErrorCode;
 using util::require;
 
 namespace {
-std::byte* make_shared_tls(const img::ProgramImage& image) {
-  auto* block = new std::byte[image.tls_size()];
-  image.materialize_tls(block);
+std::unique_ptr<std::byte[]> make_shared_tls(const img::ProgramImage& image) {
+  auto block = std::make_unique<std::byte[]>(image.tls_size());
+  image.materialize_tls(block.get());
   return block;
 }
 }  // namespace
@@ -57,7 +59,7 @@ void PipGlobalsMethod::on_switch_in(RankContext* rc) noexcept {
   (void)rc;
   // No per-switch work: each rank's globals sit behind its own segment
   // copies, addressed IP-relative within the copy.
-  if (tl_tls_base != shared_tls_) tl_tls_base = shared_tls_;
+  if (tl_tls_base != shared_tls_.get()) tl_tls_base = shared_tls_.get();
 }
 
 void PipGlobalsMethod::destroy_rank(RankContext& rc) {
@@ -94,7 +96,7 @@ void FsGlobalsMethod::init_rank(RankContext& rc) {
 
 void FsGlobalsMethod::on_switch_in(RankContext* rc) noexcept {
   (void)rc;
-  if (tl_tls_base != shared_tls_) tl_tls_base = shared_tls_;
+  if (tl_tls_base != shared_tls_.get()) tl_tls_base = shared_tls_.get();
 }
 
 void FsGlobalsMethod::destroy_rank(RankContext& rc) { rc.instance = nullptr; }

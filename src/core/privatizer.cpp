@@ -45,7 +45,14 @@ RankContext* Privatizer::create_rank(const RankParams& params) {
 
   // Method-specific privatization first: PIEglobals' segment copies are the
   // big slot allocations and benefit from the fresh heap.
-  method_->init_rank(*rc);
+  try {
+    method_->init_rank(*rc);
+  } catch (...) {
+    // A refused rank (dlmopen namespace cap, linker version gate) must not
+    // strand its slot: the context dies with `rc`, the slot goes back here.
+    env_.arena->release_slot(slot);
+    throw;
+  }
 
   // The ULT object and its stack live in the slot so the rank can migrate.
   void* stack = heap->alloc(params.stack_size, 16);

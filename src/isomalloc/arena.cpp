@@ -7,6 +7,7 @@
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/sanitizers.hpp"
 
 namespace apv::iso {
 
@@ -34,7 +35,15 @@ IsoArena::IsoArena(const Config& config) : config_(config) {
 }
 
 IsoArena::~IsoArena() {
-  if (base_ != nullptr) munmap(base_, reserved_bytes_);
+  if (base_ != nullptr) {
+    // Shadow must be cleared before the VA goes back to the kernel: released
+    // slots (and quarantined heap interiors) left user poison behind, and a
+    // later mmap — a thread stack, another arena — can land in this hole.
+    // ASan does not scrub shadow on munmap, so stale poison would fire on
+    // the innocent new tenant.
+    APV_ASAN_UNPOISON(base_, reserved_bytes_);
+    munmap(base_, reserved_bytes_);
+  }
 }
 
 SlotId IsoArena::acquire_slot() {
@@ -47,6 +56,10 @@ SlotId IsoArena::acquire_slot() {
                        std::string("mprotect commit failed: ") +
                            std::strerror(errno));
       }
+      // Clear any shadow state left by a previous tenant (its heap's freed
+      // blocks stayed quarantined past release); the new tenant formats or
+      // unpacks from scratch.
+      APV_ASAN_UNPOISON(slot, config_.slot_size);
       in_use_[i] = true;
       ++used_count_;
       return static_cast<SlotId>(i);
@@ -60,7 +73,10 @@ void IsoArena::release_slot(SlotId slot) {
   require(slot < in_use_.size() && in_use_[slot], ErrorCode::InvalidArgument,
           "release of slot not in use");
   std::byte* p = base_ + static_cast<std::size_t>(slot) * config_.slot_size;
-  // Drop the physical pages and make stale accesses fault.
+  // Drop the physical pages and make stale accesses fault. Under ASan the
+  // shadow poison fires first, turning the raw SIGSEGV into a readable
+  // use-after-poison report with the offending stack.
+  APV_ASAN_POISON(p, config_.slot_size);
   madvise(p, config_.slot_size, MADV_DONTNEED);
   mprotect(p, config_.slot_size, PROT_NONE);
   in_use_[slot] = false;

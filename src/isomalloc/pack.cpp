@@ -5,6 +5,7 @@
 
 #include "isomalloc/slot_heap.hpp"
 #include "util/error.hpp"
+#include "util/sanitizers.hpp"
 
 namespace apv::iso {
 
@@ -73,7 +74,9 @@ void pack_slot(const IsoArena& arena, SlotId slot, PackMode mode,
   out.put<std::uint64_t>(kPackMagic);
   out.put<std::uint64_t>(arena.slot_size());
   out.put<std::uint64_t>(len);
-  out.put_bytes(arena.slot_base(slot), len);
+  // Raw copy: the prefix legitimately includes ASan-quarantined freed heap
+  // blocks (their bytes are live allocator state on the wire).
+  out.put_bytes_raw(arena.slot_base(slot), len);
 }
 
 void pack_slot_delta(const IsoArena& arena, SlotId slot,
@@ -90,7 +93,8 @@ void pack_slot_delta(const IsoArena& arena, SlotId slot,
             "pack_slot_delta: region exceeds slot");
     out.put<std::uint64_t>(r.offset);
     out.put<std::uint64_t>(r.len);
-    out.put_bytes(base + r.offset, r.len);
+    // Dirtied pages can span quarantined freed blocks; copy past the shadow.
+    out.put_bytes_raw(base + r.offset, r.len);
   }
 }
 
@@ -130,8 +134,11 @@ void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteReader& in) {
               "unpack delta: region exceeds slot");
       require(in.remaining() >= len, ErrorCode::CorruptImage,
               "unpack delta: truncated region payload");
-      in.get_bytes(base + offset, len);
+      in.get_bytes_raw(base + offset, len);
     }
+    // The raw writes may have rewritten heap metadata (source-side frees);
+    // rebuild the ASan free-block quarantine from the updated block chain.
+    SlotHeap::asan_reconcile_if_present(base, arena.slot_size());
     return;
   }
 
@@ -154,8 +161,11 @@ void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteReader& in) {
   constexpr std::uint64_t kPoisonWindow = std::uint64_t{4} << 20;
   const std::uint64_t poison =
       std::min<std::uint64_t>(kPoisonWindow, arena.slot_size() - len);
-  std::memset(base + len, kPackPoisonByte, poison);
-  in.get_bytes(base, len);
+  util::raw_memset(base + len, kPackPoisonByte, poison);
+  in.get_bytes_raw(base, len);
+  // The shadow no longer matches the rewritten heap: clear it across the
+  // slot and re-quarantine the free blocks the image carried.
+  SlotHeap::asan_reconcile_if_present(base, arena.slot_size());
 }
 
 void unpack_slot(const IsoArena& arena, SlotId slot, util::ByteBuffer& in) {

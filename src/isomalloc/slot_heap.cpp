@@ -6,6 +6,7 @@
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/sanitizers.hpp"
 
 namespace apv::iso {
 
@@ -112,6 +113,31 @@ SlotHeap::FreeLinks* SlotHeap::links(Block* b) noexcept {
   return static_cast<FreeLinks*>(b->payload());
 }
 
+// Quarantine freed rank-heap memory: everything in a free block's payload
+// past the in-band FreeLinks is poisoned, so a rank touching a stale pointer
+// into its slot heap dies with an ASan use-after-poison report instead of
+// silently reading recycled bytes. The header and FreeLinks stay addressable
+// (allocator walks and coalescing read them); both bounds are 16-aligned so
+// the poison range is exact at ASan's 8-byte shadow granularity.
+void SlotHeap::asan_poison_free_interior(Block* b) noexcept {
+#if APV_ASAN
+  char* payload = static_cast<char*>(b->payload());
+  const std::size_t n = b->payload_size();
+  if (n > sizeof(FreeLinks))
+    APV_ASAN_POISON(payload + sizeof(FreeLinks), n - sizeof(FreeLinks));
+#else
+  (void)b;
+#endif
+}
+
+void SlotHeap::asan_unpoison_payload(Block* b) noexcept {
+#if APV_ASAN
+  APV_ASAN_UNPOISON(b->payload(), b->payload_size());
+#else
+  (void)b;
+#endif
+}
+
 void SlotHeap::free_list_insert(Block* b) noexcept {
   FreeLinks* l = links(b);
   notify_write(l, sizeof(FreeLinks));
@@ -123,6 +149,7 @@ void SlotHeap::free_list_insert(Block* b) noexcept {
   }
   notify_write(&free_head_, sizeof free_head_);
   free_head_ = b;
+  asan_poison_free_interior(b);
 }
 
 void SlotHeap::free_list_remove(Block* b) noexcept {
@@ -185,6 +212,10 @@ void* SlotHeap::try_alloc(std::size_t size, std::size_t align) noexcept {
   for (Block* b = free_head_; b != nullptr; b = links(b)->next) {
     if (b->size() < need) continue;
     free_list_remove(b);
+    // Lift the quarantine on the whole candidate before split() writes a
+    // remainder header mid-block; split re-poisons the remainder when it
+    // returns it to the free list.
+    asan_unpoison_payload(b);
     Block* blk = split(b, need);
     notify_write(blk, sizeof(Block));
     blk->set(blk->size(), true);
@@ -269,6 +300,34 @@ std::size_t SlotHeap::capacity() const noexcept {
 std::size_t SlotHeap::bytes_in_use() const noexcept { return in_use_; }
 std::size_t SlotHeap::block_count() const noexcept { return blocks_; }
 std::size_t SlotHeap::high_water() const noexcept { return high_water_; }
+
+void SlotHeap::asan_reconcile(std::size_t slot_size) noexcept {
+#if APV_ASAN
+  // An unpack just rewrote slot bytes with raw (shadow-bypassing) copies, so
+  // the shadow no longer matches the heap: clear it across the whole slot,
+  // then rebuild the free-block quarantine from the (now authoritative)
+  // block chain.
+  APV_ASAN_UNPOISON(this, slot_size);
+  for (Block* b = first_block(); b != nullptr; b = next_physical(b)) {
+    if (!b->used()) asan_poison_free_interior(b);
+  }
+#else
+  (void)slot_size;
+#endif
+}
+
+void SlotHeap::asan_reconcile_if_present(void* base,
+                                         std::size_t slot_size) noexcept {
+#if APV_ASAN
+  APV_ASAN_UNPOISON(base, slot_size);
+  std::uint64_t magic;
+  std::memcpy(&magic, base, sizeof magic);
+  if (magic == kHeapMagic) static_cast<SlotHeap*>(base)->asan_reconcile(slot_size);
+#else
+  (void)base;
+  (void)slot_size;
+#endif
+}
 
 bool SlotHeap::check_integrity() const {
   if (magic_ != kHeapMagic) return false;

@@ -72,6 +72,21 @@ class SlotHeap {
   /// free blocks. Returns false (and logs) on any violation.
   bool check_integrity() const;
 
+  /// ASan shadow reconciliation after raw bytes were written over the slot
+  /// (migration/checkpoint unpack): unpoisons the whole slot, then walks the
+  /// block chain and re-poisons the interior of every free block (beyond its
+  /// in-band FreeLinks), restoring the quarantine invariant alloc/free
+  /// maintain incrementally. `slot_size` is the full slot extent so stale
+  /// shadow beyond the unpacked prefix is cleared too. No-op when ASan is
+  /// off.
+  void asan_reconcile(std::size_t slot_size) noexcept;
+
+  /// asan_reconcile for callers that do not know whether the slot holds a
+  /// formatted heap (generic unpack paths): checks the magic first and
+  /// simply unpoisons the slot when no heap is present.
+  static void asan_reconcile_if_present(void* base,
+                                        std::size_t slot_size) noexcept;
+
   /// Calls fn(payload, payload_size) for every live allocation, in address
   /// order. Used by PIEglobals' constructor-allocation pointer scans.
   template <typename Fn>
@@ -122,6 +137,12 @@ class SlotHeap {
   Block* next_physical(Block* b) noexcept;
   Block* prev_physical(Block* b) noexcept;
   FreeLinks* links(Block* b) noexcept;
+
+  /// Poison a free block's payload beyond its FreeLinks prefix (ASan
+  /// quarantine for freed rank-heap memory); inverse unpoisons the whole
+  /// payload before a block is handed back out or carved by split().
+  void asan_poison_free_interior(Block* b) noexcept;
+  void asan_unpoison_payload(Block* b) noexcept;
 
   void free_list_insert(Block* b) noexcept;
   void free_list_remove(Block* b) noexcept;

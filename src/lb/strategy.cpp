@@ -224,6 +224,10 @@ int migration_count(const LbStats& stats, const Assignment& assignment) {
   return moves;
 }
 
+// `ready_depth` entries are advisory snapshots (relaxed scheduler counter
+// reads taken by the caller, possibly already stale); this function must
+// therefore only ever *rank* PEs, never assume a depth is still accurate.
+// The chosen victim re-validates before surrendering a rank.
 int pick_steal_victim(const std::vector<std::size_t>& ready_depth, int self,
                       std::size_t min_ready) {
   int victim = -1;

@@ -244,7 +244,7 @@ int api_my_node(Env* e) {
 }
 
 void api_add_load(Env* e, double seconds) {
-  rm(e).busy_time_s += seconds;
+  rm(e).add_busy_time(seconds);
 }
 
 void api_compute(Env* e, double seconds) {

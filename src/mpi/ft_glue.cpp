@@ -178,7 +178,7 @@ void Runtime::recover_from_failure(RankMpi& rm, comm::PeId victim,
   stats.rank_pe.resize(static_cast<std::size_t>(config_.vps));
   for (int r = 0; r < config_.vps; ++r) {
     stats.rank_load[static_cast<std::size_t>(r)] = ranks_[
-        static_cast<std::size_t>(r)]->busy_time_s;
+        static_cast<std::size_t>(r)]->busy_time();
     stats.rank_pe[static_cast<std::size_t>(r)] = cluster_->location(r);
   }
   const ft::RecoveryPlan plan = ft::plan_recovery(

@@ -25,7 +25,7 @@ void Runtime::do_load_balance(RankMpi& rm, const std::string& strategy) {
   const int gtag = internal_tag(kCollLb, 0, seq);
   const int btag = internal_tag(kCollLb, 1, seq);
   std::vector<Entry> all(static_cast<std::size_t>(n));
-  const Entry mine{rm.busy_time_s, rm.resident_pe, 0};
+  const Entry mine{rm.busy_time(), rm.resident_pe, 0};
   if (me == 0) {
     all[0] = mine;
     for (int i = 1; i < n; ++i) {
@@ -74,7 +74,7 @@ void Runtime::do_load_balance(RankMpi& rm, const std::string& strategy) {
   ++rm.view_epoch;
 
   // New epoch for load measurement.
-  rm.busy_time_s = 0.0;
+  rm.busy_time_s.store(0.0, std::memory_order_relaxed);
 
   // Everyone has decided; quiesce, then move.
   do_barrier(rm, kCommWorld);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -97,7 +98,13 @@ struct RankMpi {
 
   comm::PeId migrate_dest = comm::kInvalidPe;
   bool ckpt_pending = false;     ///< checkpoint pack requested, not yet done
-  bool restore_pending = false;  ///< restore unpack requested, not yet done
+  /// Restore unpack requested, not yet done. Atomic because the recovery
+  /// leader polls it from another PE while the victim (on its dying PE's
+  /// thread) raises it just before parking for adoption; everything else
+  /// the leader consumes afterwards is published by the victim ULT's
+  /// Blocked state (release/acquire, see ult.hpp) and the checkpoint
+  /// store's mutex.
+  std::atomic<bool> restore_pending{false};
   bool restored = false;  ///< set by checkpoint-restore before resuming
   /// Monotonic checkpoint epoch counter. Lives here (ordinary heap, not in
   /// the slot) deliberately: a restore rewinds the slot but not this
@@ -113,8 +120,20 @@ struct RankMpi {
   std::uint32_t ckpt_chain_len = 0;
   bool force_full_ckpt = true;
 
-  // Load-balancing instrumentation.
-  double busy_time_s = 0.0;
+  // Load-balancing instrumentation. Atomic with a single-writer bump: only
+  // the rank's current resident PE thread accumulates (switch hook /
+  // close_run_slice, ordered across migration by the departure-side close),
+  // while cross-thread readers — steal victim scoring on another PE, the
+  // recovery leader's re-placement stats — take relaxed advisory snapshots;
+  // a stale value skews a placement heuristic, never correctness.
+  std::atomic<double> busy_time_s{0.0};
+  void add_busy_time(double s) noexcept {
+    busy_time_s.store(busy_time_s.load(std::memory_order_relaxed) + s,
+                      std::memory_order_relaxed);
+  }
+  double busy_time() const noexcept {
+    return busy_time_s.load(std::memory_order_relaxed);
+  }
 
   // Traffic counters.
   std::uint64_t sends = 0;

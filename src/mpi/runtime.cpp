@@ -109,7 +109,12 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
       if (env != nullptr) steal_s = env;
     }
     steal_on_ = (steal_s == "on" || steal_s == "1" || steal_s == "true") &&
-                cluster_->num_pes() > 1;
+                cluster_->num_pes() > 1 &&
+                // sched.policy=fifo is the seed-exact escape hatch: it
+                // already disarms lanes and preemption, and it dominates a
+                // suite-wide APV_SCHED_STEAL=on the same way — nothing may
+                // reorder or relocate ranks behind the seed schedule.
+                config_.options.get_string("sched.policy", "prio") != "fifo";
     steal_idle_ns_ = static_cast<std::uint64_t>(std::max<std::int64_t>(
                          1, config_.options.get_int("sched.steal_idle_us",
                                                     500))) *
@@ -142,8 +147,12 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
 
   cluster_->resize_location_table(config_.vps);
 
-  // Bring up every virtual rank: slot, heap, privatized view, ULT.
+  // Bring up every virtual rank: slot, heap, privatized view, ULT. If any
+  // rank is refused partway (e.g. PiPglobals past the namespace cap), the
+  // ones already built must be torn down here — a throwing constructor
+  // never reaches ~Runtime, and RankMpi does not own its RankContext.
   ranks_.reserve(static_cast<std::size_t>(config_.vps));
+  try {
   for (int r = 0; r < config_.vps; ++r) {
     const comm::PeId pe = initial_pe(r);
     const comm::NodeId node = cluster_->node_of(pe);
@@ -162,6 +171,16 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
     pe_state_[static_cast<std::size_t>(pe)].resident[r] = rm.get();
     cluster_->set_location(r, pe);
     ranks_.push_back(std::move(rm));
+  }
+  } catch (...) {
+    for (auto& rm : ranks_) {
+      if (rm->rc != nullptr) {
+        const comm::NodeId node = cluster_->node_of(rm->resident_pe);
+        privs_[static_cast<std::size_t>(node)]->destroy_rank(rm->rc);
+        rm->rc = nullptr;
+      }
+    }
+    throw;
   }
 
   // Seed every rank's placement view with the initial map. The views only
@@ -194,8 +213,8 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
       auto& ps = pe_state_[static_cast<std::size_t>(p)];
       const std::uint64_t now = util::wall_time_ns();
       if (ps.running != nullptr) {
-        ps.running->busy_time_s +=
-            static_cast<double>(now - ps.slice_start_ns) * 1e-9;
+        ps.running->add_busy_time(
+            static_cast<double>(now - ps.slice_start_ns) * 1e-9);
       }
       auto* rc = next ? static_cast<core::RankContext*>(next->user_data())
                       : nullptr;
@@ -206,6 +225,31 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
         [this, p](comm::Message&& msg) { dispatch(p, std::move(msg)); });
     pe.add_idle_hook([this, p] { close_run_slice(p); });
     if (steal_on_) pe.add_idle_hook([this, p] { maybe_steal(p); });
+    // Fail-fast teardown (checker abort mode, job timeout) abandons ranks
+    // parked mid-wait; their fiber stacks hold live heap objects (comm
+    // topologies, reduce scratch, payload handles) that plain teardown
+    // would leak. On orderly stop each PE resumes its parked residents one
+    // last time with the unwind flag armed, so the suspend point throws
+    // and the stack unwinds through its destructors (see UltUnwind).
+    // The drain walks this PE's resident map, not ranks_: residency and
+    // ULT state of residents are written only on this PE's thread, so the
+    // walk is race-free even while other PEs are still winding down
+    // (finished/resident_pe on ranks_ would race their owners' last acts).
+    pe.set_stop_drain([this, p] {
+      auto& ps = pe_state_[static_cast<std::size_t>(p)];
+      ult::Scheduler& sched = cluster_->pe(p).scheduler();
+      bool any = false;
+      for (const auto& [rank, rm] : ps.resident) {
+        ult::Ult* t = rm->rc != nullptr ? rm->rc->ult : nullptr;
+        if (t == nullptr || t->state() == ult::UltState::Done) continue;
+        t->request_unwind();
+        // Ready/Created ULTs are already queued (start() readied every
+        // rank); re-queueing would double-dispatch them.
+        if (t->state() == ult::UltState::Blocked) sched.ready(t);
+        any = true;
+      }
+      if (any) sched.run_until_quiescent();
+    });
   }
 
   init_time_s_ = init_timer.elapsed_s();
@@ -349,9 +393,16 @@ void Runtime::wait_finish() {
         const std::uint64_t switches = total_context_switches();
         bool all_blocked = true;
         for (const auto& rm : ranks_) {
-          if (rm->finished) continue;
-          if (!rm->waiting ||
-              rm->rc->ult->state() != ult::UltState::Blocked) {
+          // Acquire the ULT state FIRST (see ult.hpp): Blocked/Done is the
+          // publication point for everything the rank wrote before parking
+          // or exiting — reading waiting (and below, the wait-state
+          // provenance fields) only after that acquire is what makes this
+          // cross-thread scan race-free without per-field atomics. A rank
+          // caught mid-transition (Running/Ready) just makes this scan
+          // non-quiet; the next one re-checks.
+          const ult::UltState st = rm->rc->ult->state();
+          if (st == ult::UltState::Done) continue;  // finished
+          if (st != ult::UltState::Blocked || !rm->waiting) {
             all_blocked = false;
             break;
           }
@@ -360,7 +411,9 @@ void Runtime::wait_finish() {
         if (quiet && prior_scan_quiet && !reported) {
           std::vector<check::RankWait> waits;
           for (const auto& rm : ranks_) {
-            if (rm->finished) continue;
+            // all_blocked held twice in a row: every unfinished rank is
+            // parked, and the acquire below publishes its provenance fields.
+            if (rm->rc->ult->state() != ult::UltState::Blocked) continue;
             check::RankWait w;
             w.rank = rm->world_rank;
             w.blocked = true;
@@ -413,15 +466,21 @@ void Runtime::run() {
 void Runtime::dump_stuck_state() {
   std::fprintf(stderr, "[apv:mpi] job timeout post-mortem:\n");
   for (const auto& rm : ranks_) {
+    // Acquire the ULT state first: for parked (Blocked) and exited (Done)
+    // ranks — i.e. every rank of a genuinely wedged job — this publishes
+    // all the rank-written fields printed below (see ult.hpp). A rank
+    // caught actually Running at the coarse timeout gets a best-effort
+    // snapshot; the job is being torn down either way.
+    const ult::UltState st = rm->rc->ult->state();
     std::fprintf(stderr,
-                 "[apv:mpi]   rank %d on PE %d: finished=%d waiting=%d "
+                 "[apv:mpi]   rank %d on PE %d: state=%s waiting=%d "
                  "ckpt_pending=%d restore_pending=%d restored=%d "
                  "posted=%zu unexpected=%zu epoch=%u\n",
-                 rm->world_rank, rm->resident_pe, rm->finished ? 1 : 0,
+                 rm->world_rank, rm->resident_pe, ult::ult_state_name(st),
                  rm->waiting ? 1 : 0, rm->ckpt_pending ? 1 : 0,
                  rm->restore_pending ? 1 : 0, rm->restored ? 1 : 0,
                  rm->posted.size(), rm->unexpected.size(), rm->ft_epoch);
-    if (rm->finished) continue;
+    if (st == ult::UltState::Done) continue;
     // Provenance for the wedged rank: where it last entered a collective
     // and what it last posted — usually enough to name the mismatch without
     // rerunning under the checker.
@@ -643,8 +702,8 @@ void Runtime::close_run_slice(comm::PeId pe) {
   auto& ps = pe_state_[static_cast<std::size_t>(pe)];
   if (ps.running == nullptr) return;
   const std::uint64_t now = util::wall_time_ns();
-  ps.running->busy_time_s +=
-      static_cast<double>(now - ps.slice_start_ns) * 1e-9;
+  ps.running->add_busy_time(
+      static_cast<double>(now - ps.slice_start_ns) * 1e-9);
   ps.running = nullptr;
   ps.slice_start_ns = now;
 }
@@ -1066,8 +1125,16 @@ void Runtime::wake_coll_member(comm::PeId my_pe, RankMpi& member) {
   // member's own progress is at worst redundant — never lost: on its own
   // thread the member's check-then-suspend cannot interleave with the
   // dispatcher handling the wake message.
-  if (member.resident_pe == my_pe &&
-      comm::Pe::current() == &cluster_->pe(my_pe)) {
+  //
+  // The same-PE test keys on THIS PE's own resident map — single-writer,
+  // mutated only on this thread — not on member.resident_pe: that field is
+  // written by the destination PE's arrival handler when the member
+  // migrates mid-collective (steal), and reading it here would race
+  // (found by TSan). A member that already left simply takes the message
+  // path below, routed by the live location table.
+  if (comm::Pe::current() == &cluster_->pe(my_pe) &&
+      pe_state_[static_cast<std::size_t>(my_pe)].resident.count(
+          member.world_rank) != 0) {
     wake_if_waiting(member, ult::Lane::High);
     return;
   }
@@ -1104,7 +1171,19 @@ void Runtime::perform_migration_departure(comm::PeId pe, comm::RankId rank) {
     cluster_->pe(pe).post(std::move(retry));
     return;
   }
+  // Settle busy-time accounting before the rank can run elsewhere: if the
+  // open slice still names this rank, a later idle-hook close here would
+  // race the destination PE's switch hook writing the same busy_time_s
+  // (found by TSan; the steal path already closes for the same reason).
+  // The mailbox ship orders this close before the destination's resume.
+  close_run_slice(pe);
   const comm::PeId dest = rm.migrate_dest;
+  // Per-sender FIFO across the move: sends this rank already made may still
+  // sit in THIS PE's aggregation bins. Push them into the network before
+  // the image ships — the rank can only send again after its arrival
+  // dispatches, and every mailbox push here completes before the image's,
+  // so pre-move traffic stays ahead of post-move traffic on every path.
+  cluster_->flush_aggregation(pe);
   const comm::NodeId src_node = cluster_->node_of(pe);
   privs_[static_cast<std::size_t>(src_node)]->rank_departed(rm.rc);
   ps.resident.erase(it);
@@ -1201,7 +1280,12 @@ void Runtime::maybe_steal(comm::PeId pe) {
   }
   if (now - ps.idle_since_ns < steal_idle_ns_) return;
   // Genuinely idle past the threshold: pick the PE with the deepest ready
-  // backlog (depths are lock-free reads of each scheduler's counters).
+  // backlog. Depths are relaxed cross-thread reads of each scheduler's
+  // split counters (see Scheduler::ready_count) and may be stale or
+  // momentarily torn between the two cells; that is sound here because the
+  // value only *ranks* victims — the steal itself is a request message the
+  // victim re-validates against its authoritative queue before any rank
+  // moves (handle_steal_request nacks when nothing is actually stealable).
   std::vector<std::size_t> depth(static_cast<std::size_t>(
       cluster_->num_pes()));
   for (int p = 0; p < cluster_->num_pes(); ++p) {
@@ -1254,7 +1338,7 @@ void Runtime::handle_steal_request(comm::PeId pe, comm::PeId thief) {
       continue;
     if (rm->coll_depth > 0) continue;
     if (rm->rc->ult->state() != ult::UltState::Ready) continue;
-    if (best == nullptr || rm->busy_time_s > best->busy_time_s) best = rm;
+    if (best == nullptr || rm->busy_time() > best->busy_time()) best = rm;
   }
   if (best == nullptr || ps.resident.size() < 2) {
     nack();
@@ -1268,6 +1352,11 @@ void Runtime::handle_steal_request(comm::PeId pe, comm::PeId thief) {
   }
   ++ps.steals_out;
   const comm::RankId stolen = best->world_rank;
+  // Same per-sender FIFO flush as perform_migration_departure: a stolen
+  // sender's not-yet-flushed binned messages must enter the network before
+  // its image does, or sends it makes from the thief PE could overtake
+  // them (found by the inline-delivery FIFO test under APV_SCHED_STEAL).
+  cluster_->flush_aggregation(pe);
   // From here this is a migration departure with dest=thief. Setting
   // migrate_dest reuses the existing wake guards: no late message arrival
   // or stale kCtlCollWake can re-ready the ULT while its image is in
@@ -1485,6 +1574,27 @@ void Runtime::perform_ft_adopt(comm::PeId pe, comm::RankId rank,
     return;
   }
   const comm::PeId old_pe = rm.resident_pe;
+  // The dying PE's loop may still be draining the backlog it accepted
+  // before the leader declared it dead — and its thread was the last to
+  // touch everything adoption takes over: the slot bytes holding the parked
+  // ULT (its scheduler read the Ult's atomic state when parking it), the
+  // resident-map entry, the privatization method's per-rank hooks. Requeue
+  // until that loop has exited: run_loop's final running_ store (release)
+  // against this acquire load is the happens-before edge that licenses the
+  // plain-byte unpack and map surgery below (found by TSan). The wait is
+  // bounded — every rank on the dead PE is a parked victim, so its loop
+  // drains and halts without needing anything from us.
+  if (cluster_->pe(old_pe).running()) {
+    comm::Message retry;
+    retry.kind = comm::Message::Kind::Control;
+    retry.opcode = kCtlFtAdopt;
+    retry.tag = static_cast<std::int32_t>(epoch);
+    retry.src_pe = pe;
+    retry.dst_pe = pe;
+    retry.dst_rank = rank;
+    cluster_->pe(pe).post(std::move(retry));
+    return;
+  }
   const comm::NodeId old_node = cluster_->node_of(old_pe);
   privs_[static_cast<std::size_t>(old_node)]->rank_departed(rm.rc);
   pe_state_[static_cast<std::size_t>(old_pe)].resident.erase(rank);

@@ -3,6 +3,13 @@
 #include <cstdlib>
 #include <cstring>
 
+#if APV_SANITIZER_FIBERS
+#include <pthread.h>
+#if APV_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+#endif
+
 #include "util/error.hpp"
 
 #if defined(__x86_64__) && defined(APV_HAVE_ASM_CONTEXT)
@@ -23,6 +30,51 @@ namespace apv::ult {
 using util::ApvError;
 using util::ErrorCode;
 using util::require;
+
+#if APV_SANITIZER_FIBERS
+namespace {
+// Bounds of the calling OS thread's stack, for native (scheduler-side)
+// contexts: create_native may run on a different thread than the one that
+// later drives switches, so bounds are captured lazily at the first
+// departure, which by the scheduler discipline happens on the owning
+// thread. ASan needs them to track switches back onto the thread stack.
+void capture_thread_stack(const void** bottom, std::size_t* size) noexcept {
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) != 0) return;
+  void* addr = nullptr;
+  std::size_t sz = 0;
+  pthread_attr_getstack(&attr, &addr, &sz);
+  pthread_attr_destroy(&attr);
+  *bottom = addr;
+  *size = sz;
+}
+}  // namespace
+
+void Context::fiber_entry_shim(void* self) {
+  auto* ctx = static_cast<Context*>(self);
+#if APV_ASAN
+  // First entry of a fresh fiber: consume the switch the departing context
+  // started. No fake-stack handle exists yet (nullptr).
+  if (ctx->backend_ == ContextBackend::Asm)
+    __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+  ctx->san_entry_(ctx->san_arg_);
+  std::abort();  // entry functions must never return
+}
+
+void Context::san_prepare_switch(Context& to) noexcept {
+#if APV_TSAN
+  // Lazily adopt the driving thread's implicit fiber for native contexts.
+  // Each ULT context owns a created fiber; switching tells TSan the next
+  // accesses belong to that fiber's clock, so a rank resuming on another
+  // PE thread after migration is not a false cross-thread race.
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = __tsan_get_current_fiber();
+  if (to.tsan_fiber_ != nullptr) __tsan_switch_to_fiber(to.tsan_fiber_, 0);
+#else
+  (void)to;
+#endif
+}
+#endif  // APV_SANITIZER_FIBERS
 
 ContextBackend default_context_backend() noexcept {
 #if APV_ASM_AVAILABLE
@@ -68,6 +120,25 @@ void Context::create(void* stack_base, std::size_t stack_size, EntryFn entry,
           ErrorCode::InvalidArgument, "context stack too small");
   backend_ = backend;
   backend_set_ = true;
+
+#if APV_SANITIZER_FIBERS
+  san_stack_bottom_ = stack_base;
+  san_stack_size_ = stack_size;
+  san_exiting_ = false;
+  // Route the entry through the shim (ASan's first-entry finish call);
+  // the real entry/arg live in the Context, which unpacks at the same
+  // virtual address after migration, so the indirection migrates cleanly.
+  san_entry_ = entry;
+  san_arg_ = arg;
+  entry = &Context::fiber_entry_shim;
+  arg = this;
+#if APV_TSAN
+  if (tsan_fiber_owned_ && tsan_fiber_ != nullptr)
+    __tsan_destroy_fiber(tsan_fiber_);  // context reused for a fresh ULT
+  tsan_fiber_ = __tsan_create_fiber(0);
+  tsan_fiber_owned_ = true;
+#endif
+#endif
 
   if (backend == ContextBackend::Ucontext) {
     if (getcontext(&uc_) != 0)
@@ -122,13 +193,41 @@ void Context::switch_to(Context& to) {
           "switching uninitialized context");
   require(backend_ == to.backend_, ErrorCode::InvalidArgument,
           "cannot switch between different context backends");
+#if APV_SANITIZER_FIBERS
+#if APV_ASAN
+  // ASan fiber protocol, for the asm backend only — the ucontext backend is
+  // handled by ASan's own swapcontext interceptor, and double bookkeeping
+  // corrupts its stack tracking. `fake` lives in this frame, which is
+  // exactly the frame that resumes when some later switch restores *this*,
+  // so the handle round-trips without a field. An exiting context passes
+  // nullptr so ASan releases its fake-stack state instead of saving it.
+  void* fake = nullptr;
+  const bool asan_annotate = backend_ == ContextBackend::Asm;
+  if (asan_annotate) {
+    if (san_stack_bottom_ == nullptr)
+      capture_thread_stack(&san_stack_bottom_, &san_stack_size_);
+    if (to.san_stack_bottom_ == nullptr)
+      capture_thread_stack(&to.san_stack_bottom_, &to.san_stack_size_);
+    __sanitizer_start_switch_fiber(san_exiting_ ? nullptr : &fake,
+                                   to.san_stack_bottom_, to.san_stack_size_);
+  }
+#endif
+  san_prepare_switch(to);  // TSan fiber switch (both backends)
+#endif
   if (backend_ == ContextBackend::Ucontext) {
     if (swapcontext(&uc_, &to.uc_) != 0)
       throw ApvError(ErrorCode::Internal, "swapcontext failed");
+#if APV_ASAN
+    // (ucontext resume: interceptor already restored stack bookkeeping.)
+#endif
     return;
   }
 #if APV_ASM_AVAILABLE
   apv_context_switch_asm(&asm_sp_, to.asm_sp_);
+#if APV_ASAN
+  // Resumed: consume the switch that landed back on this context's stack.
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
 #else
   throw ApvError(ErrorCode::NotSupported, "asm context backend not built");
 #endif

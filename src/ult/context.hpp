@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/sanitizers.hpp"
+
 namespace apv::ult {
 
 /// Which low-level context-switch implementation backs a Context.
@@ -59,6 +61,31 @@ class Context {
   bool valid() const noexcept { return backend_set_; }
   ContextBackend backend() const noexcept { return backend_; }
 
+  /// Marks this context as departing for the last time: the next switch_to
+  /// out of it tells ASan to release (not save) its fake-stack state. The
+  /// scheduler calls this for ULTs exiting through exit_current. No-op
+  /// without sanitizers.
+  void mark_exiting() noexcept {
+#if APV_SANITIZER_FIBERS
+    san_exiting_ = true;
+#else
+    // nothing: keep the call site branch-free in plain builds
+#endif
+  }
+
+  /// Retires sanitizer per-fiber state after the context's ULT finished
+  /// (TSan fiber destruction). Must not be called for the running context.
+  /// No-op without sanitizers.
+  void retire_fiber() noexcept {
+#if APV_TSAN
+    if (tsan_fiber_owned_ && tsan_fiber_ != nullptr) {
+      __tsan_destroy_fiber(tsan_fiber_);
+      tsan_fiber_ = nullptr;
+      tsan_fiber_owned_ = false;
+    }
+#endif
+  }
+
  private:
   // Entry shim for the ucontext backend: makecontext can only pass ints, so
   // the entry function/argument live in the Context whose address is split
@@ -71,6 +98,26 @@ class Context {
   ucontext_t uc_;                    // Ucontext: saved machine context
   EntryFn uc_entry_ = nullptr;       // Ucontext: deferred start record
   void* uc_arg_ = nullptr;
+
+#if APV_SANITIZER_FIBERS
+  // Sanitizer fiber bookkeeping (absent — not just unused — in plain
+  // builds, so Context's size and layout are unchanged when sanitizers are
+  // off). All pointers stay valid across migration: slot images unpack at
+  // identical virtual addresses in the same process, and the TSan fiber
+  // object lives on the host heap.
+  static void fiber_entry_shim(void* self);
+  void san_prepare_switch(Context& to) noexcept;
+
+  const void* san_stack_bottom_ = nullptr;  // fiber stack; native: lazily
+  std::size_t san_stack_size_ = 0;          //   captured driving-thread stack
+  EntryFn san_entry_ = nullptr;             // real entry behind the shim
+  void* san_arg_ = nullptr;
+  bool san_exiting_ = false;  // next departure is final (exit_current)
+#if APV_TSAN
+  void* tsan_fiber_ = nullptr;  // owned iff created via create()
+  bool tsan_fiber_owned_ = false;
+#endif
+#endif
 };
 
 }  // namespace apv::ult

@@ -69,7 +69,15 @@ Ult::Ult(Id id, Body body, void* arg, void* stack_base,
 
 void Ult::entry_thunk(void* self) {
   auto* t = static_cast<Ult*>(self);
-  t->body_(t->arg_);
+  try {
+    // A never-started ULT dispatched by the stop-drain has nothing on its
+    // stack to unwind; skip the body instead of running it against a
+    // half-torn-down runtime.
+    if (!t->unwind_requested()) t->body_(t->arg_);
+  } catch (const UltUnwind&) {
+    // Forced unwind from a suspend point: the throw already ran the
+    // abandoned frames' destructors, which is all the drain wanted.
+  }
   Scheduler* sched = current_scheduler();
   if (sched == nullptr) std::abort();  // ULT ran outside any scheduler
   sched->exit_current();
@@ -203,9 +211,10 @@ void Scheduler::enter(Ult* next) {
   for (auto& [id, hook] : hooks_) hook(next);
   next->set_state(UltState::Running);
   current_ = next;
-  ++switches_;
+  bump(switches_);
   if (preempt_armed_) slice_start_ns_ = util::wall_time_ns();
   sched_ctx_.switch_to(next->context());
+  if (next->state() == UltState::Done) next->context().retire_fiber();
   current_ = nullptr;
   g_current_scheduler = outer;
 }
@@ -250,11 +259,26 @@ void Scheduler::yield() {
   self->set_ready_lane(Lane::Normal);
   push_local(self, Lane::Normal);
   leave_current(UltState::Ready);
+  // Resumed. Check unwind via `self`, not `this`: a migrated ULT resumes on
+  // another PE's scheduler, and the Ult object (slot-resident, same VA
+  // everywhere) is the only safe thing to touch in this frame.
+  if (self->unwind_requested()) throw UltUnwind{};
 }
 
-void Scheduler::suspend() { leave_current(UltState::Blocked); }
+void Scheduler::suspend() {
+  Ult* self = current_;
+  leave_current(UltState::Blocked);
+  // Resumed (see yield() for why `self` and not `this`). A stop-drain
+  // resume turns this suspend point into the unwind origin.
+  if (self->unwind_requested()) throw UltUnwind{};
+}
 
 void Scheduler::exit_current() {
+  Ult* self = current_;
+  require(self != nullptr, ErrorCode::BadState, "exit outside a ULT");
+  // Final departure: tell the sanitizers this fiber's stack state can be
+  // released rather than saved (no-op in plain builds).
+  self->context().mark_exiting();
   leave_current(UltState::Done);
   std::abort();  // a Done ULT must never be resumed
 }
@@ -276,6 +300,7 @@ void Scheduler::preempt_check() {
   push_local(self, Lane::Bulk);
   leave_current(UltState::Ready);
   // Resumed: enter() restamped slice_start_ns_.
+  if (self->unwind_requested()) throw UltUnwind{};
 }
 
 int Scheduler::add_switch_hook(SwitchHook hook) {

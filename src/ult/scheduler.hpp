@@ -84,6 +84,17 @@ class Scheduler {
 
   /// Queued ULTs (all lanes + undrained cross-thread pushes). Lock-free;
   /// safe from any thread (steal victim selection reads peers' depths).
+  ///
+  /// Memory order (audited under TSan, see DESIGN.md §14): both loads are
+  /// deliberately relaxed. local_n_ is exact only on the owner thread;
+  /// remote_n_ is bumped by producers before their Treiber push and
+  /// decremented by the draining owner, so a cross-thread reader can see
+  /// the two cells at slightly different instants. The only cross-thread
+  /// consumer is steal-victim selection, an advisory depth *estimate* — a
+  /// stale read picks a marginally worse victim, never corrupts state, and
+  /// the thief re-validates with the victim before any rank moves. The
+  /// owner-thread read in idle_wait is exact because the owner is the only
+  /// writer of local_n_ and drains remote_n_ itself.
   std::size_t ready_count() const noexcept {
     return static_cast<std::size_t>(
         local_n_.load(std::memory_order_relaxed) +
@@ -127,8 +138,14 @@ class Scheduler {
   int add_switch_hook(SwitchHook hook);
   void remove_switch_hook(int id);
 
-  /// Total number of scheduler→ULT transfers performed.
-  std::uint64_t switch_count() const noexcept { return switches_; }
+  /// Total number of scheduler→ULT transfers performed. Single-writer
+  /// (the owner thread bumps in enter()); cross-thread readers (the
+  /// deadlock scanner summing all PEs) get a relaxed value-only snapshot —
+  /// the scanner compares totals across scans, it never consumes memory
+  /// the count "protects".
+  std::uint64_t switch_count() const noexcept {
+    return switches_.load(std::memory_order_relaxed);
+  }
 
   // --- instrumentation (single-writer bumps; readable from any thread) ----
   std::uint64_t lane_dispatches(Lane lane) const noexcept {
@@ -165,7 +182,7 @@ class Scheduler {
   std::uint64_t quantum_ns_ = 0;
   Context sched_ctx_;
   Ult* current_ = nullptr;
-  std::uint64_t switches_ = 0;
+  std::atomic<std::uint64_t> switches_{0};
   std::uint64_t slice_start_ns_ = 0;
   int hi_streak_ = 0;
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -18,6 +19,15 @@ enum class UltState : std::uint8_t {
 
 /// Stable string form of an UltState.
 const char* ult_state_name(UltState state) noexcept;
+
+/// Thrown out of a suspend point (suspend/yield/preempt) when a parked ULT
+/// is resumed with its unwind flag set: the PE's stop-drain uses this to
+/// run the abandoned stack's destructors before teardown frees the fibers
+/// (a parked rank mid-collective otherwise leaks every heap object its
+/// frames hold). Deliberately NOT derived from std::exception so rank-body
+/// failure handlers pass it through untouched; only the entry thunk
+/// catches it.
+struct UltUnwind {};
 
 /// Runqueue lane a ready ULT is queued on. Lower values dispatch first
 /// (bitmap-selected in Scheduler::pop_ready, RROS-style): High carries
@@ -52,8 +62,18 @@ class Ult {
   Ult& operator=(const Ult&) = delete;
 
   Id id() const noexcept { return id_; }
-  UltState state() const noexcept { return state_; }
-  void set_state(UltState state) noexcept { state_ = state; }
+  /// Release/acquire pair (audited under TSan, see DESIGN.md §14): the
+  /// owning scheduler's set_state(Blocked) is the publication point for
+  /// everything the ULT wrote before parking — saved context, stack, rank
+  /// flags. A cross-thread observer (the recovery leader polling for a
+  /// victim to park, destroy_rank's liveness check) that acquires the
+  /// Blocked read may then safely consume all of it.
+  UltState state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+  void set_state(UltState state) noexcept {
+    state_.store(state, std::memory_order_release);
+  }
 
   Context& context() noexcept { return context_; }
   void* stack_base() const noexcept { return stack_base_; }
@@ -68,6 +88,13 @@ class Ult {
   Lane ready_lane() const noexcept { return ready_lane_; }
   void set_ready_lane(Lane lane) noexcept { ready_lane_ = lane; }
 
+  /// Arms forced unwinding: the next time this ULT runs, its suspend point
+  /// throws UltUnwind (a never-started body is skipped outright). Set only
+  /// by the PE stop-drain, on the owning scheduler's thread, while the ULT
+  /// is parked.
+  void request_unwind() noexcept { unwind_requested_ = true; }
+  bool unwind_requested() const noexcept { return unwind_requested_; }
+
  private:
   static void entry_thunk(void* self);
 
@@ -76,8 +103,9 @@ class Ult {
   void* arg_;
   void* stack_base_;
   std::size_t stack_size_;
-  UltState state_ = UltState::Created;
+  std::atomic<UltState> state_{UltState::Created};
   Lane ready_lane_ = Lane::Normal;
+  bool unwind_requested_ = false;
   void* user_data_ = nullptr;
   Context context_;
 

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/sanitizers.hpp"
+
 namespace apv::util {
 
 /// Rounds `value` up to the next multiple of `alignment` (a power of two).
@@ -43,6 +45,16 @@ class ByteBuffer {
   void put_bytes(const void* src, std::size_t n) {
     const auto* p = static_cast<const std::byte*>(src);
     data_.insert(data_.end(), p, p + n);
+  }
+
+  /// put_bytes for sources that may carry ASan-poisoned ranges: packing a
+  /// slot prefix legitimately copies quarantined (freed) heap blocks, so
+  /// the copy must bypass shadow checks. Identical to put_bytes in plain
+  /// builds.
+  void put_bytes_raw(const void* src, std::size_t n) {
+    const std::size_t old = data_.size();
+    data_.resize(old + n);
+    raw_memcpy(data_.data() + old, src, n);
   }
 
   template <typename T>
@@ -93,6 +105,15 @@ class ByteReader {
 
   void get_bytes(void* dst, std::size_t n) {
     std::memcpy(dst, data_ + cursor_, n);
+    cursor_ += n;
+  }
+
+  /// get_bytes for destinations that may carry ASan-poisoned ranges
+  /// (unpacking over a slot whose previous heap state quarantined freed
+  /// blocks). Identical to get_bytes in plain builds; the caller reconciles
+  /// shadow afterwards (SlotHeap::asan_reconcile).
+  void get_bytes_raw(void* dst, std::size_t n) {
+    raw_memcpy(dst, data_ + cursor_, n);
     cursor_ += n;
   }
 

@@ -23,6 +23,7 @@
 #include "isomalloc/slot_heap.hpp"
 #include "mpi/runtime.hpp"
 #include "util/error.hpp"
+#include "util/sanitizers.hpp"
 #include "util/stats.hpp"
 
 using namespace apv;
@@ -505,25 +506,27 @@ struct DeltaChainRig {
   }
 
   // Wrecks the slot, applies `chain` in order, and compares the prefix
-  // against `expect`.
+  // against `expect`. Raw (unsanitized) copies throughout: the slot's freed
+  // heap interiors are ASan-quarantined — the wreck deliberately scribbles
+  // into them, and the restored prefix legitimately spans them.
   void verify_chain_restores(const std::vector<comm::Payload>& chain,
                              const std::vector<unsigned char>& expect) {
-    std::memset(arena.slot_base(slot), 0xEE, arena.slot_size());
+    util::raw_memset(arena.slot_base(slot), 0xEE, arena.slot_size());
     for (const comm::Payload& img : chain) {
       util::ByteReader r(img.data(), img.size());
       iso::unpack_slot(arena, slot, r);
     }
     ASSERT_EQ(expect.size(), prefix());
-    EXPECT_EQ(std::memcmp(expect.data(), arena.slot_base(slot),
-                          expect.size()),
-              0);
+    std::vector<unsigned char> got(expect.size());
+    util::raw_memcpy(got.data(), arena.slot_base(slot), got.size());
+    EXPECT_EQ(std::memcmp(expect.data(), got.data(), expect.size()), 0);
     EXPECT_TRUE(
         iso::SlotHeap::at(arena.slot_base(slot))->check_integrity());
   }
 
   std::vector<unsigned char> snapshot_prefix() const {
     std::vector<unsigned char> out(prefix());
-    std::memcpy(out.data(), arena.slot_base(slot), out.size());
+    util::raw_memcpy(out.data(), arena.slot_base(slot), out.size());
     return out;
   }
 };

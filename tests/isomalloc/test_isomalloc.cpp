@@ -298,13 +298,19 @@ TEST(Pack, UnpackPoisonsBeyondCarriedPrefix) {
   util::ByteBuffer buf;
   iso::pack_slot(arena, slot, iso::PackMode::Touched, buf);
   // Scribble past the high-water mark, then unpack: the scribble must be
-  // poisoned away (a real migration would never have carried it).
+  // overwritten with the pack-poison byte (a real migration would never
+  // have carried it). The raw helpers bypass ASan: that region is free
+  // heap, quarantined under -DAPV_SANITIZE=address, and the scribble is
+  // deliberate test machinery, not a rank access.
   char* past = static_cast<char*>(arena.slot_base(slot)) +
                heap->high_water() + 64;
-  *past = 77;
+  const char scribble = 77;
+  util::raw_memcpy(past, &scribble, 1);
   buf.rewind();
   iso::unpack_slot(arena, slot, buf);
-  EXPECT_EQ(static_cast<unsigned char>(*past), 0xDBu);
+  unsigned char got = 0;
+  util::raw_memcpy(&got, past, 1);
+  EXPECT_EQ(got, 0xDBu);
 }
 
 TEST(Pack, CorruptStreamRejected) {
@@ -512,20 +518,26 @@ TEST(Pack, DeltaChainRestoresBitIdenticalBytes) {
   EXPECT_FALSE(iso::packed_image_is_delta(util::ByteReader(base)));
 
   // Snapshot the live prefix, wreck the slot, then materialize the chain.
+  // Raw helpers throughout: the prefix spans quarantined free-block
+  // interiors, and the wreck-and-verify is test machinery, not rank code.
   std::vector<unsigned char> expect(prefix);
-  std::memcpy(expect.data(), arena.slot_base(slot), prefix);
-  std::memset(arena.slot_base(slot), 0xEE, arena.slot_size());
+  util::raw_memcpy(expect.data(), arena.slot_base(slot), prefix);
+  util::raw_memset(arena.slot_base(slot), 0xEE, arena.slot_size());
   base.rewind();
   iso::unpack_slot(arena, slot, base);
   delta.rewind();
   iso::unpack_slot(arena, slot, delta);
 
-  EXPECT_EQ(std::memcmp(expect.data(), arena.slot_base(slot), prefix), 0);
+  std::vector<unsigned char> got(prefix);
+  util::raw_memcpy(got.data(), arena.slot_base(slot), prefix);
+  EXPECT_EQ(std::memcmp(expect.data(), got.data(), prefix), 0);
   EXPECT_TRUE(iso::SlotHeap::at(arena.slot_base(slot))->check_integrity());
   // Bytes the chain never carried are poison, not the wrecked 0xEE.
   const auto* past =
       static_cast<unsigned char*>(arena.slot_base(slot)) + prefix + 64;
-  EXPECT_EQ(*past, 0xDBu);
+  unsigned char past_byte = 0;
+  util::raw_memcpy(&past_byte, past, 1);
+  EXPECT_EQ(past_byte, 0xDBu);
 }
 
 TEST(Pack, FoldedDeltaMatchesDirectChainApplication) {
@@ -554,22 +566,24 @@ TEST(Pack, FoldedDeltaMatchesDirectChainApplication) {
                             folded);
   EXPECT_FALSE(iso::packed_image_is_delta(util::ByteReader(folded)));
 
-  // Apply the chain directly, snapshot the whole slot...
-  std::memset(arena.slot_base(slot), 0xEE, arena.slot_size());
+  // Apply the chain directly, snapshot the whole slot (raw: the snapshot
+  // spans quarantined free heap, and the wrecks are test machinery)...
+  util::raw_memset(arena.slot_base(slot), 0xEE, arena.slot_size());
   base.rewind();
   iso::unpack_slot(arena, slot, base);
   delta.rewind();
   iso::unpack_slot(arena, slot, delta);
   std::vector<unsigned char> direct(arena.slot_size());
-  std::memcpy(direct.data(), arena.slot_base(slot), arena.slot_size());
+  util::raw_memcpy(direct.data(), arena.slot_base(slot), arena.slot_size());
 
   // ...then unpack the folded image into a re-wrecked slot: every byte of
   // the slot must match, poison included.
-  std::memset(arena.slot_base(slot), 0xCC, arena.slot_size());
+  util::raw_memset(arena.slot_base(slot), 0xCC, arena.slot_size());
   folded.rewind();
   iso::unpack_slot(arena, slot, folded);
-  EXPECT_EQ(std::memcmp(direct.data(), arena.slot_base(slot),
-                        arena.slot_size()),
+  std::vector<unsigned char> refolded(arena.slot_size());
+  util::raw_memcpy(refolded.data(), arena.slot_base(slot), arena.slot_size());
+  EXPECT_EQ(std::memcmp(direct.data(), refolded.data(), arena.slot_size()),
             0);
   EXPECT_TRUE(iso::SlotHeap::at(arena.slot_base(slot))->check_integrity());
 }

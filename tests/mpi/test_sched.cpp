@@ -35,17 +35,19 @@ void* ring_mix_main(void* arg) {
   const int n = env->size();
   const int right = (me + 1) % n;
   const int left = (me + n - 1) % n;
-  std::intptr_t sum = 0;
+  // Unsigned accumulator: the rolling checksum wraps by design after a few
+  // dozen hops, which is UB on a signed type (UBSan: signed overflow).
+  std::uintptr_t sum = 0;
   for (int i = 0; i < 24; ++i) {
     int out = me * 1000 + i;
     int in = -1;
     env->sendrecv(&out, 1, Datatype::Int, right, 3, &in, 1, Datatype::Int,
                   left, 3);
-    sum = sum * 31 + in;
+    sum = sum * 31 + static_cast<unsigned>(in);
     if (i % 6 == 5) {
-      long v = sum % 9973, total = 0;
+      long v = static_cast<long>(sum % 9973), total = 0;
       env->allreduce(&v, &total, 1, Datatype::Long, mpi::Op::builtin(mpi::OpKind::Sum));
-      sum += total;
+      sum += static_cast<std::uintptr_t>(total);
     }
   }
   env->barrier();
@@ -156,19 +158,21 @@ void* checker_mix_main(void* arg) {
   const int n = env->size();
   const int right = (me + 1) % n;
   const int left = (me + n - 1) % n;
-  std::intptr_t sum = 0;
+  // Unsigned accumulator, same rationale as ring_mix_main: the checksum
+  // wraps by design, which a signed type makes UB.
+  std::uintptr_t sum = 0;
   for (int i = 0; i < 12; ++i) {
     env->compute(0.0005);
     int out = me * 1000 + i;
     int in = -1;
     env->sendrecv(&out, 1, Datatype::Int, right, 3, &in, 1, Datatype::Int,
                   left, 3);
-    sum = sum * 31 + in;
+    sum = sum * 31 + static_cast<unsigned>(in);
     if (i % 4 == 3) {
-      long v = sum % 9973, total = 0;
+      long v = static_cast<long>(sum % 9973), total = 0;
       env->allreduce(&v, &total, 1, Datatype::Long,
                      mpi::Op::builtin(mpi::OpKind::Sum));
-      sum += total;
+      sum += static_cast<std::uintptr_t>(total);
     }
   }
   env->barrier();

@@ -1,0 +1,41 @@
+// Corpus: mutex scopes spanning suspension-legal calls. A rank that
+// switches out holding a mutex can deadlock its whole PE (every co-located
+// rank shares the OS thread). NOT compiled; consumed by `apv-lint
+// --self-test`.
+
+#include <mutex>
+
+namespace app {
+
+inline std::mutex& table_mutex();
+struct Env {
+  void barrier();
+  void send(const void* b, int n, int dt, int dst, int tag);
+  void compute(double s);
+};
+
+inline void bad_guard(Env* env) {
+  std::lock_guard<std::mutex> lock(table_mutex());
+  env->barrier();  // LINT[lock-across-suspend]
+}
+
+inline void bad_unique(Env* env, const int* buf) {
+  std::unique_lock<std::mutex> lk(table_mutex());
+  env->send(buf, 4, 0, 1, 7);  // LINT[lock-across-suspend]
+  lk.unlock();
+}
+
+inline void ok_released_before(Env* env) {
+  {
+    std::lock_guard<std::mutex> lock(table_mutex());
+    // critical section only
+  }
+  env->barrier();  // lock scope already closed: clean
+}
+
+inline void ok_no_suspend() {
+  std::lock_guard<std::mutex> lock(table_mutex());
+  // pure local work under the lock is fine
+}
+
+}  // namespace app

@@ -1,0 +1,37 @@
+// Corpus: mutable shared state that rank-global must flag. Each tagged line
+// is the Figure 3 bug in one of its shapes — state that co-located virtual
+// ranks would silently share. NOT compiled; consumed by `apv-lint
+// --self-test`.
+
+#include <cstdint>
+
+int my_rank = -1;  // LINT[rank-global]
+
+namespace app {
+
+int num_ranks;  // LINT[rank-global]
+double residual = 0.0;  // LINT[rank-global]
+int iteration_counts[8];  // LINT[rank-global]
+
+// Exempt shapes: immutable, annotated, or not state at all.
+const int kTableSize = 64;
+constexpr double kTolerance = 1e-9;
+thread_local int tls_scratch = 0;  // TLSglobals annotation
+extern int defined_elsewhere;
+static_assert(kTableSize > 0);
+
+struct Config {
+  int width = 0;  // member, not file scope
+};
+
+inline int helper(int x) { return x + kTableSize; }
+
+void* rank_main(void* arg) {
+  static std::int64_t call_count = 0;  // LINT[rank-global]
+  static const int kLocalTable = 3;    // const static: fine
+  ++call_count;
+  (void)arg;
+  return nullptr;
+}
+
+}  // namespace app

@@ -1,0 +1,38 @@
+// Corpus: raw payload views used across suspension-legal calls. Pooled
+// payload buffers may be recycled while the rank is switched out (and under
+// ASan the quarantine makes such a use die loudly). NOT compiled; consumed
+// by `apv-lint --self-test`.
+
+#include <cstddef>
+
+namespace app {
+
+struct Payload {
+  std::byte* data();
+  static Payload view(const Payload& parent, std::size_t off, std::size_t n);
+};
+struct Env {
+  void barrier();
+  void yield();
+};
+
+inline int bad_data_across_barrier(Env* env, Payload& msg) {
+  std::byte* bytes = msg.data();
+  env->barrier();
+  return static_cast<int>(bytes[0]);  // LINT[view-across-suspend]
+}
+
+inline void bad_view_across_yield(Env* env, Payload& msg) {
+  Payload slice = Payload::view(msg, 8, 16);
+  env->yield();
+  (void)slice;  // LINT[view-across-suspend]
+}
+
+inline int ok_use_before_suspend(Env* env, Payload& msg) {
+  std::byte* bytes = msg.data();
+  const int v = static_cast<int>(bytes[0]);  // consumed before suspending
+  env->barrier();
+  return v;
+}
+
+}  // namespace app

@@ -1,0 +1,30 @@
+// Corpus: every rule violated but suppressed with an explicit annotation —
+// proves `// apv-lint: allow(<rule>)` works on the same line and on the
+// preceding line. Must lint clean. NOT compiled.
+
+#include <cstddef>
+#include <mutex>
+
+int debug_dump_level = 0;  // apv-lint: allow(rank-global)
+
+namespace app {
+
+// apv-lint: allow(rank-global)
+int shared_scratch[16];
+
+inline std::mutex& m();
+struct Payload {
+  std::byte* data();
+};
+struct Env {
+  void barrier();
+};
+
+inline int annotated(Env* env, Payload& msg) {
+  std::lock_guard<std::mutex> lock(m());
+  std::byte* bytes = msg.data();
+  env->barrier();  // apv-lint: allow(lock-across-suspend)
+  return static_cast<int>(bytes[0]);  // apv-lint: allow(view-across-suspend)
+}
+
+}  // namespace app

@@ -1,0 +1,49 @@
+// Corpus: idiomatic APV rank code — privatized globals via Env handles,
+// locks released before suspending, views consumed before suspension.
+// Must lint clean. NOT compiled (mirrors tests/test_programs.hpp idiom).
+
+#include <cstdint>
+#include <mutex>
+
+namespace app {
+
+constexpr int kIterations = 100;
+const double kOmega = 1.8;
+thread_local int tls_tagged = 0;
+
+struct Env {
+  template <typename T>
+  struct Handle {
+    T get() const;
+    void set(const T&);
+  };
+  template <typename T>
+  Handle<T> global(const char* name);
+  int rank() const;
+  void barrier();
+  void compute(double s);
+};
+
+inline void* rank_main(void* arg) {
+  auto* env = static_cast<Env*>(arg);
+  auto my_rank = env->global<int>("my_rank");
+  my_rank.set(env->rank());
+  for (int i = 0; i < kIterations; ++i) {
+    env->compute(0.001);
+    env->barrier();
+  }
+  return reinterpret_cast<void*>(
+      static_cast<std::intptr_t>(my_rank.get()));
+}
+
+inline int guarded_then_suspend(Env* env, std::mutex& m, int* shared) {
+  int copy;
+  {
+    std::lock_guard<std::mutex> lock(m);
+    copy = *shared;
+  }
+  env->barrier();
+  return copy;
+}
+
+}  // namespace app
