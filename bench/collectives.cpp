@@ -12,9 +12,13 @@
 //   naive — coll.algo=naive: the seed's flat rank-level algorithms
 //
 // Also times a same-PE inline ping-pong (pre-posted receives, so every send
-// hits the user-buffer fast path) against comm.inline=off. Prints a table
-// and writes BENCH_collectives.json; `--quick` shrinks iteration counts for
-// CI smoke runs.
+// hits the user-buffer fast path) against comm.inline=off, and runs an
+// mpptest-style sweep: bcast and reduce over every combination of root
+// position (first / middle / last), message size (4 B .. 64 KiB), and
+// communicator subset (world, contiguous halves, contiguous quarters — the
+// subsets run concurrently, so the sweep sees realistic contention).
+// Prints a table and writes BENCH_collectives.json; `--quick` shrinks
+// iteration counts for CI smoke runs.
 
 #include <algorithm>
 #include <cstdio>
@@ -195,6 +199,78 @@ PpResult run_pingpong(int reps, bool inline_on) {
   return r;
 }
 
+// --- mpptest-style sweep ----------------------------------------------------
+//
+// One Runtime run per (collective, subset shape); inside it every rank
+// joins its subset communicator and the whole grid of root positions x
+// sizes is timed back to back. Results land in a process-level array (the
+// ranks are ULTs in this address space) written only by rank 0's subset,
+// read by main after the runtime joins.
+
+constexpr int kSweepRoots = 3;             // first, middle, last
+constexpr int kSweepSizes = 4;             // 4 B, 256 B, 4 KiB, 64 KiB
+const int kSweepCounts[kSweepSizes] = {1, 64, 1024, 16384};
+double g_sweep_us[kSweepRoots * kSweepSizes];
+
+void* sweep_main(void* arg) {
+  auto* env = static_cast<mpi::Env*>(arg);
+  const int kind = env->global<int>("coll_kind").get();
+  const int parts = env->global<int>("subset_parts").get();
+  const int iters = env->global<int>("iters").get();
+  const int per = env->size() / parts;
+  const int color = env->rank() / per;
+
+  mpi::CommId comm = mpi::kCommWorld;
+  if (parts > 1)
+    comm = env->comm_split(mpi::kCommWorld, color, env->rank() % per);
+  const int csize = env->size(comm);
+  const int roots[kSweepRoots] = {0, csize / 2, csize - 1};
+
+  std::vector<int> in(static_cast<std::size_t>(kSweepCounts[kSweepSizes - 1]),
+                      env->rank() + 1);
+  std::vector<int> out(in.size(), 0);
+  for (int ri = 0; ri < kSweepRoots; ++ri) {
+    for (int si = 0; si < kSweepSizes; ++si) {
+      const int count = kSweepCounts[si];
+      const int reps = count > 1024 ? std::max(1, iters / 8) : iters;
+      env->barrier(comm);
+      const double t0 = env->wtime();
+      for (int i = 0; i < reps; ++i) {
+        if (kind == kBenchBcast)
+          env->bcast(in.data(), count, mpi::Datatype::Int, roots[ri], comm);
+        else
+          env->reduce(in.data(), out.data(), count, mpi::Datatype::Int,
+                      mpi::Op::builtin(mpi::OpKind::Sum), roots[ri], comm);
+      }
+      const double us = (env->wtime() - t0) / reps * 1e6;
+      env->barrier(comm);
+      // The subset containing world rank 0 reports; the others exist to
+      // contend for the PEs, as concurrent subsets do in a real job.
+      if (env->rank() == 0) g_sweep_us[ri * kSweepSizes + si] = us;
+    }
+  }
+  if (parts > 1) env->comm_free(comm);
+  env->barrier();
+  return nullptr;
+}
+
+void run_sweep_case(int kind, int parts, int iters) {
+  img::ImageBuilder b("collsweep");
+  b.add_global<int>("coll_kind", kind);
+  b.add_global<int>("subset_parts", parts);
+  b.add_global<int>("iters", iters);
+  b.add_function("mpi_main", &sweep_main);
+  const img::ProgramImage image = b.build();
+  mpi::RuntimeConfig cfg;
+  cfg.nodes = 1;
+  cfg.pes_per_node = kPes;
+  cfg.vps = kVps;
+  cfg.method = core::Method::None;
+  cfg.slot_bytes = std::size_t{4} << 20;
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,12 +357,53 @@ int main(int argc, char** argv) {
         "    \"inline_hits\": %llu, \"inline_misses\": %llu,"
         " \"inline_pool_acquires\": %llu},\n"
         "  \"allreduce_8B_speedup\": %.3f,\n"
-        "  \"allreduce_64KiB_speedup\": %.3f\n}\n",
+        "  \"allreduce_64KiB_speedup\": %.3f,\n",
         reps, fast.rate_mps * 1e6, off.rate_mps * 1e6, pp_speedup,
         static_cast<unsigned long long>(fast.counters.get("inline_hits")),
         static_cast<unsigned long long>(fast.counters.get("inline_misses")),
         static_cast<unsigned long long>(inline_pool_acquires),
         allred_speedup[0], allred_speedup[1]);
+  }
+
+  // --- mpptest-style sweep: roots x sizes x comm subsets ------------------
+  const int sweep_iters = quick ? 20 : 200;
+  std::printf("\nsweep: bcast/reduce x root position x size x comm subset "
+              "(hier algo, concurrent subsets)\n");
+  std::printf("%-7s %-9s %-5s | %10s %10s %10s %10s\n", "coll", "subset",
+              "root", "4 B us", "256 B us", "4 KiB us", "64 KiB us");
+  if (json) std::fprintf(json, "  \"sweep\": [\n");
+  const char* root_name[kSweepRoots] = {"first", "mid", "last"};
+  bool sweep_first = true;
+  for (const int kind : {kBenchBcast, kBenchReduce}) {
+    for (const int parts : {1, 2, 4}) {
+      const char* subset =
+          parts == 1 ? "world" : (parts == 2 ? "halves" : "quarters");
+      run_sweep_case(kind, parts, sweep_iters);
+      for (int ri = 0; ri < kSweepRoots; ++ri) {
+        std::printf("%-7s %-9s %-5s | %10.1f %10.1f %10.1f %10.1f\n",
+                    kind_name(kind), subset, root_name[ri],
+                    g_sweep_us[ri * kSweepSizes + 0],
+                    g_sweep_us[ri * kSweepSizes + 1],
+                    g_sweep_us[ri * kSweepSizes + 2],
+                    g_sweep_us[ri * kSweepSizes + 3]);
+        if (json == nullptr) continue;
+        for (int si = 0; si < kSweepSizes; ++si) {
+          if (!sweep_first) std::fprintf(json, ",\n");
+          sweep_first = false;
+          std::fprintf(json,
+                       "    {\"collective\": \"%s\", \"subset\": \"%s\","
+                       " \"comm_size\": %d, \"root\": \"%s\","
+                       " \"bytes\": %d, \"us\": %.2f}",
+                       kind_name(kind), subset, kVps / parts, root_name[ri],
+                       kSweepCounts[si] * 4,
+                       g_sweep_us[ri * kSweepSizes + si]);
+        }
+      }
+    }
+  }
+
+  if (json) {
+    std::fprintf(json, "\n  ]\n}\n");
     std::fclose(json);
     std::printf("wrote BENCH_collectives.json\n");
   }

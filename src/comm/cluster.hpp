@@ -10,6 +10,7 @@
 #include "comm/message.hpp"
 #include "comm/netmodel.hpp"
 #include "comm/pe.hpp"
+#include "comm/transport.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 
@@ -45,6 +46,25 @@ struct CommCounters {
 ///  - comm.hipri_bytes    UserData payloads <= this many bytes are stamped
 ///                        prio=1 and wake their rank on the High scheduler
 ///                        lane (default 256; 0 = only non-UserData is hipri)
+///
+/// Transport options (`transport.*` keys; see comm/transport.hpp):
+///  - transport.backend   "inproc" (default; APV_TRANSPORT env overrides the
+///                        default) or "shm" (PEs spread over OS processes)
+///  - transport.procs / transport.proc / transport.job
+///                        shm process count, this process's index, and the
+///                        job rendezvous name (env APV_SHM_PROCS /
+///                        APV_SHM_PROC / APV_SHM_JOB — set by apv_launch)
+///  - transport.ring_slots / transport.arena_mb
+///                        SPSC ring depth per directed PE pair (1024) and
+///                        shared payload arena size (64 MiB)
+///  - transport.hb_ms / transport.hb_timeout_ms
+///                        heartbeat period (25) and staleness threshold
+///                        before a silent peer process is declared dead
+///                        (1000; a vanished pid is declared dead immediately)
+///  - transport.spin_us / transport.nap_us
+///                        PE idle policy while remote rings exist: busy-poll
+///                        window after last activity (200), then idle_wait
+///                        nap length (50)
 ///
 /// Scheduler options (`sched.*` keys, applied to every PE's runqueue):
 ///  - sched.policy        "prio" (default; three-lane runqueue) or "fifo"
@@ -84,6 +104,17 @@ class Cluster {
   }
 
   const NetModel& net() const noexcept { return net_; }
+
+  /// The transport routing this cluster's envelopes. With the shm backend
+  /// and >1 process, only PEs with transport().is_local() run loops in this
+  /// process; the rest exist as routing targets.
+  const Transport& transport() const noexcept { return *transport_; }
+
+  /// Sender-side zero-copy staging (see Transport::acquire_payload): fill
+  /// the returned payload and send — if the destination turns out to be in
+  /// another process, the bytes are already in the shared arena and cross
+  /// by reference. Plain pool acquisition on the inproc backend.
+  Payload acquire_payload(std::size_t n) { return transport_->acquire_payload(n); }
 
   /// UserData payloads at or below this size are stamped hipri (see the
   /// option table above). The MPI layer reuses the same cutoff to pick the
@@ -208,6 +239,10 @@ class Cluster {
 
   Config config_;
   NetModel net_;
+  // Declared before the PEs (and the dead-letter queue): destroyed last, so
+  // wrapped shm payloads still parked in mailboxes release their arena
+  // blocks through a live transport.
+  std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Pe>> pes_;
   std::vector<std::unique_ptr<PeTx>> tx_;
   std::vector<std::thread> threads_;

@@ -1,5 +1,8 @@
 #include "comm/pe.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/sigstack.hpp"
@@ -52,6 +55,15 @@ void Pe::set_stop_drain(StopDrain drain) {
   stop_drain_ = std::move(drain);
 }
 
+void Pe::set_poll_hook(PollHook hook, std::int64_t spin_us,
+                       std::int64_t nap_us) {
+  require(!running_.load(), ErrorCode::BadState,
+          "cannot change the poll hook while the PE loop runs");
+  poll_hook_ = std::move(hook);
+  poll_spin_us_ = spin_us < 0 ? 0 : spin_us;
+  poll_nap_us_ = nap_us < 1 ? 1 : nap_us;
+}
+
 void Pe::post(Message&& msg) {
   mailbox_.push(std::move(msg));
   // Wake the scheduler's idle wait; ready() notification path is reused by
@@ -96,10 +108,16 @@ void Pe::run_loop() {
   running_.store(true);
   APV_DEBUG("pe", "PE %d (node %d) loop starting", id_, node_);
   std::size_t quiet_streak = 0;
+  auto last_activity = std::chrono::steady_clock::now();
   for (;;) {
-    const bool had_msgs = drain_mailbox();
+    // Transport poll first: envelopes it pulls off the shm rings land in our
+    // own mailbox (posted from this thread) and the drain right below
+    // dispatches them in the same iteration.
+    const std::size_t polled = poll_hook_ ? poll_hook_() : 0;
+    const bool had_msgs = drain_mailbox() || polled > 0;
     const bool ran = sched_.run_one();
     if (had_msgs || ran) {
+      if (poll_hook_) last_activity = std::chrono::steady_clock::now();
       // A ULT can keep the scheduler busy forever while logically waiting on
       // remote progress (e.g. a recovery leader spin-yielding on a peer). If
       // such a spin left a message in an aggregation bin, the peer in turn
@@ -121,6 +139,25 @@ void Pe::run_loop() {
       // Exit only when really quiescent: a message may have raced in (and
       // the idle hooks above may have flushed aggregation bins our way).
       if (mailbox_.empty() && sched_.ready_count() == 0) break;
+      continue;
+    }
+    if (poll_hook_) {
+      // Cross-process producers cannot wake this scheduler, so an idle_wait
+      // here would add its full timeout to every remote message's latency.
+      // Spin (yielding, so a same-core peer process still runs) for a short
+      // window after the last activity, then fall back to short naps.
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration_cast<std::chrono::microseconds>(
+              now - last_activity)
+              .count() < poll_spin_us_) {
+        std::this_thread::yield();
+        continue;
+      }
+      sched_.idle_wait(
+          [this] {
+            return stop_.load() || failed_.load() || mailbox_depth() > 0;
+          },
+          poll_nap_us_);
       continue;
     }
     sched_.idle_wait(

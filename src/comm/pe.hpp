@@ -28,6 +28,11 @@ class Pe {
   using Dispatcher = std::function<void(Message&&)>;
   /// Runs once per idle loop iteration (progress hook for the upper layer).
   using IdleHook = std::function<void()>;
+  /// Drains this PE's inbound cross-process transport rings; returns how
+  /// many envelopes it moved (they land in the mailbox via post, so the
+  /// loop's next drain dispatches them). Runs on the PE thread, every loop
+  /// iteration.
+  using PollHook = std::function<std::size_t()>;
   /// Runs on the PE thread after the loop exits via stop() — not after a
   /// simulated crash (fail()), whose semantics are precisely "no cleanup
   /// ran". The MPI layer uses it to force-unwind ranks still parked here
@@ -59,6 +64,15 @@ class Pe {
   void add_idle_hook(IdleHook hook);
   /// Installs the stop-drain callback. Must happen before the loop starts.
   void set_stop_drain(StopDrain drain);
+  /// Installs the transport poll hook. Remote traffic arrives with no wakeup
+  /// signal (the producer is in another process and cannot notify this
+  /// scheduler), so while a hook is installed the idle path busy-polls
+  /// (yielding) for `spin_us` after the last activity, then naps in
+  /// idle_wait slices of `nap_us` instead of the default 200µs — bounding
+  /// added latency without burning the host when truly idle. Must happen
+  /// before the loop starts.
+  void set_poll_hook(PollHook hook, std::int64_t spin_us,
+                     std::int64_t nap_us);
 
   /// Thread-safe: enqueues a message and wakes the PE if idle.
   void post(Message&& msg);
@@ -102,6 +116,9 @@ class Pe {
   Dispatcher dispatcher_;
   std::vector<IdleHook> idle_hooks_;
   StopDrain stop_drain_;
+  PollHook poll_hook_;
+  std::int64_t poll_spin_us_ = 200;
+  std::int64_t poll_nap_us_ = 50;
 
   Mailbox mailbox_;
   std::size_t drain_batch_;

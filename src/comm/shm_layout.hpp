@@ -1,0 +1,192 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+// Cross-process shared-memory segment layout (transport.backend=shm).
+//
+// Offset-addressing rules (enforced by the apv-lint `shm-pointer` rule):
+// every struct in this header is mapped into several processes at DIFFERENT
+// virtual addresses, so shm-resident structs must be POD-layout, contain
+// NO pointers, NO references, NO virtual anything — all cross-references
+// are byte offsets from the segment base, resolved per-process via
+// ShmView::at<T>(). Atomics used here are lock-free and address-free on
+// every supported platform (static_asserted below), which C++ guarantees
+// makes them valid across process mappings.
+//
+// Segment map (all offsets recorded in the ShmHeader at byte 0):
+//
+//   [ShmHeader]
+//   [ShmProcSlot × procs]          heartbeat / liveness, one per process
+//   [failed flags × num_pes]       shared PE-failure flags (u32)
+//   [location table × max_ranks]   shared rank→PE map (i32, kInvalidPe init)
+//   [pair ring dir × num_pes²]     offset of the SPSC ring src→dst, 0=none
+//   [proxy ring dir × procs×pes]   offset of proc→dst proxy ring, 0=none
+//   [rings...]                     ShmRing + slot array each
+//   [ShmArenaHeader][arena bytes]  ref-counted payload blocks
+//
+// Rings exist only for directed pairs that cross a process boundary; the
+// proxy ring (p, dst) carries envelopes produced by process p's non-PE
+// threads (recovery leaders, test harnesses) so the pair rings stay
+// single-producer. Consumers are always dst's own loop thread.
+
+namespace apv::comm::shm {
+
+inline constexpr std::uint64_t kShmMagic = 0x4150565f53484d31ull;  // "APV_SHM1"
+inline constexpr std::uint32_t kShmVersion = 1;
+inline constexpr std::size_t kShmAlign = 64;
+
+// --- process liveness -------------------------------------------------------
+
+/// One participating process. `beat` is bumped by the owner's heartbeat
+/// thread; peers declare the process dead when the beat goes stale past
+/// transport.hb_timeout_ms (or its pid vanishes) while state is Running.
+struct alignas(kShmAlign) ShmProcSlot {
+  enum State : std::uint32_t {
+    kEmpty = 0,
+    kRunning = 1,   ///< attached, heartbeat live
+    kStopped = 2,   ///< clean departure (not a failure)
+    kDead = 3,      ///< declared dead by a peer
+  };
+  std::atomic<std::uint64_t> beat;
+  std::atomic<std::int32_t> pid;
+  std::atomic<std::uint32_t> state;
+};
+static_assert(sizeof(ShmProcSlot) == kShmAlign);
+
+// --- descriptor rings -------------------------------------------------------
+
+/// One envelope crossing the process boundary. Payload bytes never ride the
+/// ring: `payload_off` is the arena offset of a ref-counted block (0 =
+/// empty payload). Fixed 64 bytes so a ring slot is exactly one cache line.
+struct ShmMsgDesc {
+  std::uint64_t seq;
+  std::uint64_t payload_off;   ///< arena block DATA offset, 0 = no payload
+  std::uint32_t payload_len;
+  std::int32_t src_pe;
+  std::int32_t dst_pe;
+  std::int32_t src_rank;
+  std::int32_t dst_rank;
+  std::int32_t comm_id;
+  std::int32_t tag;
+  std::int32_t opcode;
+  std::uint32_t esize;
+  std::uint8_t kind;           ///< Message::Kind
+  std::uint8_t prio;
+  std::uint8_t pad[10];
+};
+static_assert(sizeof(ShmMsgDesc) == 64);
+
+/// Bounded SPSC ring of ShmMsgDesc (Lamport queue: the producer owns tail,
+/// the consumer owns head; each reads the other's cursor with acquire and
+/// publishes its own with release, so the descriptor contents are fully
+/// visible before the slot is). Slot array of `ShmHeader::ring_slots`
+/// descriptors follows this header immediately.
+struct alignas(kShmAlign) ShmRing {
+  std::atomic<std::uint64_t> head;  ///< next slot the consumer reads
+  std::uint8_t pad0[kShmAlign - sizeof(std::atomic<std::uint64_t>)];
+  std::atomic<std::uint64_t> tail;  ///< next slot the producer writes
+  std::uint8_t pad1[kShmAlign - sizeof(std::atomic<std::uint64_t>)];
+};
+static_assert(sizeof(ShmRing) == 2 * kShmAlign);
+
+// --- payload arena ----------------------------------------------------------
+
+/// Arena size classes. Blocks are carved from a bump region on freelist
+/// miss and recycled through per-class lock-free freelists afterwards.
+inline constexpr std::uint32_t kArenaClassSizes[] = {
+    256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304};
+inline constexpr int kArenaNumClasses =
+    static_cast<int>(sizeof(kArenaClassSizes) / sizeof(kArenaClassSizes[0]));
+
+/// Header preceding every arena block's data, 64-byte aligned so the data
+/// that follows is too. `refs` is the cross-process refcount: the sender
+/// publishes the block at 1, every Payload::wrap_external view on any
+/// receiving process shares one local Chunk whose release hook drops it;
+/// 0 pushes the block onto its class freelist. `next_free` links the
+/// freelist by block-header offset while the block is free.
+struct alignas(kShmAlign) ShmBlockHeader {
+  std::atomic<std::uint32_t> refs;
+  std::uint32_t cls;
+  std::uint64_t next_free;          ///< block-header offset of next free
+  std::uint8_t pad[kShmAlign - 16];
+};
+static_assert(sizeof(ShmBlockHeader) == kShmAlign);
+
+/// Freelist heads are {tag, offset} pairs packed into one 64-bit CAS word:
+/// the high 26 bits are an ABA tag bumped on every push, the low 38 bits
+/// hold (block-header offset >> 6) — headers are 64-byte aligned, so this
+/// addresses arenas up to 2^44 bytes. Offset part 0 means empty (offset 0
+/// inside the arena is the arena header itself, never a block).
+inline constexpr int kFreelistOffBits = 38;
+inline constexpr std::uint64_t kFreelistOffMask =
+    (1ull << kFreelistOffBits) - 1;
+
+struct alignas(kShmAlign) ShmArenaHeader {
+  std::uint64_t size;                      ///< usable bytes after this header
+  std::atomic<std::uint64_t> brk;          ///< bump cursor (arena-relative)
+  std::atomic<std::uint64_t> freelist[kArenaNumClasses];
+  // Shared arena counters (fetch_add; multiple producer processes).
+  std::atomic<std::uint64_t> allocs;
+  std::atomic<std::uint64_t> frees;
+  std::atomic<std::uint64_t> alloc_bytes;
+  std::atomic<std::uint64_t> freelist_hits;
+  std::atomic<std::uint64_t> exhausted;    ///< allocation failures observed
+};
+
+// --- segment header ---------------------------------------------------------
+
+struct ShmHeader {
+  std::atomic<std::uint64_t> magic;  ///< kShmMagic, stored (release) LAST by
+                                     ///< the creator — attachers spin on it
+  std::uint32_t version;
+  std::int32_t procs;
+  std::int32_t num_pes;
+  std::int32_t nodes;
+  std::int32_t pes_per_node;
+  std::int32_t max_ranks;
+  std::uint32_t ring_slots;          ///< descriptors per ring (power of two)
+  std::uint64_t segment_bytes;
+  std::uint64_t proc_slots_off;
+  std::uint64_t failed_off;
+  std::uint64_t locations_off;
+  std::uint64_t pair_dir_off;        ///< u64[num_pes * num_pes]
+  std::uint64_t proxy_dir_off;       ///< u64[procs * num_pes]
+  std::uint64_t arena_off;
+  std::atomic<std::uint32_t> attached;  ///< rendezvous barrier count
+  std::atomic<std::uint32_t> stop;      ///< job-wide stop flag
+};
+
+// Address-free atomics are what makes this layout legal across mappings.
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
+static_assert(std::atomic<std::int32_t>::is_always_lock_free);
+
+/// Per-process resolver from segment-relative offsets to mapped addresses.
+/// The ONLY place offsets become pointers; the pointer never lives in shm.
+struct ShmView {
+  // Process-local mapping handle, re-established by every process from its
+  // own mmap — never written into the segment.
+  std::byte* base = nullptr;  // apv-lint: allow(shm-pointer)
+  std::size_t bytes = 0;
+
+  template <typename T>
+  T* at(std::uint64_t off) const noexcept {
+    return reinterpret_cast<T*>(base + off);
+  }
+  ShmHeader* header() const noexcept { return at<ShmHeader>(0); }
+};
+
+inline std::size_t shm_align_up(std::size_t n) noexcept {
+  return (n + (kShmAlign - 1)) & ~(kShmAlign - 1);
+}
+
+inline int arena_class_for(std::size_t n) noexcept {
+  for (int c = 0; c < kArenaNumClasses; ++c) {
+    if (n <= kArenaClassSizes[c]) return c;
+  }
+  return -1;
+}
+
+}  // namespace apv::comm::shm

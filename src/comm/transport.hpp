@@ -1,0 +1,128 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "comm/message.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+
+namespace apv::comm {
+
+/// How the cluster's PEs are spread over OS processes, and how envelopes
+/// cross the process boundary. The Cluster owns exactly one Transport and
+/// consults it at three points only:
+///
+///  - routing: `is_local(dst_pe)` decides between the in-process path
+///    (netmodel pacing + mailbox post — byte-for-byte the seed semantics)
+///    and `send_remote`;
+///  - progress: each local PE's loop calls `poll` every iteration, from its
+///    own thread, and the sink posts straight into that PE's mailbox — the
+///    "messages wake ranks on their own PE" discipline is preserved across
+///    the process boundary;
+///  - fault tolerance: PE-failure flags and the rank-location table move
+///    into shared memory when more than one process participates, so
+///    `Cluster::fail_pe` / dead-letter rerouting keep working when a whole
+///    process dies (detected by heartbeat staleness).
+///
+/// Backends (`transport.backend` option, `APV_TRANSPORT` env default):
+///  - "inproc": every PE is local; send_remote/poll are unreachable and all
+///    shm counters stay zero. This is the seed path and the A/B baseline.
+///  - "shm": PEs are block-partitioned over `transport.procs` processes on
+///    one host, cross-process hops travel POSIX shared memory (lock-free
+///    SPSC descriptor rings per directed PE pair + a ref-counted payload
+///    arena; see shm_layout.hpp). With one process it degenerates to the
+///    local path without creating a segment.
+///
+/// This is the boundary every later tier (sockets, elastic join) plugs into.
+class Transport {
+ public:
+  /// Receives one reconstructed envelope during poll (posts to a mailbox).
+  using Sink = std::function<void(Message&&)>;
+  /// Invoked when a PE is newly observed failed — either published by a
+  /// peer process or implied by a whole process dying. May fire from any
+  /// polling thread; must be idempotent (Cluster::fail_pe is).
+  using FailureCallback = std::function<void(PeId)>;
+
+  virtual ~Transport() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  virtual int num_procs() const noexcept = 0;
+  virtual int my_proc() const noexcept = 0;
+  virtual int proc_of(PeId pe) const noexcept = 0;
+  /// True when `pe`'s loop runs in this OS process.
+  virtual bool is_local(PeId pe) const noexcept = 0;
+
+  /// Ships an envelope to a PE hosted by another process. `from_owner_thread`
+  /// is true when the calling thread is msg.src_pe's own loop thread (the
+  /// lock-free pair-ring path); anything else goes through a mutex-guarded
+  /// proxy ring. Returns false — leaving `msg` intact — when the destination
+  /// process is dead or stopped, so the caller can divert.
+  virtual bool send_remote(Message& msg, bool from_owner_thread) = 0;
+
+  /// Drains inbound envelopes addressed to `pe` into `sink`. Must be called
+  /// from `pe`'s own loop thread. Also advances liveness bookkeeping (a
+  /// stale peer heartbeat fires the failure callback from here). Returns the
+  /// number of envelopes delivered.
+  virtual std::size_t poll(PeId pe, const Sink& sink) = 0;
+
+  /// Sender-side zero-copy staging: returns a payload whose bytes already
+  /// live where the transport wants them, so filling it IS the one permitted
+  /// copy on the path (user -> ring). The shm backend hands out a ref-counted
+  /// arena block — send_remote recognizes it and transfers the block by
+  /// reference instead of copying; everywhere else (inproc, single-process
+  /// shm, arena exhaustion) this is plain pool acquisition and send behaves
+  /// as usual. Always safe to use regardless of the eventual destination.
+  virtual Payload acquire_payload(std::size_t n) { return Payload::acquire(n); }
+
+  virtual void set_failure_callback(FailureCallback cb) = 0;
+  /// Publishes "this PE is failed" to every process (idempotent; a no-op on
+  /// inproc where the Cluster's own flag array is the whole truth).
+  virtual void publish_pe_failed(PeId pe) = 0;
+
+  /// True when the rank-location table must live in shared memory (shm with
+  /// >1 process). The Cluster then routes set_location/location here so
+  /// re-homing decisions agree across processes.
+  virtual bool has_shared_locations() const noexcept = 0;
+  virtual void publish_location(RankId rank, PeId pe) = 0;
+  virtual PeId shared_location(RankId rank) const = 0;
+  /// Capacity of the shared table (0 = unlimited / process-local).
+  virtual int max_shared_ranks() const noexcept = 0;
+
+  /// Marks this process's clean departure (peers treat its silence as a
+  /// stop, not a crash) and halts background liveness work. Idempotent;
+  /// called by Cluster::stop_and_join before the destructor runs.
+  virtual void stop() noexcept = 0;
+
+  /// All transport counters under the `shm.*` prefix. The inproc backend
+  /// reports the same keys, all zero — A/B parity tests assert on that.
+  virtual util::Counters counters() const = 0;
+};
+
+/// Cluster geometry the factory needs before any Pe exists.
+struct TransportConfig {
+  int num_pes = 1;
+  int nodes = 1;
+  int pes_per_node = 1;
+};
+
+/// Builds the backend selected by `transport.backend` ("inproc" | "shm");
+/// when the option is absent the `APV_TRANSPORT` env var decides, default
+/// "inproc". The shm backend reads its process identity from
+/// `transport.procs` / `transport.proc` / `transport.job` (env defaults
+/// APV_SHM_PROCS / APV_SHM_PROC / APV_SHM_JOB — the apv_launch contract).
+std::unique_ptr<Transport> make_transport(const util::Options& opt,
+                                          const TransportConfig& cfg);
+
+/// The `shm.*` counter keys every backend reports (shared by the inproc
+/// zero-filled set and tests asserting parity).
+extern const char* const kShmCounterKeys[];
+extern const int kNumShmCounterKeys;
+
+/// "/apv_<job>" — the POSIX shm object name for a job (shared between the
+/// shm backend and apv_launch's cleanup path).
+std::string shm_segment_name(const std::string& job);
+
+}  // namespace apv::comm

@@ -244,4 +244,33 @@ int pick_steal_victim(const std::vector<std::size_t>& ready_depth, int self,
   return victim;
 }
 
+int pick_steal_victim(const std::vector<std::size_t>& ready_depth,
+                      const std::vector<std::uint64_t>& service_ns, int self,
+                      std::size_t min_ready) {
+  int victim = -1;
+  std::uint64_t best_wait = 0;
+  std::size_t best_depth = 0;
+  for (std::size_t p = 0; p < ready_depth.size(); ++p) {
+    if (static_cast<int>(p) == self) continue;
+    const std::size_t d = ready_depth[p];
+    if (d < min_ready) continue;
+    // Estimated time for p's queue to drain. An unmeasured PE gets the
+    // neutral 1 ns estimate so it still competes on depth; the product
+    // cannot realistically overflow (depth is rank-count sized, service a
+    // few ms at most).
+    const std::uint64_t svc =
+        p < service_ns.size() && service_ns[p] > 0 ? service_ns[p] : 1;
+    const std::uint64_t wait = static_cast<std::uint64_t>(d) * svc;
+    // Strictly-greater keeps the depth overload's lowest-id tie-break;
+    // equal waits further prefer the deeper queue (more slack for the
+    // victim to re-validate a surrender).
+    if (wait > best_wait || (wait == best_wait && d > best_depth)) {
+      best_wait = wait;
+      best_depth = d;
+      victim = static_cast<int>(p);
+    }
+  }
+  return victim;
+}
+
 }  // namespace apv::lb

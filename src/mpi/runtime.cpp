@@ -40,6 +40,14 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
   cc.options = config_.options;
   cc.backend = config_.backend;
   cluster_ = std::make_unique<comm::Cluster>(cc);
+  // The MPI layer assumes every PE's scheduler/resident state is reachable
+  // in-process (ULT wakes, migration packing, steal handlers). The shm
+  // transport with one process degenerates to exactly that, so only a real
+  // multi-process job is rejected; spreading virtual ranks over OS
+  // processes is the Cluster-level tier's follow-on.
+  require(cluster_->transport().num_procs() == 1, ErrorCode::InvalidArgument,
+          "mpi::Runtime needs a single-process transport "
+          "(transport.procs/APV_SHM_PROCS > 1 is Cluster-level only)");
 
   comms_ = std::make_unique<CommTable>(config_.vps);
   ckpt_store_ = std::make_unique<ft::CheckpointStore>();
@@ -129,6 +137,11 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
   init_hier_state();
   pack_api_table(api_);
   pe_state_.resize(static_cast<std::size_t>(cluster_->num_pes()));
+  service_ewma_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(cluster_->num_pes()));
+  for (int p = 0; p < cluster_->num_pes(); ++p)
+    service_ewma_ns_[static_cast<std::size_t>(p)].store(
+        0, std::memory_order_relaxed);
 
   // Per-node dynamic-linker and privatization state (each emulated OS
   // process loads and privatizes the program independently).
@@ -702,8 +715,16 @@ void Runtime::close_run_slice(comm::PeId pe) {
   auto& ps = pe_state_[static_cast<std::size_t>(pe)];
   if (ps.running == nullptr) return;
   const std::uint64_t now = util::wall_time_ns();
-  ps.running->add_busy_time(
-      static_cast<double>(now - ps.slice_start_ns) * 1e-9);
+  const std::uint64_t slice_ns = now - ps.slice_start_ns;
+  ps.running->add_busy_time(static_cast<double>(slice_ns) * 1e-9);
+  // Recent per-ULT service time (EWMA, alpha = 1/8): single writer (this
+  // PE's loop thread); idle thieves read it to rank victims by estimated
+  // queue wait instead of raw depth.
+  std::atomic<std::uint64_t>& ewma =
+      service_ewma_ns_[static_cast<std::size_t>(pe)];
+  const std::uint64_t old = ewma.load(std::memory_order_relaxed);
+  ewma.store(old == 0 ? slice_ns : old - old / 8 + slice_ns / 8,
+             std::memory_order_relaxed);
   ps.running = nullptr;
   ps.slice_start_ns = now;
 }
@@ -1279,22 +1300,30 @@ void Runtime::maybe_steal(comm::PeId pe) {
     return;
   }
   if (now - ps.idle_since_ns < steal_idle_ns_) return;
-  // Genuinely idle past the threshold: pick the PE with the deepest ready
-  // backlog. Depths are relaxed cross-thread reads of each scheduler's
-  // split counters (see Scheduler::ready_count) and may be stale or
-  // momentarily torn between the two cells; that is sound here because the
-  // value only *ranks* victims — the steal itself is a request message the
-  // victim re-validates against its authoritative queue before any rank
-  // moves (handle_steal_request nacks when nothing is actually stealable).
+  // Genuinely idle past the threshold: pick the PE whose backlog will take
+  // longest to drain — ready depth weighted by that PE's recent per-ULT
+  // service time (EWMA maintained in close_run_slice). Depths and service
+  // times are relaxed cross-thread reads of each scheduler's split counters
+  // (see Scheduler::ready_count) and may be stale or momentarily torn
+  // between the two cells; that is sound here because the values only
+  // *rank* victims — the steal itself is a request message the victim
+  // re-validates against its authoritative queue before any rank moves
+  // (handle_steal_request nacks when nothing is actually stealable).
   std::vector<std::size_t> depth(static_cast<std::size_t>(
+      cluster_->num_pes()));
+  std::vector<std::uint64_t> service(static_cast<std::size_t>(
       cluster_->num_pes()));
   for (int p = 0; p < cluster_->num_pes(); ++p) {
     depth[static_cast<std::size_t>(p)] =
         (p == pe || cluster_->pe_failed(p))
             ? 0
             : cluster_->pe(p).scheduler().ready_count();
+    service[static_cast<std::size_t>(p)] =
+        service_ewma_ns_[static_cast<std::size_t>(p)].load(
+            std::memory_order_relaxed);
   }
-  const int victim = lb::pick_steal_victim(depth, pe, /*min_ready=*/1);
+  const int victim = lb::pick_steal_victim(depth, service, pe,
+                                           /*min_ready=*/1);
   if (victim < 0) return;
   ++ps.steal_requests;
   ps.steal_req_ns = now;

@@ -351,6 +351,13 @@ class Runtime {
   std::vector<std::unique_ptr<RankMpi>> ranks_;
   std::vector<PeState> pe_state_;
 
+  /// Per-PE EWMA of run-slice duration (ns, alpha = 1/8) — the "recent
+  /// per-ULT service time" feeding latency-aware steal victim ranking.
+  /// Written only by the owning PE's loop thread in close_run_slice;
+  /// thieves read it relaxed as an advisory snapshot, exactly like the
+  /// ready-depth counters. Kept out of PeState so that stays movable.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> service_ewma_ns_;
+
   bool inline_enabled_ = true;  ///< comm.inline: same-PE inline delivery
   bool coll_hier_ = true;       ///< coll.algo: "hier" (default) or "naive"
   std::size_t rab_cutoff_ = 32768;  ///< coll.rab_cutoff: Rabenseifner floor

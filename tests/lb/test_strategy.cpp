@@ -174,3 +174,39 @@ TEST(StealVictim, NoQualifierReturnsMinusOne) {
   EXPECT_EQ(lb::pick_steal_victim({}, 0), -1);
   EXPECT_EQ(lb::pick_steal_victim({4}, 0), -1);  // alone in the cluster
 }
+
+// --- latency-aware overload: rank by depth x recent service time ----------
+
+TEST(StealVictimLatency, LongestEstimatedWaitWins) {
+  // PE 2 is deepest, but its ULTs are quick (7 x 100ns = 700ns of work);
+  // PE 3's three hogs are the backlog worth relieving (3 x 1000 = 3000ns).
+  EXPECT_EQ(lb::pick_steal_victim({0, 3, 7, 3}, {0, 100, 100, 1000}, 0), 3);
+  // With uniform service times the ranking degenerates to depth.
+  EXPECT_EQ(lb::pick_steal_victim({0, 3, 7, 3}, {500, 500, 500, 500}, 0), 2);
+}
+
+TEST(StealVictimLatency, UnmeasuredPesFallBackToDepth) {
+  // All-zero service estimates (nothing has run yet): pure depth ranking,
+  // identical to the depth-only overload.
+  EXPECT_EQ(lb::pick_steal_victim({0, 3, 7, 2}, {0, 0, 0, 0}, 0), 2);
+  // A measured slow PE outranks an unmeasured deeper one: 2 x 5000ns beats
+  // a neutral 7 x 1ns.
+  EXPECT_EQ(lb::pick_steal_victim({0, 2, 7, 0}, {0, 5000, 0, 0}, 0), 1);
+  // A short service vector is padded with the neutral estimate, not read
+  // out of bounds.
+  EXPECT_EQ(lb::pick_steal_victim({0, 3, 7, 2}, {0, 9000}, 0), 1);
+}
+
+TEST(StealVictimLatency, EqualWaitPrefersDeeperQueue) {
+  // 6 x 100 == 2 x 300: the deeper queue gives the victim more slack to
+  // still have something stealable when the request lands.
+  EXPECT_EQ(lb::pick_steal_victim({0, 2, 6}, {0, 300, 100}, 0), 2);
+}
+
+TEST(StealVictimLatency, SelfAndMinReadyStillApply) {
+  EXPECT_EQ(lb::pick_steal_victim({0, 1, 9}, {0, 100, 100}, 2), 1);
+  EXPECT_EQ(lb::pick_steal_victim({0, 1, 1}, {0, 800, 900}, 0, 2), -1);
+  EXPECT_EQ(lb::pick_steal_victim(std::vector<std::size_t>{},
+                                  std::vector<std::uint64_t>{}, 0),
+            -1);
+}

@@ -1,0 +1,132 @@
+// apv_launch — same-host process launcher/rendezvous for the shm transport.
+//
+//   apv_launch -n <procs> [-j <job>] [--timeout-s <T>] -- <prog> [args...]
+//
+// Spawns <procs> copies of <prog> with the shm transport contract in their
+// environment (APV_SHM_PROCS, APV_SHM_PROC, APV_SHM_JOB); process 0 creates
+// the shared segment, the rest attach, and the transport's rendezvous
+// barrier holds everyone until the whole job is up. The launcher then:
+//  - waits for all children; exits with the first nonzero status seen,
+//  - kills the remaining children when one fails or the timeout fires
+//    (surviving processes would otherwise block forever on a collective
+//    peer that no longer exists — the FT tests kill *their own* children
+//    deliberately and don't go through the launcher's fail-fast),
+//  - unlinks the segment afterwards, so a crashed job cannot poison the
+//    next run's rendezvous.
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s -n <procs> [-j <job>] [--timeout-s <T>] -- <prog> "
+               "[args...]\n",
+               argv0);
+  std::exit(2);
+}
+
+volatile sig_atomic_t g_signaled = 0;
+void on_signal(int) { g_signaled = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int procs = 0;
+  std::string job;
+  long timeout_s = 120;
+  int i = 1;
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
+      procs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
+      job = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeout-s") == 0 && i + 1 < argc) {
+      timeout_s = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--") == 0) {
+      ++i;
+      break;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (procs < 1 || i >= argc) usage(argv[0]);
+  if (job.empty()) {
+    job = "job" + std::to_string(static_cast<long>(getpid())) + "_" +
+          std::to_string(static_cast<long>(time(nullptr)));
+  }
+  const std::string seg = apv::comm::shm_segment_name(job);
+  shm_unlink(seg.c_str());  // a stale segment would confuse the rendezvous
+
+  signal(SIGINT, on_signal);
+  signal(SIGTERM, on_signal);
+
+  std::vector<pid_t> pids;
+  pids.reserve(static_cast<std::size_t>(procs));
+  for (int p = 0; p < procs; ++p) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      for (pid_t c : pids) kill(c, SIGKILL);
+      shm_unlink(seg.c_str());
+      return 1;
+    }
+    if (pid == 0) {
+      setenv("APV_SHM_PROCS", std::to_string(procs).c_str(), 1);
+      setenv("APV_SHM_PROC", std::to_string(p).c_str(), 1);
+      setenv("APV_SHM_JOB", job.c_str(), 1);
+      execvp(argv[i], &argv[i]);
+      std::perror("execvp");
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  const time_t deadline = time(nullptr) + timeout_s;
+  int exit_code = 0;
+  int remaining = procs;
+  bool killed = false;
+  while (remaining > 0) {
+    int status = 0;
+    const pid_t done = waitpid(-1, &status, WNOHANG);
+    if (done > 0) {
+      --remaining;
+      int code = 0;
+      if (WIFEXITED(status)) code = WEXITSTATUS(status);
+      if (WIFSIGNALED(status)) code = 128 + WTERMSIG(status);
+      if (code != 0 && exit_code == 0) {
+        exit_code = code;
+        std::fprintf(stderr, "apv_launch: pid %ld failed (%d), killing job\n",
+                     static_cast<long>(done), code);
+      }
+      continue;
+    }
+    const bool expired = time(nullptr) >= deadline;
+    if ((exit_code != 0 || g_signaled || expired) && !killed) {
+      killed = true;
+      if (expired && exit_code == 0) {
+        exit_code = 124;
+        std::fprintf(stderr, "apv_launch: timeout after %lds, killing job\n",
+                     timeout_s);
+      }
+      if (g_signaled && exit_code == 0) exit_code = 130;
+      for (pid_t c : pids) kill(c, SIGKILL);
+    }
+    struct timespec ts = {0, 20 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  shm_unlink(seg.c_str());
+  return exit_code;
+}

@@ -1,0 +1,41 @@
+// Corpus: raw pointers persisted in shm-resident structs. The segment maps
+// at a different base address in every process, so any stored pointer is
+// only meaningful to the process that wrote it — layouts must be
+// offset-addressed (byte offsets from the segment base, rebased through
+// ShmView::at<T>()).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+struct alignas(64) ShmQueueSlot {
+  std::uint64_t seq;
+  char* name;                                     // LINT[shm-pointer]
+  std::atomic<std::uint32_t>* remote_counter;     // LINT[shm-pointer]
+  ShmQueueSlot* next = nullptr;                   // LINT[shm-pointer]
+  std::atomic<char*> swapped_in;                  // LINT[shm-pointer]
+  std::uint64_t next_off;  // offset-addressed link: the portable form
+  std::uint8_t pad[2 * 4];  // multiplication in an array bound, no finding
+};
+
+struct ShmDirectory {
+  std::uint64_t entries_off;
+  std::uint32_t entry_count;
+  // Member functions may traffic in pointers freely: they compute
+  // process-local addresses at call time instead of persisting them.
+  std::byte* entry_base(std::byte* segment) { return segment + entries_off; }
+};
+
+// Process-local handles are exempt via suppression: this mirrors
+// ShmView::base, which every process re-establishes from its own mmap.
+struct ShmMappingHandle {
+  std::byte* base = nullptr;  // apv-lint: allow(shm-pointer)
+  std::uint64_t bytes = 0;
+};
+
+// Not shm-resident (no Shm prefix): pointers are process-private by
+// construction and legal.
+struct RingCursorCache {
+  std::uint64_t* head_shadow;
+  std::uint64_t* tail_shadow;
+};
