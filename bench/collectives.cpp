@@ -3,7 +3,9 @@
 //
 // Runs 64 virtual ranks on 4 PEs — 16-way overdecomposition, the regime the
 // paper's process virtualization targets — and times barrier / bcast /
-// reduce / allreduce at 8 B and 64 KiB under:
+// reduce / allreduce plus the vector family gather / allgather / alltoall
+// at 8 B and 64 KiB blocks (the 64 KiB vector cases drop to 16 ranks so the
+// n-block aggregates stay a few MiB) under:
 //
 //   hier  — coll.algo=hier (default): co-resident ranks combine through a
 //           shared per-PE contribution block, one leader per PE runs the
@@ -13,10 +15,11 @@
 //
 // Also times a same-PE inline ping-pong (pre-posted receives, so every send
 // hits the user-buffer fast path) against comm.inline=off, and runs an
-// mpptest-style sweep: bcast and reduce over every combination of root
-// position (first / middle / last), message size (4 B .. 64 KiB), and
-// communicator subset (world, contiguous halves, contiguous quarters — the
-// subsets run concurrently, so the sweep sees realistic contention).
+// mpptest-style sweep: bcast / reduce / gather / allgather / alltoall over
+// every combination of root position (first / middle / last, where rooted),
+// aggregate size (4 B .. 64 KiB), and communicator subset (world,
+// contiguous halves, contiguous quarters — the subsets run concurrently,
+// so the sweep sees realistic contention).
 // Prints a table and writes BENCH_collectives.json; `--quick` shrinks
 // iteration counts for CI smoke runs.
 
@@ -43,6 +46,9 @@ enum CollKind : int {
   kBenchBcast = 1,
   kBenchReduce = 2,
   kBenchAllreduce = 3,
+  kBenchGather = 4,
+  kBenchAllgather = 5,
+  kBenchAlltoall = 6,
 };
 
 const char* kind_name(int k) {
@@ -50,7 +56,10 @@ const char* kind_name(int k) {
     case kBenchBarrier: return "barrier";
     case kBenchBcast: return "bcast";
     case kBenchReduce: return "reduce";
-    default: return "allreduce";
+    case kBenchAllreduce: return "allreduce";
+    case kBenchGather: return "gather";
+    case kBenchAllgather: return "allgather";
+    default: return "alltoall";
   }
 }
 
@@ -59,8 +68,17 @@ void* coll_main(void* arg) {
   const int kind = env->global<int>("coll_kind").get();
   const int count = env->global<int>("elem_count").get();
   const int iters = env->global<int>("iters").get();
-  std::vector<int> in(static_cast<std::size_t>(count), env->rank() + 1);
-  std::vector<int> out(static_cast<std::size_t>(count), 0);
+  const int n = env->size();
+  // Vector collectives move per-rank blocks: the send side is `count` ints,
+  // the aggregate side n*count (allocated only where a rank receives it).
+  const bool vec = kind >= kBenchGather;
+  const std::size_t inlen =
+      static_cast<std::size_t>(count) * (kind == kBenchAlltoall ? n : 1);
+  const std::size_t outlen =
+      static_cast<std::size_t>(count) *
+      (vec && (kind != kBenchGather || env->rank() == 0) ? n : 1);
+  std::vector<int> in(inlen, env->rank() + 1);
+  std::vector<int> out(outlen, 0);
 
   env->barrier();
   const double t0 = env->wtime();
@@ -76,9 +94,21 @@ void* coll_main(void* arg) {
         env->reduce(in.data(), out.data(), count, mpi::Datatype::Int,
                     mpi::Op::builtin(mpi::OpKind::Sum), 0);
         break;
-      default:
+      case kBenchAllreduce:
         env->allreduce(in.data(), out.data(), count, mpi::Datatype::Int,
                        mpi::Op::builtin(mpi::OpKind::Sum));
+        break;
+      case kBenchGather:
+        env->gather(in.data(), count, mpi::Datatype::Int, out.data(), count,
+                    mpi::Datatype::Int, 0);
+        break;
+      case kBenchAllgather:
+        env->allgather(in.data(), count, mpi::Datatype::Int, out.data(),
+                       count, mpi::Datatype::Int);
+        break;
+      default:
+        env->alltoall(in.data(), count, mpi::Datatype::Int, out.data(), count,
+                      mpi::Datatype::Int);
         break;
     }
   }
@@ -96,7 +126,8 @@ struct CollResult {
   util::Counters counters;
 };
 
-CollResult run_coll(int kind, int count, int iters, bool hier) {
+CollResult run_coll(int kind, int count, int iters, bool hier,
+                    int vps = kVps) {
   img::ImageBuilder b("collbench");
   b.add_global<int>("coll_kind", kind);
   b.add_global<int>("elem_count", count);
@@ -106,7 +137,7 @@ CollResult run_coll(int kind, int count, int iters, bool hier) {
   mpi::RuntimeConfig cfg;
   cfg.nodes = 1;
   cfg.pes_per_node = kPes;
-  cfg.vps = kVps;
+  cfg.vps = vps;
   cfg.method = core::Method::None;
   cfg.slot_bytes = std::size_t{4} << 20;
   cfg.options.set("coll.algo", hier ? "hier" : "naive");
@@ -226,21 +257,44 @@ void* sweep_main(void* arg) {
   const int csize = env->size(comm);
   const int roots[kSweepRoots] = {0, csize / 2, csize - 1};
 
+  // For the vector collectives the sweep size is the *aggregate* payload
+  // (mpptest convention: total bytes moved per rank), so the per-rank block
+  // is count/csize; root position only matters for the rooted gather.
+  const bool vec = kind >= kBenchGather;
+  const int nroots =
+      kind == kBenchAllgather || kind == kBenchAlltoall ? 1 : kSweepRoots;
   std::vector<int> in(static_cast<std::size_t>(kSweepCounts[kSweepSizes - 1]),
                       env->rank() + 1);
   std::vector<int> out(in.size(), 0);
-  for (int ri = 0; ri < kSweepRoots; ++ri) {
+  for (int ri = 0; ri < nroots; ++ri) {
     for (int si = 0; si < kSweepSizes; ++si) {
       const int count = kSweepCounts[si];
+      const int block = vec ? std::max(1, count / csize) : count;
       const int reps = count > 1024 ? std::max(1, iters / 8) : iters;
       env->barrier(comm);
       const double t0 = env->wtime();
       for (int i = 0; i < reps; ++i) {
-        if (kind == kBenchBcast)
-          env->bcast(in.data(), count, mpi::Datatype::Int, roots[ri], comm);
-        else
-          env->reduce(in.data(), out.data(), count, mpi::Datatype::Int,
-                      mpi::Op::builtin(mpi::OpKind::Sum), roots[ri], comm);
+        switch (kind) {
+          case kBenchBcast:
+            env->bcast(in.data(), count, mpi::Datatype::Int, roots[ri], comm);
+            break;
+          case kBenchReduce:
+            env->reduce(in.data(), out.data(), count, mpi::Datatype::Int,
+                        mpi::Op::builtin(mpi::OpKind::Sum), roots[ri], comm);
+            break;
+          case kBenchGather:
+            env->gather(in.data(), block, mpi::Datatype::Int, out.data(),
+                        block, mpi::Datatype::Int, roots[ri], comm);
+            break;
+          case kBenchAllgather:
+            env->allgather(in.data(), block, mpi::Datatype::Int, out.data(),
+                           block, mpi::Datatype::Int, comm);
+            break;
+          default:
+            env->alltoall(in.data(), block, mpi::Datatype::Int, out.data(),
+                          block, mpi::Datatype::Int, comm);
+            break;
+        }
       }
       const double us = (env->wtime() - t0) / reps * 1e6;
       env->barrier(comm);
@@ -295,19 +349,29 @@ int main(int argc, char** argv) {
   // above the Rabenseifner cutoff for allreduce).
   const std::vector<int> counts = {2, 16384};
   double allred_speedup[2] = {0.0, 0.0};
+  double allgather_speedup[2] = {0.0, 0.0};
+  double alltoall_speedup[2] = {0.0, 0.0};
   bool first = true;
   for (const int kind :
-       {kBenchBarrier, kBenchBcast, kBenchReduce, kBenchAllreduce}) {
+       {kBenchBarrier, kBenchBcast, kBenchReduce, kBenchAllreduce,
+        kBenchGather, kBenchAllgather, kBenchAlltoall}) {
     for (std::size_t ci = 0; ci < counts.size(); ++ci) {
       const int count = counts[ci];
       if (kind == kBenchBarrier && count != counts.front()) continue;
       const int bytes = count * 4;
+      // The vector collectives carry n of these blocks per operation; at
+      // 64 KiB blocks run them on 16 ranks (still 4-way overdecomposed on
+      // 4 PEs) so the aggregate buffers stay a few MiB per rank.
+      const bool vec = kind >= kBenchGather;
+      const int vps = vec && count > 1024 ? 16 : kVps;
       const int iters = quick ? (bytes > 1024 ? 10 : 40)
                               : (bytes > 1024 ? 60 : 400);
-      const CollResult hier = run_coll(kind, count, iters, true);
-      const CollResult naive = run_coll(kind, count, iters, false);
+      const CollResult hier = run_coll(kind, count, iters, true, vps);
+      const CollResult naive = run_coll(kind, count, iters, false, vps);
       const double speedup = hier.us > 0.0 ? naive.us / hier.us : 0.0;
       if (kind == kBenchAllreduce) allred_speedup[ci] = speedup;
+      if (kind == kBenchAllgather) allgather_speedup[ci] = speedup;
+      if (kind == kBenchAlltoall) alltoall_speedup[ci] = speedup;
       std::printf("%-10s %-7d | %10.1f %10.1f %7.2fx\n", kind_name(kind),
                   kind == kBenchBarrier ? 0 : bytes, hier.us, naive.us,
                   speedup);
@@ -316,12 +380,12 @@ int main(int argc, char** argv) {
         first = false;
         std::fprintf(json,
                      "    {\"collective\": \"%s\", \"bytes\": %d,"
-                     " \"iters\": %d,\n"
+                     " \"iters\": %d, \"vps\": %d,\n"
                      "     \"hier_us\": %.2f, \"naive_us\": %.2f,"
                      " \"speedup\": %.3f,\n"
                      "     \"hier_counters\": %s}",
                      kind_name(kind), kind == kBenchBarrier ? 0 : bytes,
-                     iters, hier.us, naive.us, speedup,
+                     iters, vps, hier.us, naive.us, speedup,
                      hier.counters.to_json().c_str());
       }
     }
@@ -347,6 +411,12 @@ int main(int argc, char** argv) {
   std::printf("allreduce speedup at 8 B: %.2fx, at 64 KiB: %.2fx "
               "(acceptance: >= 2x)\n",
               allred_speedup[0], allred_speedup[1]);
+  std::printf("allgather speedup at 8 B: %.2fx, at 64 KiB: %.2fx "
+              "(acceptance: >= 2x)\n",
+              allgather_speedup[0], allgather_speedup[1]);
+  std::printf("alltoall  speedup at 8 B: %.2fx, at 64 KiB: %.2fx "
+              "(acceptance: >= 2x)\n",
+              alltoall_speedup[0], alltoall_speedup[1]);
 
   if (json) {
     std::fprintf(
@@ -363,25 +433,37 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(fast.counters.get("inline_misses")),
         static_cast<unsigned long long>(inline_pool_acquires),
         allred_speedup[0], allred_speedup[1]);
+    std::fprintf(json,
+                 "  \"allgather_8B_speedup\": %.3f,\n"
+                 "  \"allgather_64KiB_speedup\": %.3f,\n"
+                 "  \"alltoall_8B_speedup\": %.3f,\n"
+                 "  \"alltoall_64KiB_speedup\": %.3f,\n",
+                 allgather_speedup[0], allgather_speedup[1],
+                 alltoall_speedup[0], alltoall_speedup[1]);
   }
 
   // --- mpptest-style sweep: roots x sizes x comm subsets ------------------
   const int sweep_iters = quick ? 20 : 200;
-  std::printf("\nsweep: bcast/reduce x root position x size x comm subset "
-              "(hier algo, concurrent subsets)\n");
+  std::printf("\nsweep: bcast/reduce/gather/allgather/alltoall x root "
+              "position x aggregate size x comm subset (hier algo, "
+              "concurrent subsets)\n");
   std::printf("%-7s %-9s %-5s | %10s %10s %10s %10s\n", "coll", "subset",
               "root", "4 B us", "256 B us", "4 KiB us", "64 KiB us");
   if (json) std::fprintf(json, "  \"sweep\": [\n");
   const char* root_name[kSweepRoots] = {"first", "mid", "last"};
   bool sweep_first = true;
-  for (const int kind : {kBenchBcast, kBenchReduce}) {
+  for (const int kind : {kBenchBcast, kBenchReduce, kBenchGather,
+                         kBenchAllgather, kBenchAlltoall}) {
+    const int nroots =
+        kind == kBenchAllgather || kind == kBenchAlltoall ? 1 : kSweepRoots;
     for (const int parts : {1, 2, 4}) {
       const char* subset =
           parts == 1 ? "world" : (parts == 2 ? "halves" : "quarters");
       run_sweep_case(kind, parts, sweep_iters);
-      for (int ri = 0; ri < kSweepRoots; ++ri) {
+      for (int ri = 0; ri < nroots; ++ri) {
+        const char* rn = nroots == 1 ? "n/a" : root_name[ri];
         std::printf("%-7s %-9s %-5s | %10.1f %10.1f %10.1f %10.1f\n",
-                    kind_name(kind), subset, root_name[ri],
+                    kind_name(kind), subset, rn,
                     g_sweep_us[ri * kSweepSizes + 0],
                     g_sweep_us[ri * kSweepSizes + 1],
                     g_sweep_us[ri * kSweepSizes + 2],
@@ -394,7 +476,7 @@ int main(int argc, char** argv) {
                        "    {\"collective\": \"%s\", \"subset\": \"%s\","
                        " \"comm_size\": %d, \"root\": \"%s\","
                        " \"bytes\": %d, \"us\": %.2f}",
-                       kind_name(kind), subset, kVps / parts, root_name[ri],
+                       kind_name(kind), subset, kVps / parts, rn,
                        kSweepCounts[si] * 4,
                        g_sweep_us[ri * kSweepSizes + si]);
         }

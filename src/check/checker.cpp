@@ -25,6 +25,9 @@ const char* coll_color_name(std::int32_t color) noexcept {
     case kColorScatterv: return "scatterv";
     case kColorAlltoall: return "alltoall";
     case kColorCommSplit: return "comm_split";
+    case kColorGather: return "gather";
+    case kColorScatter: return "scatter";
+    case kColorAllgather: return "allgather";
     default: return "collective";
   }
 }

@@ -35,6 +35,9 @@ enum CollColor : std::int32_t {
   kColorScatterv,
   kColorAlltoall,
   kColorCommSplit,
+  kColorGather,
+  kColorScatter,
+  kColorAllgather,
 };
 
 /// Call-site descriptor for one user-level collective entry. Every field

@@ -143,12 +143,7 @@ void api_scan(Env* e, const void* sbuf, void* rbuf, int count, Datatype dt,
 
 void api_gather(Env* e, const void* sbuf, int scount, Datatype sdt,
                 void* rbuf, int rcount, Datatype rdt, int root, CommId comm) {
-  const int n = rt(e).comm_info(comm).size();
-  std::vector<int> counts(static_cast<std::size_t>(n), rcount);
-  std::vector<int> displs(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) displs[static_cast<std::size_t>(i)] = i * rcount;
-  rt(e).do_gatherv(rm(e), sbuf, scount, sdt, rbuf, counts.data(),
-                   displs.data(), rdt, root, comm);
+  rt(e).do_gather(rm(e), sbuf, scount, sdt, rbuf, rcount, rdt, root, comm);
 }
 
 void api_gatherv(Env* e, const void* sbuf, int scount, Datatype sdt,
@@ -161,12 +156,7 @@ void api_gatherv(Env* e, const void* sbuf, int scount, Datatype sdt,
 void api_scatter(Env* e, const void* sbuf, int scount, Datatype sdt,
                  void* rbuf, int rcount, Datatype rdt, int root,
                  CommId comm) {
-  const int n = rt(e).comm_info(comm).size();
-  std::vector<int> counts(static_cast<std::size_t>(n), scount);
-  std::vector<int> displs(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) displs[static_cast<std::size_t>(i)] = i * scount;
-  rt(e).do_scatterv(rm(e), sbuf, counts.data(), displs.data(), sdt, rbuf,
-                    rcount, rdt, root, comm);
+  rt(e).do_scatter(rm(e), sbuf, scount, sdt, rbuf, rcount, rdt, root, comm);
 }
 
 void api_scatterv(Env* e, const void* sbuf, const int* scounts,
@@ -178,9 +168,7 @@ void api_scatterv(Env* e, const void* sbuf, const int* scounts,
 
 void api_allgather(Env* e, const void* sbuf, int scount, Datatype sdt,
                    void* rbuf, int rcount, Datatype rdt, CommId comm) {
-  const int n = rt(e).comm_info(comm).size();
-  api_gather(e, sbuf, scount, sdt, rbuf, rcount, rdt, /*root=*/0, comm);
-  api_bcast(e, rbuf, n * rcount, rdt, /*root=*/0, comm);
+  rt(e).do_allgather(rm(e), sbuf, scount, sdt, rbuf, rcount, rdt, comm);
 }
 
 void api_alltoall(Env* e, const void* sbuf, int scount, Datatype sdt,

@@ -242,16 +242,28 @@ void Runtime::do_gatherv(RankMpi& rm, const void* sbuf, int scount,
   // Per-rank counts/displacements legitimately differ: gate on the entry
   // point and root only (esize/bytes stay 0 = unverified).
   CollScope gate(*this, rm, "gatherv", check::kColorGatherv, comm, n, root);
-  const std::uint32_t seq = rm.coll_seq_for(comm)++;
-  const int tag = internal_tag(kCollGather, 0, seq);
   const std::size_t sbytes =
       static_cast<std::size_t>(scount) * datatype_size(sdt);
+  // Dispatch to the hierarchical algorithm only when this is the outermost
+  // collective (depth 1 = our own gate): a delegated call — e.g. do_gather's
+  // flat fallback after its size-based selection — must not be re-routed
+  // back into the leader staging it just opted out of.
+  if (n > 1 && coll_hier_ && rm.coll_depth == 1 &&
+      hier_gatherv(rm, sbuf, sbytes, rbuf, rcounts, displs,
+                   datatype_size(rdt), root, comm))
+    return;
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int tag = internal_tag(kCollGather, 0, seq);
 
   if (me != root) {
     coll_send(rm, ci.world_of(root), tag, sbuf, sbytes, comm);
     return;
   }
+  // Pre-post every irecv before draining any of them: contributions land
+  // in their final rbuf positions as they arrive instead of serializing on
+  // the lowest outstanding sender.
   const std::size_t esize = datatype_size(rdt);
+  std::vector<Request> reqs(static_cast<std::size_t>(n), kRequestNull);
   for (int i = 0; i < n; ++i) {
     auto* dst = static_cast<std::byte*>(rbuf) +
                 static_cast<std::size_t>(displs[i]) * esize;
@@ -261,8 +273,12 @@ void Runtime::do_gatherv(RankMpi& rm, const void* sbuf, int scount,
               "gather: root's own count mismatch");
       std::memcpy(dst, sbuf, sbytes);
     } else {
-      coll_recv(rm, ci.world_of(i), tag, dst, want, comm);
+      reqs[static_cast<std::size_t>(i)] =
+          do_irecv(rm, dst, want, i, tag, comm);
     }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (i != me) do_wait(rm, reqs[static_cast<std::size_t>(i)]);
   }
 }
 
@@ -273,10 +289,14 @@ void Runtime::do_scatterv(RankMpi& rm, const void* sbuf, const int* scounts,
   const int n = ci.size();
   const int me = ci.local_of(rm.world_rank);
   CollScope gate(*this, rm, "scatterv", check::kColorScatterv, comm, n, root);
-  const std::uint32_t seq = rm.coll_seq_for(comm)++;
-  const int tag = internal_tag(kCollScatter, 0, seq);
   const std::size_t rbytes =
       static_cast<std::size_t>(rcount) * datatype_size(rdt);
+  if (n > 1 && coll_hier_ && rm.coll_depth == 1 &&
+      hier_scatterv(rm, sbuf, scounts, displs, datatype_size(sdt), rbuf,
+                    rbytes, root, comm))
+    return;
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int tag = internal_tag(kCollScatter, 0, seq);
 
   if (me == root) {
     const std::size_t esize = datatype_size(sdt);
@@ -297,6 +317,106 @@ void Runtime::do_scatterv(RankMpi& rm, const void* sbuf, const int* scounts,
   }
 }
 
+void Runtime::do_gather(RankMpi& rm, const void* sbuf, int scount,
+                        Datatype sdt, void* rbuf, int rcount, Datatype rdt,
+                        int root, CommId comm) {
+  const CommInfo& ci = comm_info(comm);
+  const int n = ci.size();
+  const int me = ci.local_of(rm.world_rank);
+  const std::size_t sblock =
+      static_cast<std::size_t>(scount) * datatype_size(sdt);
+  // Uniform counts: esize/bytes are fully verified at the entry gate.
+  CollScope gate(*this, rm, "gather", check::kColorGather, comm, n, root,
+                 /*opkind=*/-1, datatype_size(sdt), sblock);
+  if (n == 1) {
+    if (me == root && rbuf != sbuf) std::memcpy(rbuf, sbuf, sblock);
+    return;
+  }
+  if (coll_hier_ && hier_gather(rm, sbuf, sblock, rbuf, root, comm)) return;
+  // Naive fallback: uniform gatherv (the inner gate no-ops at depth > 0).
+  std::vector<int> counts;
+  std::vector<int> displs;
+  if (me == root) {
+    counts.assign(static_cast<std::size_t>(n), rcount);
+    displs.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      displs[static_cast<std::size_t>(i)] = i * rcount;
+  }
+  do_gatherv(rm, sbuf, scount, sdt, rbuf, counts.data(), displs.data(), rdt,
+             root, comm);
+}
+
+void Runtime::do_scatter(RankMpi& rm, const void* sbuf, int scount,
+                         Datatype sdt, void* rbuf, int rcount, Datatype rdt,
+                         int root, CommId comm) {
+  const CommInfo& ci = comm_info(comm);
+  const int n = ci.size();
+  const int me = ci.local_of(rm.world_rank);
+  const std::size_t sblock =
+      static_cast<std::size_t>(scount) * datatype_size(sdt);
+  const std::size_t rblock =
+      static_cast<std::size_t>(rcount) * datatype_size(rdt);
+  CollScope gate(*this, rm, "scatter", check::kColorScatter, comm, n, root,
+                 /*opkind=*/-1, datatype_size(rdt), rblock);
+  if (n == 1) {
+    if (me == root && rbuf != sbuf)
+      std::memcpy(rbuf, sbuf, std::min(sblock, rblock));
+    return;
+  }
+  if (coll_hier_ &&
+      hier_scatter(rm, sbuf, me == root ? sblock : rblock, rbuf, root, comm))
+    return;
+  std::vector<int> counts;
+  std::vector<int> displs;
+  if (me == root) {
+    counts.assign(static_cast<std::size_t>(n), scount);
+    displs.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      displs[static_cast<std::size_t>(i)] = i * scount;
+  }
+  do_scatterv(rm, sbuf, counts.data(), displs.data(), sdt, rbuf, rcount, rdt,
+              root, comm);
+}
+
+void Runtime::do_allgather(RankMpi& rm, const void* sbuf, int scount,
+                           Datatype sdt, void* rbuf, int rcount, Datatype rdt,
+                           CommId comm) {
+  const CommInfo& ci = comm_info(comm);
+  const int n = ci.size();
+  const int me = ci.local_of(rm.world_rank);
+  const std::size_t sblock =
+      static_cast<std::size_t>(scount) * datatype_size(sdt);
+  const std::size_t rblock =
+      static_cast<std::size_t>(rcount) * datatype_size(rdt);
+  CollScope gate(*this, rm, "allgather", check::kColorAllgather, comm, n,
+                 /*root=*/-1, /*opkind=*/-1, datatype_size(sdt), sblock);
+  if (n == 1) {
+    if (rbuf != sbuf) std::memcpy(rbuf, sbuf, std::min(sblock, rblock));
+    return;
+  }
+  if (coll_hier_ && hier_allgather(rm, sbuf, sblock, rbuf, comm)) return;
+  // Naive fallback: pre-post every irecv, self-copy, then fan the block
+  // out to all peers — each contribution lands straight in rbuf.
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int tag = internal_tag(kCollGather, 1, seq);
+  auto* rp = static_cast<std::byte*>(rbuf);
+  std::vector<Request> reqs(static_cast<std::size_t>(n), kRequestNull);
+  for (int i = 0; i < n; ++i) {
+    if (i == me) continue;
+    reqs[static_cast<std::size_t>(i)] =
+        do_irecv(rm, rp + static_cast<std::size_t>(i) * rblock, rblock, i,
+                 tag, comm);
+  }
+  std::memcpy(rp + static_cast<std::size_t>(me) * rblock, sbuf,
+              std::min(sblock, rblock));
+  for (int i = 0; i < n; ++i) {
+    if (i != me) coll_send(rm, ci.world_of(i), tag, sbuf, sblock, comm);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (i != me) do_wait(rm, reqs[static_cast<std::size_t>(i)]);
+  }
+}
+
 void Runtime::do_alltoall(RankMpi& rm, const void* sbuf, int scount,
                           Datatype sdt, void* rbuf, int rcount, Datatype rdt,
                           CommId comm) {
@@ -307,27 +427,42 @@ void Runtime::do_alltoall(RankMpi& rm, const void* sbuf, int scount,
       static_cast<std::size_t>(scount) * datatype_size(sdt);
   CollScope gate(*this, rm, "alltoall", check::kColorAlltoall, comm, n,
                  /*root=*/-1, /*opkind=*/-1, datatype_size(sdt), sblock);
+  if (n > 1 && coll_hier_ &&
+      hier_alltoall(rm, sbuf, sblock, rbuf,
+                    static_cast<std::size_t>(rcount) * datatype_size(rdt),
+                    comm))
+    return;
   const std::uint32_t seq = rm.coll_seq_for(comm)++;
   const std::size_t rblock =
       static_cast<std::size_t>(rcount) * datatype_size(rdt);
 
-  // Shifted pairwise exchange; sends are eager (buffered), so a blocking
-  // send/recv pair per step cannot deadlock.
-  for (int s = 0; s < n; ++s) {
-    const int dst = (me + s) % n;
+  // Shifted pairwise exchange; sends are eager (buffered), so the schedule
+  // cannot deadlock. All irecvs are pre-posted before the send loop: every
+  // incoming block lands directly in rbuf instead of staging through the
+  // unexpected queue while this rank works through earlier steps.
+  std::vector<Request> reqs(static_cast<std::size_t>(n), kRequestNull);
+  for (int s = 1; s < n; ++s) {
     const int src = ((me - s) % n + n) % n;
-    const int tag = internal_tag(kCollAlltoall, s & 0x3f, seq);
-    const auto* sblk = static_cast<const std::byte*>(sbuf) +
-                       static_cast<std::size_t>(dst) * sblock;
     auto* rblk = static_cast<std::byte*>(rbuf) +
                  static_cast<std::size_t>(src) * rblock;
+    reqs[static_cast<std::size_t>(s)] =
+        do_irecv(rm, rblk, rblock, src, internal_tag(kCollAlltoall, s & 0x3f, seq),
+                 comm);
+  }
+  for (int s = 0; s < n; ++s) {
+    const int dst = (me + s) % n;
+    const auto* sblk = static_cast<const std::byte*>(sbuf) +
+                       static_cast<std::size_t>(dst) * sblock;
     if (dst == me) {
+      auto* rblk = static_cast<std::byte*>(rbuf) +
+                   static_cast<std::size_t>(me) * rblock;
       std::memcpy(rblk, sblk, std::min(sblock, rblock));
       continue;
     }
-    coll_send(rm, ci.world_of(dst), tag, sblk, sblock, comm);
-    coll_recv(rm, ci.world_of(src), tag, rblk, rblock, comm);
+    coll_send(rm, ci.world_of(dst), internal_tag(kCollAlltoall, s & 0x3f, seq),
+              sblk, sblock, comm);
   }
+  for (int s = 1; s < n; ++s) do_wait(rm, reqs[static_cast<std::size_t>(s)]);
 }
 
 CommId Runtime::do_comm_split(RankMpi& rm, CommId parent, int color,

@@ -1031,4 +1031,837 @@ bool Runtime::hier_scan(RankMpi& rm, const void* sbuf, void* rbuf, int count,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Gatherv
+
+bool Runtime::hier_gatherv(RankMpi& rm, const void* sbuf, std::size_t sbytes,
+                           void* rbuf, const int* rcounts, const int* displs,
+                           std::size_t resize, int root, CommId comm) {
+  HIER_PRELUDE(rm, comm);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int rg = topo->group_of[static_cast<std::size_t>(root)];
+  // The root acts as its own group's leader: every rank derives the same
+  // topology so all agree, and the PE-aggregate lands directly where the
+  // displacement table lives instead of taking one extra staging hop.
+  const int eff_lead = g == rg ? root : lead;
+  auto blk = attach_block(*hier_, comm, seq, g, gsize);
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+  const auto* sp = static_cast<const std::byte*>(sbuf);
+
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    // bytes=0: per-member contribution sizes legitimately differ.
+    block_check(checker(), rm.world_rank, rm.resident_pe, *blk,
+                kCollHierGather, 0, "gatherv");
+    blk->slots.resize(static_cast<std::size_t>(gsize));
+    blk->slots[static_cast<std::size_t>(pos)].assign(sp, sp + sbytes);
+    last = ++blk->arrived == gsize;
+  }
+  ps.coll_vec_bytes += sbytes;
+
+  if (me != eff_lead) {
+    // Fire-and-forget: the leader's shared_ptr keeps the slots alive, so a
+    // contributing member is done the moment its deposit lands.
+    if (last)
+      wake_coll_member(rm.resident_pe, rank_state(ci.world_of(eff_lead)));
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      if (blk->arrived == gsize) break;
+    }
+    block_current(rm);
+  }
+
+  if (g != rg) {
+    // Non-root group leader: ship [length table][concatenated data] to the
+    // root. Member sizes are only known here (the count table lives at the
+    // root), so the inter-PE phase is direct sends — a combining tree
+    // could not size its intermediate buffers.
+    std::vector<std::uint64_t> lens(static_cast<std::size_t>(gsize));
+    std::size_t total = 0;
+    for (int j = 0; j < gsize; ++j) {
+      lens[static_cast<std::size_t>(j)] =
+          blk->slots[static_cast<std::size_t>(j)].size();
+      total += blk->slots[static_cast<std::size_t>(j)].size();
+    }
+    std::vector<std::byte> agg(total);
+    std::size_t off = 0;
+    for (int j = 0; j < gsize; ++j) {
+      const auto& s = blk->slots[static_cast<std::size_t>(j)];
+      std::memcpy(agg.data() + off, s.data(), s.size());
+      off += s.size();
+    }
+    ++ps.coll_leader_msgs;
+    coll_send_staged(rm, ci.world_of(root),
+                     internal_tag(kCollHierGather, 0, seq), lens.data(),
+                     lens.size() * sizeof(std::uint64_t), comm);
+    coll_send_vec(rm, ci.world_of(root),
+                  internal_tag(kCollHierGather, 1, seq), agg.data(), total,
+                  comm);
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  // Root: own group's contributions come straight out of the shared slots;
+  // remote groups arrive as [lengths][data] from each leader. Length
+  // irecvs are pre-posted for every group before any data is drained.
+  auto* rp = static_cast<std::byte*>(rbuf);
+  auto dst_of = [&](int i) {
+    return rp + static_cast<std::size_t>(displs[i]) * resize;
+  };
+  auto cap_of = [&](int i) {
+    return static_cast<std::size_t>(rcounts[i]) * resize;
+  };
+  for (int j = 0; j < gsize; ++j) {
+    const int i = members[static_cast<std::size_t>(j)];
+    const auto& s = blk->slots[static_cast<std::size_t>(j)];
+    std::memcpy(dst_of(i), s.data(), std::min(s.size(), cap_of(i)));
+  }
+  std::vector<std::vector<std::uint64_t>> lens(static_cast<std::size_t>(L));
+  std::vector<Request> lreqs(static_cast<std::size_t>(L), kRequestNull);
+  for (int gg = 0; gg < L; ++gg) {
+    if (gg == rg) continue;
+    const auto& gm = topo->members[static_cast<std::size_t>(gg)];
+    lens[static_cast<std::size_t>(gg)].resize(gm.size());
+    lreqs[static_cast<std::size_t>(gg)] =
+        do_irecv(rm, lens[static_cast<std::size_t>(gg)].data(),
+                 gm.size() * sizeof(std::uint64_t),
+                 topo->leader[static_cast<std::size_t>(gg)],
+                 internal_tag(kCollHierGather, 0, seq), comm);
+  }
+  for (int gg = 0; gg < L; ++gg) {
+    if (gg == rg) continue;
+    do_wait(rm, lreqs[static_cast<std::size_t>(gg)]);
+    const auto& gm = topo->members[static_cast<std::size_t>(gg)];
+    std::size_t total = 0;
+    for (const std::uint64_t l : lens[static_cast<std::size_t>(gg)])
+      total += l;
+    std::vector<std::byte> agg(total);
+    coll_recv_vec(rm,
+                  ci.world_of(topo->leader[static_cast<std::size_t>(gg)]),
+                  internal_tag(kCollHierGather, 1, seq), agg.data(), total,
+                  comm);
+    std::size_t off = 0;
+    for (std::size_t j = 0; j < gm.size(); ++j) {
+      const auto l =
+          static_cast<std::size_t>(lens[static_cast<std::size_t>(gg)][j]);
+      std::memcpy(dst_of(gm[j]), agg.data() + off,
+                  std::min(l, cap_of(gm[j])));
+      off += l;
+    }
+  }
+  detach_block(*hier_, comm, seq, g, *blk);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Gather (uniform block)
+
+bool Runtime::hier_gather(RankMpi& rm, const void* sbuf, std::size_t sblock,
+                          void* rbuf, int root, CommId comm) {
+  HIER_PRELUDE(rm, comm);
+  // Size-based algorithm selection: once a single contribution exceeds the
+  // vector cutoff the operation is copy-bound, and staging it through the
+  // PE leader only adds memcpys without reducing bytes on the wire. Every
+  // rank evaluates the same uniform predicate, so all fall back together.
+  if (sblock > vec_cutoff_) return false;
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int rg = topo->group_of[static_cast<std::size_t>(root)];
+  const int eff_lead = g == rg ? root : lead;
+  auto blk = attach_block(*hier_, comm, seq, g, gsize);
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+  const auto* sp = static_cast<const std::byte*>(sbuf);
+
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    block_check(checker(), rm.world_rank, rm.resident_pe, *blk,
+                kCollHierGather, sblock, "gather");
+    blk->slots.resize(static_cast<std::size_t>(gsize));
+    blk->slots[static_cast<std::size_t>(pos)].assign(sp, sp + sblock);
+    last = ++blk->arrived == gsize;
+  }
+  ps.coll_vec_bytes += sblock;
+
+  if (me != eff_lead) {
+    if (last)
+      wake_coll_member(rm.resident_pe, rank_state(ci.world_of(eff_lead)));
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      if (blk->arrived == gsize) break;
+    }
+    block_current(rm);
+  }
+
+  // Virtual group ids put the root's group at 0 so the standard binomial
+  // shapes apply regardless of where the root lives.
+  auto vgrp = [&](int v) { return (v + rg) % L; };
+  auto agent_of = [&](int gg) {
+    return ci.world_of(
+        gg == rg ? root : topo->leader[static_cast<std::size_t>(gg)]);
+  };
+  auto span_blocks = [&](int lo, int hi) {
+    std::size_t b = 0;
+    for (int v = lo; v < hi; ++v)
+      b += topo->members[static_cast<std::size_t>(vgrp(v))].size();
+    return b;
+  };
+  const int vg = ((g - rg) % L + L) % L;
+  const std::size_t total = static_cast<std::size_t>(n) * sblock;
+  auto* rp = static_cast<std::byte*>(rbuf);
+
+  if (total <= vec_cutoff_ || L == 1) {
+    // Eager: binomial combine toward virtual group 0. The node at vg
+    // accumulates the contiguous virtual interval [vg, vg+2^k); every
+    // intermediate buffer size is computable from the shared topology,
+    // which is what makes a combining tree possible for uniform blocks.
+    std::vector<std::byte> vbuf;
+    vbuf.reserve(vg == 0 ? total
+                         : span_blocks(vg, std::min(2 * vg, L)) * sblock);
+    for (int j = 0; j < gsize; ++j) {
+      const auto& s = blk->slots[static_cast<std::size_t>(j)];
+      vbuf.insert(vbuf.end(), s.begin(), s.end());
+    }
+    int round = 0;
+    for (int mask = 1; mask < L; mask <<= 1, ++round) {
+      const int tag = internal_tag(kCollHierGather, (2 + round) & 0x3f, seq);
+      if ((vg & mask) != 0) {
+        coll_send_vec(rm, agent_of(vgrp(vg - mask)), tag, vbuf.data(),
+                      vbuf.size(), comm);
+        break;
+      }
+      const int clo = vg + mask;
+      if (clo < L) {
+        const int chi = std::min(clo + mask, L);
+        const std::size_t add = span_blocks(clo, chi) * sblock;
+        const std::size_t old = vbuf.size();
+        vbuf.resize(old + add);
+        coll_recv_vec(rm, agent_of(vgrp(clo)), tag, vbuf.data() + old, add,
+                      comm);
+      }
+    }
+    if (vg == 0) {
+      // Unpack virtual order back to comm-index placement.
+      std::size_t off = 0;
+      for (int v = 0; v < L; ++v) {
+        for (const int i :
+             topo->members[static_cast<std::size_t>(vgrp(v))]) {
+          std::memcpy(rp + static_cast<std::size_t>(i) * sblock,
+                      vbuf.data() + off, sblock);
+          off += sblock;
+        }
+      }
+    }
+  } else if (g != rg) {
+    // Chunked: direct leader->root shipment of the PE-aggregate.
+    std::vector<std::byte> agg;
+    agg.reserve(static_cast<std::size_t>(gsize) * sblock);
+    for (int j = 0; j < gsize; ++j) {
+      const auto& s = blk->slots[static_cast<std::size_t>(j)];
+      agg.insert(agg.end(), s.begin(), s.end());
+    }
+    coll_send_vec(rm, ci.world_of(root),
+                  internal_tag(kCollHierGather, 1, seq), agg.data(),
+                  agg.size(), comm);
+  } else {
+    for (int j = 0; j < gsize; ++j) {
+      const int i = members[static_cast<std::size_t>(j)];
+      std::memcpy(rp + static_cast<std::size_t>(i) * sblock,
+                  blk->slots[static_cast<std::size_t>(j)].data(), sblock);
+    }
+    for (int gg = 0; gg < L; ++gg) {
+      if (gg == rg) continue;
+      const auto& gm = topo->members[static_cast<std::size_t>(gg)];
+      const std::size_t gb = gm.size() * sblock;
+      const int tag = internal_tag(kCollHierGather, 1, seq);
+      if (topo->ordered) {
+        // Group members are one contiguous comm-index interval: the
+        // aggregate lands straight in rbuf with no intermediate buffer.
+        coll_recv_vec(rm, ci.world_of(gm.front()), tag,
+                      rp + static_cast<std::size_t>(gm.front()) * sblock, gb,
+                      comm);
+      } else {
+        std::vector<std::byte> agg(gb);
+        coll_recv_vec(rm, ci.world_of(gm.front()), tag, agg.data(), gb,
+                      comm);
+        for (std::size_t j = 0; j < gm.size(); ++j) {
+          std::memcpy(rp + static_cast<std::size_t>(gm[j]) * sblock,
+                      agg.data() + j * sblock, sblock);
+        }
+      }
+    }
+  }
+  detach_block(*hier_, comm, seq, g, *blk);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scatterv
+
+bool Runtime::hier_scatterv(RankMpi& rm, const void* sbuf, const int* scounts,
+                            const int* displs, std::size_t sesize, void* rbuf,
+                            std::size_t rbytes, int root, CommId comm) {
+  HIER_PRELUDE(rm, comm);
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int rg = topo->group_of[static_cast<std::size_t>(root)];
+  const int eff_lead = g == rg ? root : lead;
+  auto blk = attach_block(*hier_, comm, seq, g, gsize);
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    block_check(checker(), rm.world_rank, rm.resident_pe, *blk,
+                kCollHierScatter, 0, "scatterv");
+    ++blk->arrived;
+  }
+
+  if (me != eff_lead) {
+    // Members park until the leader deposits the per-member slices.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(blk->m);
+        if (blk->released) {
+          const auto& s = blk->slots[static_cast<std::size_t>(pos)];
+          std::memcpy(rbuf, s.data(), std::min(s.size(), rbytes));
+          ps.coll_vec_bytes += std::min(s.size(), rbytes);
+          break;
+        }
+      }
+      block_current(rm);
+    }
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  if (g == rg) {
+    // Root: ship [lengths][data] per remote group, then slice the local
+    // group straight from sbuf into the shared slots.
+    const auto* sp = static_cast<const std::byte*>(sbuf);
+    for (int gg = 0; gg < L; ++gg) {
+      if (gg == rg) continue;
+      const auto& gm = topo->members[static_cast<std::size_t>(gg)];
+      std::vector<std::uint64_t> lens(gm.size());
+      std::size_t total = 0;
+      for (std::size_t j = 0; j < gm.size(); ++j) {
+        lens[j] = static_cast<std::uint64_t>(scounts[gm[j]]) * sesize;
+        total += lens[j];
+      }
+      std::vector<std::byte> agg(total);
+      std::size_t off = 0;
+      for (std::size_t j = 0; j < gm.size(); ++j) {
+        std::memcpy(agg.data() + off,
+                    sp + static_cast<std::size_t>(displs[gm[j]]) * sesize,
+                    static_cast<std::size_t>(lens[j]));
+        off += static_cast<std::size_t>(lens[j]);
+      }
+      ++ps.coll_leader_msgs;
+      coll_send_staged(rm,
+                       ci.world_of(topo->leader[static_cast<std::size_t>(gg)]),
+                       internal_tag(kCollHierScatter, 0, seq), lens.data(),
+                       lens.size() * sizeof(std::uint64_t), comm);
+      coll_send_vec(rm,
+                    ci.world_of(topo->leader[static_cast<std::size_t>(gg)]),
+                    internal_tag(kCollHierScatter, 1, seq), agg.data(), total,
+                    comm);
+    }
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      blk->slots.resize(static_cast<std::size_t>(gsize));
+      for (int j = 0; j < gsize; ++j) {
+        const int i = members[static_cast<std::size_t>(j)];
+        const std::size_t len =
+            static_cast<std::size_t>(scounts[i]) * sesize;
+        if (i == me) {
+          std::memcpy(rbuf, sp + static_cast<std::size_t>(displs[i]) * sesize,
+                      std::min(len, rbytes));
+        } else {
+          const auto* p = sp + static_cast<std::size_t>(displs[i]) * sesize;
+          blk->slots[static_cast<std::size_t>(j)].assign(p, p + len);
+          ps.coll_vec_bytes += len;
+        }
+      }
+      blk->released = true;
+    }
+  } else {
+    // Group leader: receive [lengths][data] from the root, slice into the
+    // shared slots (own slice goes straight to rbuf).
+    std::vector<std::uint64_t> lens(static_cast<std::size_t>(gsize));
+    coll_recv(rm, ci.world_of(root), internal_tag(kCollHierScatter, 0, seq),
+              lens.data(), lens.size() * sizeof(std::uint64_t), comm);
+    std::size_t total = 0;
+    for (const std::uint64_t l : lens) total += l;
+    std::vector<std::byte> agg(total);
+    coll_recv_vec(rm, ci.world_of(root),
+                  internal_tag(kCollHierScatter, 1, seq), agg.data(), total,
+                  comm);
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      blk->slots.resize(static_cast<std::size_t>(gsize));
+      std::size_t off = 0;
+      for (int j = 0; j < gsize; ++j) {
+        const auto len = static_cast<std::size_t>(lens[static_cast<std::size_t>(j)]);
+        if (j == pos) {
+          std::memcpy(rbuf, agg.data() + off, std::min(len, rbytes));
+        } else {
+          blk->slots[static_cast<std::size_t>(j)].assign(
+              agg.data() + off, agg.data() + off + len);
+          ps.coll_vec_bytes += len;
+        }
+        off += len;
+      }
+      blk->released = true;
+    }
+  }
+  for (const int m : members) {
+    if (m != me) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(m)));
+  }
+  detach_block(*hier_, comm, seq, g, *blk);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scatter (uniform block)
+
+bool Runtime::hier_scatter(RankMpi& rm, const void* sbuf, std::size_t sblock,
+                           void* rbuf, int root, CommId comm) {
+  HIER_PRELUDE(rm, comm);
+  // Size-based algorithm selection: once a single contribution exceeds the
+  // vector cutoff the operation is copy-bound, and staging it through the
+  // PE leader only adds memcpys without reducing bytes on the wire. Every
+  // rank evaluates the same uniform predicate, so all fall back together.
+  if (sblock > vec_cutoff_) return false;
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  const int rg = topo->group_of[static_cast<std::size_t>(root)];
+  const int eff_lead = g == rg ? root : lead;
+  auto blk = attach_block(*hier_, comm, seq, g, gsize);
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    block_check(checker(), rm.world_rank, rm.resident_pe, *blk,
+                kCollHierScatter, sblock, "scatter");
+    ++blk->arrived;
+  }
+
+  if (me != eff_lead) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(blk->m);
+        if (blk->released) {
+          std::memcpy(rbuf, blk->slots[static_cast<std::size_t>(pos)].data(),
+                      sblock);
+          ps.coll_vec_bytes += sblock;
+          break;
+        }
+      }
+      block_current(rm);
+    }
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  auto vgrp = [&](int v) { return (v + rg) % L; };
+  auto agent_of = [&](int gg) {
+    return ci.world_of(
+        gg == rg ? root : topo->leader[static_cast<std::size_t>(gg)]);
+  };
+  auto span_blocks = [&](int lo, int hi) {
+    std::size_t b = 0;
+    for (int v = lo; v < hi; ++v)
+      b += topo->members[static_cast<std::size_t>(vgrp(v))].size();
+    return b;
+  };
+  const int vg = ((g - rg) % L + L) % L;
+  const std::size_t total = static_cast<std::size_t>(n) * sblock;
+  const auto* sp = static_cast<const std::byte*>(sbuf);
+
+  // My group's chunk, in member-pos order, ends up in `mine`.
+  std::vector<std::byte> mine;
+  if (total <= vec_cutoff_ || L == 1) {
+    // Eager: binomial scatter down the virtual tree. A node receives its
+    // whole subtree span in one message and relays halves; sizes all come
+    // from the shared topology.
+    std::vector<std::byte> vbuf;
+    int span_hi;
+    int recv_mask;
+    if (vg == 0) {
+      span_hi = L;
+      recv_mask = 1;
+      while (recv_mask < L) recv_mask <<= 1;
+      vbuf.reserve(total);
+      for (int v = 0; v < L; ++v) {
+        for (const int i :
+             topo->members[static_cast<std::size_t>(vgrp(v))]) {
+          const auto* p = sp + static_cast<std::size_t>(i) * sblock;
+          vbuf.insert(vbuf.end(), p, p + sblock);
+        }
+      }
+    } else {
+      int round = 0;
+      recv_mask = 1;
+      while ((vg & recv_mask) == 0) {
+        recv_mask <<= 1;
+        ++round;
+      }
+      span_hi = std::min(vg + recv_mask, L);
+      vbuf.resize(span_blocks(vg, span_hi) * sblock);
+      coll_recv_vec(rm, agent_of(vgrp(vg - recv_mask)),
+                    internal_tag(kCollHierScatter, (2 + round) & 0x3f, seq),
+                    vbuf.data(), vbuf.size(), comm);
+    }
+    int round = 0;
+    for (int m = 1; m < recv_mask; m <<= 1) ++round;
+    for (int m = recv_mask >> 1; m > 0; m >>= 1) {
+      --round;
+      const int clo = vg + m;
+      if (clo < span_hi) {
+        const int chi = std::min(vg + 2 * m, span_hi);
+        const std::size_t off = span_blocks(vg, clo) * sblock;
+        coll_send_vec(rm, agent_of(vgrp(clo)),
+                      internal_tag(kCollHierScatter, (2 + round) & 0x3f, seq),
+                      vbuf.data() + off, span_blocks(clo, chi) * sblock,
+                      comm);
+      }
+    }
+    mine.assign(vbuf.begin(),
+                vbuf.begin() + static_cast<std::ptrdiff_t>(
+                                   static_cast<std::size_t>(gsize) * sblock));
+  } else if (g == rg) {
+    // Chunked: direct per-leader shipments; an ordered topology lets the
+    // root send straight out of sbuf (each group is one contiguous run).
+    for (int gg = 0; gg < L; ++gg) {
+      if (gg == rg) continue;
+      const auto& gm = topo->members[static_cast<std::size_t>(gg)];
+      const std::size_t gb = gm.size() * sblock;
+      const int tag = internal_tag(kCollHierScatter, 1, seq);
+      const int dst = ci.world_of(gm.front());
+      if (topo->ordered) {
+        coll_send_vec(rm, dst,
+                      tag, sp + static_cast<std::size_t>(gm.front()) * sblock,
+                      gb, comm);
+      } else {
+        std::vector<std::byte> agg;
+        agg.reserve(gb);
+        for (const int i : gm) {
+          const auto* p = sp + static_cast<std::size_t>(i) * sblock;
+          agg.insert(agg.end(), p, p + sblock);
+        }
+        coll_send_vec(rm, dst, tag, agg.data(), gb, comm);
+      }
+    }
+    mine.reserve(static_cast<std::size_t>(gsize) * sblock);
+    for (const int i : members) {
+      const auto* p = sp + static_cast<std::size_t>(i) * sblock;
+      mine.insert(mine.end(), p, p + sblock);
+    }
+  } else {
+    mine.resize(static_cast<std::size_t>(gsize) * sblock);
+    coll_recv_vec(rm, ci.world_of(root),
+                  internal_tag(kCollHierScatter, 1, seq), mine.data(),
+                  mine.size(), comm);
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    blk->slots.resize(static_cast<std::size_t>(gsize));
+    for (int j = 0; j < gsize; ++j) {
+      if (j == pos) {
+        std::memcpy(rbuf, mine.data() + static_cast<std::size_t>(j) * sblock,
+                    sblock);
+      } else {
+        const auto* p = mine.data() + static_cast<std::size_t>(j) * sblock;
+        blk->slots[static_cast<std::size_t>(j)].assign(p, p + sblock);
+        ps.coll_vec_bytes += sblock;
+      }
+    }
+    blk->released = true;
+  }
+  for (const int m : members) {
+    if (m != me) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(m)));
+  }
+  detach_block(*hier_, comm, seq, g, *blk);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Allgather (uniform block)
+
+bool Runtime::hier_allgather(RankMpi& rm, const void* sbuf,
+                             std::size_t sblock, void* rbuf, CommId comm) {
+  HIER_PRELUDE(rm, comm);
+  // Size-based algorithm selection: once a single contribution exceeds the
+  // vector cutoff the operation is copy-bound, and staging it through the
+  // PE leader only adds memcpys without reducing bytes on the wire. Every
+  // rank evaluates the same uniform predicate, so all fall back together.
+  if (sblock > vec_cutoff_) return false;
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  auto blk = attach_block(*hier_, comm, seq, g, gsize);
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+  const auto* sp = static_cast<const std::byte*>(sbuf);
+  const std::size_t total = static_cast<std::size_t>(n) * sblock;
+
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    block_check(checker(), rm.world_rank, rm.resident_pe, *blk,
+                kCollHierAllgather, sblock, "allgather");
+    blk->slots.resize(static_cast<std::size_t>(gsize));
+    blk->slots[static_cast<std::size_t>(pos)].assign(sp, sp + sblock);
+    last = ++blk->arrived == gsize;
+  }
+  ps.coll_vec_bytes += sblock;
+
+  if (!am_leader) {
+    if (last) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(lead)));
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(blk->m);
+        if (blk->released) {
+          std::memcpy(rbuf, blk->acc.data(), total);
+          break;
+        }
+      }
+      block_current(rm);
+    }
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      if (blk->arrived == gsize) break;
+    }
+    block_current(rm);
+  }
+
+  // have[gg] = group gg's PE-aggregate (member-pos order), filled by the
+  // inter-PE exchange.
+  auto gbytes = [&](int gg) {
+    return topo->members[static_cast<std::size_t>(gg)].size() * sblock;
+  };
+  std::vector<std::vector<std::byte>> have(static_cast<std::size_t>(L));
+  {
+    auto& own = have[static_cast<std::size_t>(g)];
+    own.reserve(gbytes(g));
+    for (int j = 0; j < gsize; ++j) {
+      const auto& s = blk->slots[static_cast<std::size_t>(j)];
+      own.insert(own.end(), s.begin(), s.end());
+    }
+  }
+  if (L > 1 && total <= vec_cutoff_) {
+    // Eager: Bruck dissemination over groups — ceil(log2 L) steps, each
+    // moving the concatenation of everything held so far.
+    int round = 0;
+    for (int d = 1; d < L; d <<= 1, ++round) {
+      const int cnt = std::min(d, L - d);
+      const int to = (g - d + L) % L;
+      const int from = (g + d) % L;
+      const int tag = internal_tag(kCollHierAllgather, round & 0x3f, seq);
+      std::vector<std::byte> out;
+      for (int v = 0; v < cnt; ++v) {
+        const auto& h = have[static_cast<std::size_t>((g + v) % L)];
+        out.insert(out.end(), h.begin(), h.end());
+      }
+      coll_send_vec(rm,
+                    ci.world_of(topo->leader[static_cast<std::size_t>(to)]),
+                    tag, out.data(), out.size(), comm);
+      std::size_t rb = 0;
+      for (int v = 0; v < cnt; ++v) rb += gbytes((from + v) % L);
+      std::vector<std::byte> in(rb);
+      coll_recv_vec(rm,
+                    ci.world_of(topo->leader[static_cast<std::size_t>(from)]),
+                    tag, in.data(), rb, comm);
+      std::size_t off = 0;
+      for (int v = 0; v < cnt; ++v) {
+        const int gg = (from + v) % L;
+        have[static_cast<std::size_t>(gg)].assign(
+            in.data() + off, in.data() + off + gbytes(gg));
+        off += gbytes(gg);
+      }
+    }
+  } else if (L > 1) {
+    // Chunked: ring — L-1 steps, each forwarding one group aggregate, so
+    // at most one aggregate is in flight per leader at a time.
+    for (int s = 1; s < L; ++s) {
+      const int to = (g + 1) % L;
+      const int from = (g - 1 + L) % L;
+      const int fwd = (g - s + 1 + L) % L;  // aggregate to pass along
+      const int gain = (g - s + L) % L;     // aggregate arriving this step
+      const int tag = internal_tag(kCollHierAllgather, s & 0x3f, seq);
+      coll_send_vec(rm,
+                    ci.world_of(topo->leader[static_cast<std::size_t>(to)]),
+                    tag, have[static_cast<std::size_t>(fwd)].data(),
+                    gbytes(fwd), comm);
+      have[static_cast<std::size_t>(gain)].resize(gbytes(gain));
+      coll_recv_vec(rm,
+                    ci.world_of(topo->leader[static_cast<std::size_t>(from)]),
+                    tag, have[static_cast<std::size_t>(gain)].data(),
+                    gbytes(gain), comm);
+    }
+  }
+
+  // Publish the full result in comm-index order; members copy it out.
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    blk->acc.resize(total);
+    for (int gg = 0; gg < L; ++gg) {
+      const auto& gm = topo->members[static_cast<std::size_t>(gg)];
+      for (std::size_t j = 0; j < gm.size(); ++j) {
+        std::memcpy(blk->acc.data() +
+                        static_cast<std::size_t>(gm[j]) * sblock,
+                    have[static_cast<std::size_t>(gg)].data() + j * sblock,
+                    sblock);
+      }
+    }
+    blk->released = true;
+  }
+  std::memcpy(rbuf, blk->acc.data(), total);
+  for (const int m : members) {
+    if (m != me) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(m)));
+  }
+  detach_block(*hier_, comm, seq, g, *blk);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Alltoall (uniform block)
+
+bool Runtime::hier_alltoall(RankMpi& rm, const void* sbuf, std::size_t sblock,
+                            void* rbuf, std::size_t rblock, CommId comm) {
+  HIER_PRELUDE(rm, comm);
+  // Size-based algorithm selection: once a single contribution exceeds the
+  // vector cutoff the operation is copy-bound, and staging it through the
+  // PE leader only adds memcpys without reducing bytes on the wire. Every
+  // rank evaluates the same uniform predicate, so all fall back together.
+  if (sblock > vec_cutoff_) return false;
+  const std::uint32_t seq = rm.coll_seq_for(comm)++;
+  auto blk = attach_block(*hier_, comm, seq, g, gsize);
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+  const auto* sp = static_cast<const std::byte*>(sbuf);
+  // blk->acc holds gsize rows of n blocks: row t is member t's full inbox
+  // in comm-index order.
+  const std::size_t row = static_cast<std::size_t>(n) * sblock;
+  const std::size_t blkmin = std::min(sblock, rblock);
+
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    block_check(checker(), rm.world_rank, rm.resident_pe, *blk,
+                kCollHierAlltoall, sblock, "alltoall");
+    blk->slots.resize(static_cast<std::size_t>(gsize));
+    blk->slots[static_cast<std::size_t>(pos)].assign(sp, sp + row);
+    last = ++blk->arrived == gsize;
+  }
+  ps.coll_vec_bytes += row;
+
+  auto copy_row_out = [&](const std::byte* r) {
+    auto* rp = static_cast<std::byte*>(rbuf);
+    for (int i = 0; i < n; ++i) {
+      std::memcpy(rp + static_cast<std::size_t>(i) * rblock,
+                  r + static_cast<std::size_t>(i) * sblock, blkmin);
+    }
+  };
+
+  if (!am_leader) {
+    if (last) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(lead)));
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(blk->m);
+        if (blk->released) {
+          copy_row_out(blk->acc.data() + static_cast<std::size_t>(pos) * row);
+          break;
+        }
+      }
+      block_current(rm);
+    }
+    detach_block(*hier_, comm, seq, g, *blk);
+    return true;
+  }
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(blk->m);
+      if (blk->arrived == gsize) break;
+    }
+    block_current(rm);
+  }
+
+  blk->acc.resize(static_cast<std::size_t>(gsize) * row);
+  // Aggregate for destination group gg: [dst member t][src member s] of
+  // per-pair blocks — one message per PE pair instead of one per rank pair.
+  auto assemble = [&](int gg) {
+    const auto& gm = topo->members[static_cast<std::size_t>(gg)];
+    std::vector<std::byte> a(gm.size() * static_cast<std::size_t>(gsize) *
+                             sblock);
+    std::size_t off = 0;
+    for (const int dst : gm) {
+      for (int s = 0; s < gsize; ++s) {
+        std::memcpy(a.data() + off,
+                    blk->slots[static_cast<std::size_t>(s)].data() +
+                        static_cast<std::size_t>(dst) * sblock,
+                    sblock);
+        off += sblock;
+      }
+    }
+    return a;
+  };
+  // Deposit a received aggregate from source group sg (laid out
+  // [my member t][sg member s]) into the result rows.
+  auto deposit = [&](int sg, const std::vector<std::byte>& a) {
+    const auto& gm = topo->members[static_cast<std::size_t>(sg)];
+    std::size_t off = 0;
+    for (int t = 0; t < gsize; ++t) {
+      for (const int src : gm) {
+        std::memcpy(blk->acc.data() + static_cast<std::size_t>(t) * row +
+                        static_cast<std::size_t>(src) * sblock,
+                    a.data() + off, sblock);
+        off += sblock;
+      }
+    }
+  };
+
+  // Shifted pairwise exchange over the L leaders (the same schedule as the
+  // naive alltoall, but over PE-pair aggregates).
+  for (int s = 0; s < L; ++s) {
+    const int dg = (g + s) % L;
+    const int sg = (g - s + L) % L;
+    if (s == 0) {
+      deposit(g, assemble(g));
+      continue;
+    }
+    const int tag = internal_tag(kCollHierAlltoall, s & 0x3f, seq);
+    const std::vector<std::byte> out = assemble(dg);
+    coll_send_vec(rm, ci.world_of(topo->leader[static_cast<std::size_t>(dg)]),
+                  tag, out.data(), out.size(), comm);
+    std::vector<std::byte> in(
+        topo->members[static_cast<std::size_t>(sg)].size() *
+        static_cast<std::size_t>(gsize) * sblock);
+    coll_recv_vec(rm, ci.world_of(topo->leader[static_cast<std::size_t>(sg)]),
+                  tag, in.data(), in.size(), comm);
+    deposit(sg, in);
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(blk->m);
+    blk->released = true;
+  }
+  copy_row_out(blk->acc.data() + static_cast<std::size_t>(pos) * row);
+  for (const int m : members) {
+    if (m != me) wake_coll_member(rm.resident_pe, rank_state(ci.world_of(m)));
+  }
+  detach_block(*hier_, comm, seq, g, *blk);
+  return true;
+}
+
 }  // namespace apv::mpi

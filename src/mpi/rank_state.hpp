@@ -262,7 +262,17 @@ enum CollOp : int {
   kCollHierRabRs,     ///< Rabenseifner reduce-scatter (recursive halving)
   kCollHierRabAg,     ///< Rabenseifner allgather (recursive doubling)
   kCollHierScan,      ///< serial leader chain of exclusive group prefixes
+  // Vector collectives: leaders exchange whole PE-aggregates (per-member
+  // offset tables live in the shared blocks, never on the wire for the
+  // uniform variants; gatherv/scatterv ship a length table first).
+  kCollHierGather,    ///< binomial combine toward the root's group (eager)
+                      ///< or direct leader->root sends (chunked)
+  kCollHierScatter,   ///< binomial split from the root's group (eager) or
+                      ///< direct root->leader sends (chunked)
+  kCollHierAllgather, ///< Bruck dissemination (eager) or ring (chunked)
+  kCollHierAlltoall,  ///< shifted pairwise exchange of PE-pair aggregates
 };
-static_assert(kCollHierScan <= 31, "CollOp must fit internal_tag's 5 bits");
+static_assert(kCollHierAlltoall <= 31,
+              "CollOp must fit internal_tag's 5 bits");
 
 }  // namespace apv::mpi

@@ -77,6 +77,10 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
   coll_hier_ = config_.options.get_string("coll.algo", "hier") == "hier";
   rab_cutoff_ = static_cast<std::size_t>(std::max<std::int64_t>(
       0, config_.options.get_int("coll.rab_cutoff", 32768)));
+  // Vector-collective leader-phase transfer granularity; 0 would mean
+  // "never eager", which no algorithm wants — clamp to at least one byte.
+  vec_cutoff_ = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, config_.options.get_int("coll.vec_cutoff", 32768)));
   // Runtime correctness checker (src/check). An explicit check.mode option
   // wins; otherwise the APV_CHECK_MODE environment variable applies, so CI
   // can arm the checker across a whole test run without editing each job.
@@ -131,6 +135,8 @@ Runtime::Runtime(const img::ProgramImage& image, RuntimeConfig config)
                             1, config_.options.get_int(
                                    "sched.steal_timeout_us", 5000))) *
                         1000;
+    steal_batch_ = static_cast<int>(std::max<std::int64_t>(
+        1, config_.options.get_int("sched.steal_batch", 1)));
     hipri_bytes_ = cluster_->hipri_bytes();
   }
   dump_counters_ = config_.options.get_bool("util.dump_counters", false);
@@ -997,6 +1003,60 @@ std::size_t Runtime::coll_recv(RankMpi& rm, int src_world, int tag,
   return static_cast<std::size_t>(status.count_bytes);
 }
 
+void Runtime::coll_send_staged(RankMpi& rm, int dst_world, int tag,
+                               const void* data, std::size_t bytes,
+                               CommId comm) {
+  preempt_point();
+  // Same-PE destinations take the inline user-to-user path — strictly
+  // better than any staging (zero transport envelopes at all).
+  if (try_inline_send(rm, dst_world, tag, data, bytes, comm, 0)) return;
+  comm::Message m;
+  m.kind = comm::Message::Kind::UserData;
+  m.src_pe = rm.resident_pe;
+  m.src_rank = rm.world_rank;
+  m.dst_rank = dst_world;
+  m.comm_id = comm;
+  m.tag = tag;
+  if (bytes > 0) {
+    // On the shm backend this block already lives in the cross-process
+    // arena: send_remote transfers it by refcount bump, making this fill
+    // the one copy on the cross-process path. Inproc / single-process shm
+    // degenerate to plain pool acquisition.
+    m.payload = cluster_->acquire_payload(bytes);
+    std::memcpy(m.payload.data(), data, bytes);
+  }
+  m.dst_pe = cluster_->location(dst_world);
+  ++rm.routed_sent_to(dst_world);
+  cluster_->send(std::move(m));
+}
+
+void Runtime::coll_send_vec(RankMpi& rm, int dst_world, int tag,
+                            const void* data, std::size_t bytes,
+                            CommId comm) {
+  auto& ps = pe_state_[static_cast<std::size_t>(rm.resident_pe)];
+  const auto* p = static_cast<const std::byte*>(data);
+  std::size_t off = 0;
+  do {
+    const std::size_t len = std::min(bytes - off, vec_cutoff_);
+    ++ps.coll_leader_msgs;
+    coll_send_staged(rm, dst_world, tag, p + off, len, comm);
+    off += len;
+  } while (off < bytes);
+}
+
+void Runtime::coll_recv_vec(RankMpi& rm, int src_world, int tag, void* data,
+                            std::size_t bytes, CommId comm) {
+  // Chunk boundaries mirror coll_send_vec exactly (vec_cutoff is a shared
+  // option value); per-sender FIFO keeps same-tag chunks in order.
+  auto* p = static_cast<std::byte*>(data);
+  std::size_t off = 0;
+  do {
+    const std::size_t len = std::min(bytes - off, vec_cutoff_);
+    coll_recv(rm, src_world, tag, p + off, len, comm);
+    off += len;
+  } while (off < bytes);
+}
+
 // ---------------------------------------------------------------------------
 // Ops
 
@@ -1123,7 +1183,8 @@ void Runtime::handle_control(comm::PeId pe, comm::Message&& msg) {
       return;
     }
     case kCtlStealRequest:
-      handle_steal_request(pe, static_cast<comm::PeId>(msg.tag));
+      handle_steal_request(pe, static_cast<comm::PeId>(msg.tag),
+                           static_cast<int>(msg.dst_rank));
       return;
     case kCtlStealNack: {
       // Victim had nothing stealable. Clear the in-flight marker and
@@ -1333,10 +1394,12 @@ void Runtime::maybe_steal(comm::PeId pe) {
   req.src_pe = pe;
   req.dst_pe = victim;
   req.tag = pe;  // thief id travels in the tag
+  req.dst_rank = steal_batch_;  // how many ranks the thief would take
   cluster_->send(std::move(req));
 }
 
-void Runtime::handle_steal_request(comm::PeId pe, comm::PeId thief) {
+void Runtime::handle_steal_request(comm::PeId pe, comm::PeId thief,
+                                   int requested) {
   auto& ps = pe_state_[static_cast<std::size_t>(pe)];
   close_run_slice(pe);  // settle busy-time accounting before choosing
   const auto nack = [&] {
@@ -1355,65 +1418,77 @@ void Runtime::handle_steal_request(comm::PeId pe, comm::PeId thief) {
     }
     return;
   }
-  // Candidates: ready (queued, not running, not blocked), not entangled in
-  // a collective (group blocks and gate shards hold per-PE references), not
-  // under any control operation, and not this PE's only resident. The
-  // busiest candidate goes — it is the one most worth running elsewhere.
-  RankMpi* best = nullptr;
-  for (const auto& [rank, rm] : ps.resident) {
-    if (rm->finished || rm->failed || rm->waiting) continue;
-    if (rm->migrate_dest != comm::kInvalidPe || rm->ckpt_pending ||
-        rm->restore_pending)
-      continue;
-    if (rm->coll_depth > 0) continue;
-    if (rm->rc->ult->state() != ult::UltState::Ready) continue;
-    if (best == nullptr || rm->busy_time() > best->busy_time()) best = rm;
-  }
-  if (best == nullptr || ps.resident.size() < 2) {
-    nack();
-    return;
-  }
   ult::Scheduler& sched = cluster_->pe(pe).scheduler();
-  if (!sched.unqueue(best->rc->ult)) {
-    // Raced with dispatch (it is running right now) — nothing to hand over.
-    nack();
-    return;
+  // Pre-protocol requests carry 0 in dst_rank; treat as the classic
+  // single-rank steal. The quota re-derives the grant from *our* queue —
+  // the thief's ask is a ceiling, never a command.
+  const int quota =
+      lb::steal_batch_quota(sched.ready_count(), requested < 1 ? 1 : requested);
+  int shipped = 0;
+  while (shipped < quota) {
+    // Candidates: ready (queued, not running, not blocked), not entangled
+    // in a collective (group blocks and gate shards hold per-PE
+    // references), not under any control operation, and not this PE's only
+    // resident. The busiest candidate goes — it is the one most worth
+    // running elsewhere. Re-picked each iteration: shipping one changes
+    // who is busiest next.
+    RankMpi* best = nullptr;
+    for (const auto& [rank, rm] : ps.resident) {
+      if (rm->finished || rm->failed || rm->waiting) continue;
+      if (rm->migrate_dest != comm::kInvalidPe || rm->ckpt_pending ||
+          rm->restore_pending)
+        continue;
+      if (rm->coll_depth > 0) continue;
+      if (rm->rc->ult->state() != ult::UltState::Ready) continue;
+      if (best == nullptr || rm->busy_time() > best->busy_time()) best = rm;
+    }
+    if (best == nullptr || ps.resident.size() < 2) break;
+    if (!sched.unqueue(best->rc->ult)) {
+      // Raced with dispatch (it is running right now) — nothing to hand
+      // over this round, and later candidates rank below it, so stop.
+      break;
+    }
+    ++ps.steals_out;
+    const comm::RankId stolen = best->world_rank;
+    // Same per-sender FIFO flush as perform_migration_departure: a stolen
+    // sender's not-yet-flushed binned messages must enter the network
+    // before its image does, or sends it makes from the thief PE could
+    // overtake them (found by the inline-delivery FIFO test under
+    // APV_SCHED_STEAL).
+    cluster_->flush_aggregation(pe);
+    // From here this is a migration departure with dest=thief. Setting
+    // migrate_dest reuses the existing wake guards: no late message arrival
+    // or stale kCtlCollWake can re-ready the ULT while its image is in
+    // flight. The arrival side clears it and requeues the rank.
+    best->migrate_dest = thief;
+    const comm::NodeId src_node = cluster_->node_of(pe);
+    privs_[static_cast<std::size_t>(src_node)]->rank_departed(best->rc);
+    ps.resident.erase(best->world_rank);
+
+    util::ByteBuffer buf;
+    iso::pack_slot(*arena_, best->rc->slot, pack_mode_, buf);
+
+    comm::Message mig;
+    mig.kind = comm::Message::Kind::Migration;
+    mig.opcode = kMigSteal;
+    mig.src_pe = pe;
+    mig.dst_pe = thief;
+    mig.dst_rank = stolen;
+    migration_bytes_.fetch_add(buf.size(), std::memory_order_relaxed);
+    mig.payload = comm::Payload::adopt(buf.take());
+    // Deliberately not counted in migrations_: that counter means
+    // "explicit migrations the program asked for" (AMPI_Migrate / fault
+    // recovery), and steals are reported separately via
+    // sched_steals_out/in.
+    // Location first, then the image: forwards chase the thief and queue
+    // behind the migration message (same ordering as plain departures).
+    cluster_->set_location(stolen, thief);
+    cluster_->send(std::move(mig));
+    APV_DEBUG("mpi", "PE %d: rank %d stolen by idle PE %d (%d/%d)", pe,
+              stolen, thief, shipped + 1, quota);
+    ++shipped;
   }
-  ++ps.steals_out;
-  const comm::RankId stolen = best->world_rank;
-  // Same per-sender FIFO flush as perform_migration_departure: a stolen
-  // sender's not-yet-flushed binned messages must enter the network before
-  // its image does, or sends it makes from the thief PE could overtake
-  // them (found by the inline-delivery FIFO test under APV_SCHED_STEAL).
-  cluster_->flush_aggregation(pe);
-  // From here this is a migration departure with dest=thief. Setting
-  // migrate_dest reuses the existing wake guards: no late message arrival
-  // or stale kCtlCollWake can re-ready the ULT while its image is in
-  // flight. The arrival side clears it and requeues the rank.
-  best->migrate_dest = thief;
-  const comm::NodeId src_node = cluster_->node_of(pe);
-  privs_[static_cast<std::size_t>(src_node)]->rank_departed(best->rc);
-  ps.resident.erase(best->world_rank);
-
-  util::ByteBuffer buf;
-  iso::pack_slot(*arena_, best->rc->slot, pack_mode_, buf);
-
-  comm::Message mig;
-  mig.kind = comm::Message::Kind::Migration;
-  mig.opcode = kMigSteal;
-  mig.src_pe = pe;
-  mig.dst_pe = thief;
-  mig.dst_rank = best->world_rank;
-  migration_bytes_.fetch_add(buf.size(), std::memory_order_relaxed);
-  mig.payload = comm::Payload::adopt(buf.take());
-  // Deliberately not counted in migrations_: that counter means "explicit
-  // migrations the program asked for" (AMPI_Migrate / fault recovery), and
-  // steals are reported separately via sched_steals_out/in.
-  // Location first, then the image: forwards chase the thief and queue
-  // behind the migration message (same ordering as plain departures).
-  cluster_->set_location(stolen, thief);
-  cluster_->send(std::move(mig));
-  APV_DEBUG("mpi", "PE %d: rank %d stolen by idle PE %d", pe, stolen, thief);
+  if (shipped == 0) nack();
 }
 
 int Runtime::do_checkpoint(RankMpi& rm) {
@@ -1796,6 +1871,7 @@ util::Counters Runtime::locality_counters() const {
   util::Counters c;
   std::uint64_t hits = 0, misses = 0, bytes = 0, fifo = 0;
   std::uint64_t leader_msgs = 0, local_combines = 0, shared_rdv = 0;
+  std::uint64_t vec_bytes = 0;
   for (const PeState& ps : pe_state_) {
     hits += ps.inline_hits;
     misses += ps.inline_misses;
@@ -1804,6 +1880,7 @@ util::Counters Runtime::locality_counters() const {
     leader_msgs += ps.coll_leader_msgs;
     local_combines += ps.coll_local_combines;
     shared_rdv += ps.coll_shared_rendezvous;
+    vec_bytes += ps.coll_vec_bytes;
   }
   c.set("inline_hits", hits);
   c.set("inline_misses", misses);
@@ -1812,6 +1889,7 @@ util::Counters Runtime::locality_counters() const {
   c.set("coll_leader_msgs", leader_msgs);
   c.set("coll_local_combines", local_combines);
   c.set("coll_shared_rendezvous", shared_rdv);
+  c.set("coll_vec_bytes", vec_bytes);
   return c;
 }
 

@@ -165,6 +165,20 @@ class Runtime {
                  std::size_t bytes, CommId comm);
   std::size_t coll_recv(RankMpi& rm, int src_world, int tag, void* data,
                         std::size_t max_bytes, CommId comm);
+  /// coll_send staged through Cluster::acquire_payload: on the shm backend
+  /// the bytes land directly in the cross-process arena and the envelope
+  /// moves them by refcount handoff — the fill here is the only copy on
+  /// the cross-process path. Everywhere else it degenerates to coll_send.
+  void coll_send_staged(RankMpi& rm, int dst_world, int tag, const void* data,
+                        std::size_t bytes, CommId comm);
+  /// Leader-phase vector transfer: one eager message up to coll.vec_cutoff,
+  /// chunked into vec_cutoff-sized staged payloads above it (bounds peak
+  /// arena/pool block size; both sides derive identical chunk boundaries
+  /// from the shared option value).
+  void coll_send_vec(RankMpi& rm, int dst_world, int tag, const void* data,
+                     std::size_t bytes, CommId comm);
+  void coll_recv_vec(RankMpi& rm, int src_world, int tag, void* data,
+                     std::size_t bytes, CommId comm);
 
   void do_barrier(RankMpi& rm, CommId comm);
   void do_bcast(RankMpi& rm, void* buf, std::size_t bytes, int root,
@@ -175,9 +189,15 @@ class Runtime {
                     Datatype dt, const Op& op, CommId comm);
   void do_scan(RankMpi& rm, const void* sbuf, void* rbuf, int count,
                Datatype dt, const Op& op, CommId comm);
+  void do_gather(RankMpi& rm, const void* sbuf, int scount, Datatype sdt,
+                 void* rbuf, int rcount, Datatype rdt, int root, CommId comm);
   void do_gatherv(RankMpi& rm, const void* sbuf, int scount, Datatype sdt,
                   void* rbuf, const int* rcounts, const int* displs,
                   Datatype rdt, int root, CommId comm);
+  void do_scatter(RankMpi& rm, const void* sbuf, int scount, Datatype sdt,
+                  void* rbuf, int rcount, Datatype rdt, int root, CommId comm);
+  void do_allgather(RankMpi& rm, const void* sbuf, int scount, Datatype sdt,
+                    void* rbuf, int rcount, Datatype rdt, CommId comm);
   void do_scatterv(RankMpi& rm, const void* sbuf, const int* scounts,
                    const int* displs, Datatype sdt, void* rbuf, int rcount,
                    Datatype rdt, int root, CommId comm);
@@ -253,6 +273,7 @@ class Runtime {
     std::uint64_t coll_leader_msgs = 0;
     std::uint64_t coll_local_combines = 0;
     std::uint64_t coll_shared_rendezvous = 0;
+    std::uint64_t coll_vec_bytes = 0;  ///< bytes through vector shared blocks
   };
 
   static void rank_body(void* arg);
@@ -279,10 +300,11 @@ class Runtime {
   /// empty runqueue, nothing resident runnable) pick the most-loaded victim
   /// and request one rank (kCtlStealRequest). At most one request in flight.
   void maybe_steal(comm::PeId pe);
-  /// Victim half: pick a ready, unentangled resident rank, dequeue it and
-  /// ship it to the thief via the packed-image migration path (kMigSteal),
-  /// or answer kCtlStealNack.
-  void handle_steal_request(comm::PeId pe, comm::PeId thief);
+  /// Victim half: pick up to `requested` ready, unentangled resident ranks
+  /// (capped by lb::steal_batch_quota at half the backlog), dequeue and
+  /// ship each to the thief via the packed-image migration path
+  /// (kMigSteal), or answer kCtlStealNack when nothing moved.
+  void handle_steal_request(comm::PeId pe, comm::PeId thief, int requested);
 
   /// Same-PE inline delivery: when the destination rank is co-resident and
   /// no routed message for the pair is in flight, match against its posted
@@ -309,6 +331,24 @@ class Runtime {
                       Datatype dt, const Op& op, CommId comm);
   bool hier_scan(RankMpi& rm, const void* sbuf, void* rbuf, int count,
                  Datatype dt, const Op& op, CommId comm);
+  // Vector collectives: co-resident ranks deposit/withdraw through the
+  // shared block (rank-indexed offsets derived from the topology); one
+  // leader per PE exchanges whole PE-aggregates, staged via
+  // coll_send_vec/coll_send_staged so the shm tier moves them zero-copy.
+  bool hier_gather(RankMpi& rm, const void* sbuf, std::size_t sblock,
+                   void* rbuf, int root, CommId comm);
+  bool hier_gatherv(RankMpi& rm, const void* sbuf, std::size_t sbytes,
+                    void* rbuf, const int* rcounts, const int* displs,
+                    std::size_t resize, int root, CommId comm);
+  bool hier_scatter(RankMpi& rm, const void* sbuf, std::size_t sblock,
+                    void* rbuf, int root, CommId comm);
+  bool hier_scatterv(RankMpi& rm, const void* sbuf, const int* scounts,
+                     const int* displs, std::size_t sesize, void* rbuf,
+                     std::size_t rbytes, int root, CommId comm);
+  bool hier_allgather(RankMpi& rm, const void* sbuf, std::size_t sblock,
+                      void* rbuf, CommId comm);
+  bool hier_alltoall(RankMpi& rm, const void* sbuf, std::size_t sblock,
+                     void* rbuf, std::size_t rblock, CommId comm);
   /// The grouping of `comm` under rm's placement view (cached per epoch).
   std::shared_ptr<const CommTopo> comm_topo(RankMpi& rm, CommId comm);
 
@@ -361,6 +401,12 @@ class Runtime {
   bool inline_enabled_ = true;  ///< comm.inline: same-PE inline delivery
   bool coll_hier_ = true;       ///< coll.algo: "hier" (default) or "naive"
   std::size_t rab_cutoff_ = 32768;  ///< coll.rab_cutoff: Rabenseifner floor
+  /// coll.vec_cutoff: vector-collective leader transfers up to this many
+  /// bytes go eager in one message (and rooted trees/Bruck stay
+  /// latency-shaped); above it transfers are chunked into cutoff-sized
+  /// staged payloads and the bandwidth-shaped algorithms (direct sends,
+  /// ring) take over.
+  std::size_t vec_cutoff_ = 32768;
   /// Group-block registry instance (shared_ptr: the deleter is type-erased
   /// in collectives_hier.cpp, so the type can stay incomplete here).
   std::shared_ptr<CollHierState> hier_;
@@ -392,6 +438,7 @@ class Runtime {
   bool steal_on_ = false;
   std::uint64_t steal_idle_ns_ = 0;     ///< sched.steal_idle_us * 1000
   std::uint64_t steal_timeout_ns_ = 0;  ///< give up on an unanswered request
+  int steal_batch_ = 1;                 ///< sched.steal_batch: ranks per steal
   std::size_t hipri_bytes_ = 256;       ///< mirror of comm.hipri_bytes for
                                         ///< the inline path's lane choice
 
@@ -425,8 +472,9 @@ enum CtlOp : int {
   kCtlCollWake,         ///< wake dst_rank if parked in a group-block wait;
                         ///< processed on its resident PE thread so the wake
                         ///< cannot race the ULT's own suspend
-  kCtlStealRequest,     ///< idle thief asks the victim PE for one ready rank;
-                        ///< msg.tag carries the thief's PE id
+  kCtlStealRequest,     ///< idle thief asks the victim PE for ready ranks;
+                        ///< msg.tag carries the thief's PE id, msg.dst_rank
+                        ///< the batch size (sched.steal_batch; 0 acts as 1)
   kCtlStealNack,        ///< victim had nothing stealable; thief may retry
                         ///< another victim after its idle timer re-fires
 };

@@ -155,6 +155,20 @@ void* type_mismatch_main(void* arg) {
   return reinterpret_cast<void*>(1);
 }
 
+// Rank 0 contributes 2 ints to a uniform gather while everyone else sends 1:
+// the per-rank block sizes disagree at the same (comm, seq) site, which only
+// the gate's bytes comparison can catch (op/root/color all agree).
+void* mismatched_gather_counts_main(void* arg) {
+  ENV();
+  const int n = env->size();
+  const int mine = env->rank() == 0 ? 2 : 1;
+  int v[2] = {env->rank(), env->rank()};
+  std::vector<int> out(static_cast<std::size_t>(2 * n), -1);
+  env->gather(v, mine, Datatype::Int, out.data(), mine, Datatype::Int,
+              /*root=*/0);
+  return reinterpret_cast<void*>(1);
+}
+
 // The last rank skips the barrier and finishes; everyone else is stuck in
 // it forever — only the deadlock scan can name the site.
 void* skip_barrier_main(void* arg) {
@@ -273,6 +287,29 @@ TEST(CheckCollective, WrongRootBcastWarnHier) {
   j.timeout_s = 4;
   const auto res = run_check_job(&wrong_root_bcast_main, j);
   EXPECT_FALSE(res.diags.empty());
+}
+
+TEST(CheckCollective, MismatchedGatherCountsAbortNaive) {
+  CheckJob j;
+  j.mode = "abort";
+  j.algo = "naive";
+  const auto res = run_check_job(&mismatched_gather_counts_main, j);
+  EXPECT_TRUE(res.threw);
+  EXPECT_TRUE(any_diag_contains(res, "gather"));
+  EXPECT_TRUE(any_diag_contains(res, "bytes"));
+  EXPECT_GT(res.counters.get("check_coll_mismatches"), 0u);
+}
+
+TEST(CheckCollective, MismatchedGatherCountsAbortHier) {
+  CheckJob j;
+  j.mode = "abort";
+  j.algo = "hier";
+  j.vps = 4;
+  j.pes = 2;
+  const auto res = run_check_job(&mismatched_gather_counts_main, j);
+  EXPECT_TRUE(res.threw);
+  EXPECT_TRUE(any_diag_contains(res, "gather"));
+  EXPECT_TRUE(any_diag_contains(res, "bytes"));
 }
 
 // --- scenario 2: mixed allreduce / reduce -----------------------------------

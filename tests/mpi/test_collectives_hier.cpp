@@ -203,3 +203,318 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string("rpp") + std::to_string(info.param.ranks_per_pe) +
              (info.param.hier ? "_hier" : "_naive");
     });
+
+// ---------------------------------------------------------------------------
+// Vector collectives: gather/gatherv/scatter/scatterv/allgather/alltoall,
+// hier vs naive bit-identity across root positions, non-uniform counts, and
+// a comm_split subset. Small counts take the eager leader phase, kVecBig
+// crosses coll.vec_cutoff into the chunked one.
+
+namespace {
+
+constexpr int kVecBig = 1536;  // 6 KiB blocks: world totals cross the cutoff
+
+void* vector_main(void* arg) {
+  auto* env = static_cast<Env*>(arg);
+  const int me = env->rank();
+  const int n = env->size();
+  std::intptr_t ok = 1;
+  const auto check = [&ok](bool cond) { ok = ok && cond ? 1 : 0; };
+
+  env->barrier();
+
+  // Gather: every root position, eager and chunked block sizes.
+  for (const int root : {0, n / 2, n - 1}) {
+    for (const int count : {2, kVecBig}) {
+      std::vector<int> v(static_cast<std::size_t>(count));
+      for (int i = 0; i < count; ++i)
+        v[static_cast<std::size_t>(i)] = me * 100000 + i;
+      std::vector<int> out;
+      if (me == root)
+        out.assign(static_cast<std::size_t>(n) * count, -1);
+      env->gather(v.data(), count, Datatype::Int, out.data(), count,
+                  Datatype::Int, root);
+      if (me == root) {
+        bool good = true;
+        for (int r = 0; r < n; ++r)
+          for (int i = 0; i < count; ++i)
+            good = good &&
+                   out[static_cast<std::size_t>(r * count + i)] ==
+                       r * 100000 + i;
+        check(good);
+      }
+    }
+  }
+
+  // Gatherv: non-uniform counts (rank i contributes i%3+1 ints).
+  for (const int root : {0, n - 1}) {
+    const int mine = me % 3 + 1;
+    std::vector<int> v(static_cast<std::size_t>(mine));
+    for (int i = 0; i < mine; ++i)
+      v[static_cast<std::size_t>(i)] = me * 10 + i;
+    std::vector<int> counts, displs, out;
+    if (me == root) {
+      counts.resize(static_cast<std::size_t>(n));
+      displs.resize(static_cast<std::size_t>(n));
+      int off = 0;
+      for (int r = 0; r < n; ++r) {
+        counts[static_cast<std::size_t>(r)] = r % 3 + 1;
+        displs[static_cast<std::size_t>(r)] = off;
+        off += r % 3 + 1;
+      }
+      out.assign(static_cast<std::size_t>(off), -1);
+    }
+    env->gatherv(v.data(), mine, Datatype::Int, out.data(), counts.data(),
+                 displs.data(), Datatype::Int, root);
+    if (me == root) {
+      bool good = true;
+      int off = 0;
+      for (int r = 0; r < n; ++r) {
+        for (int i = 0; i < r % 3 + 1; ++i)
+          good = good && out[static_cast<std::size_t>(off + i)] == r * 10 + i;
+        off += r % 3 + 1;
+      }
+      check(good);
+    }
+  }
+
+  // Scatter: eager and chunked block sizes.
+  for (const int root : {0, n - 1}) {
+    for (const int count : {3, kVecBig}) {
+      std::vector<int> v;
+      if (me == root) {
+        v.resize(static_cast<std::size_t>(n) * count);
+        for (int r = 0; r < n; ++r)
+          for (int i = 0; i < count; ++i)
+            v[static_cast<std::size_t>(r * count + i)] = r * 1000 + i + root;
+      }
+      std::vector<int> out(static_cast<std::size_t>(count), -1);
+      env->scatter(v.data(), count, Datatype::Int, out.data(), count,
+                   Datatype::Int, root);
+      bool good = true;
+      for (int i = 0; i < count; ++i)
+        good = good &&
+               out[static_cast<std::size_t>(i)] == me * 1000 + i + root;
+      check(good);
+    }
+  }
+
+  // Scatterv: non-uniform counts mirroring the gatherv shape.
+  {
+    const int root = n / 2;
+    const int mine = me % 3 + 1;
+    std::vector<int> v, counts, displs;
+    if (me == root) {
+      counts.resize(static_cast<std::size_t>(n));
+      displs.resize(static_cast<std::size_t>(n));
+      int off = 0;
+      for (int r = 0; r < n; ++r) {
+        counts[static_cast<std::size_t>(r)] = r % 3 + 1;
+        displs[static_cast<std::size_t>(r)] = off;
+        off += r % 3 + 1;
+      }
+      v.resize(static_cast<std::size_t>(off));
+      for (int r = 0; r < n; ++r)
+        for (int i = 0; i < r % 3 + 1; ++i)
+          v[static_cast<std::size_t>(displs[static_cast<std::size_t>(r)] +
+                                     i)] = r * 7 + i;
+    }
+    std::vector<int> out(static_cast<std::size_t>(mine), -1);
+    env->scatterv(v.data(), counts.data(), displs.data(), Datatype::Int,
+                  out.data(), mine, Datatype::Int, root);
+    bool good = true;
+    for (int i = 0; i < mine; ++i)
+      good = good && out[static_cast<std::size_t>(i)] == me * 7 + i;
+    check(good);
+  }
+
+  // Allgather: eager (Bruck) and chunked (ring) leader phases.
+  for (const int count : {2, kVecBig}) {
+    std::vector<int> v(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+      v[static_cast<std::size_t>(i)] = me * 100000 + i;
+    std::vector<int> out(static_cast<std::size_t>(n) * count, -1);
+    env->allgather(v.data(), count, Datatype::Int, out.data(), count,
+                   Datatype::Int);
+    bool good = true;
+    for (int r = 0; r < n; ++r)
+      for (int i = 0; i < count; ++i)
+        good = good &&
+               out[static_cast<std::size_t>(r * count + i)] ==
+                   r * 100000 + i;
+    check(good);
+  }
+
+  // Alltoall: per-pair blocks, small and mid-size.
+  for (const int count : {2, 64}) {
+    std::vector<int> v(static_cast<std::size_t>(n) * count);
+    for (int r = 0; r < n; ++r)
+      for (int i = 0; i < count; ++i)
+        v[static_cast<std::size_t>(r * count + i)] = me * 100000 + r * 100 + i;
+    std::vector<int> out(static_cast<std::size_t>(n) * count, -1);
+    env->alltoall(v.data(), count, Datatype::Int, out.data(), count,
+                  Datatype::Int);
+    bool good = true;
+    for (int r = 0; r < n; ++r)
+      for (int i = 0; i < count; ++i)
+        good = good &&
+               out[static_cast<std::size_t>(r * count + i)] ==
+                   r * 100000 + me * 100 + i;
+    check(good);
+  }
+
+  // Subset communicator: odd/even split, then the uniform trio on it. The
+  // subcomm's groups are non-trivial comm-index intervals, exercising the
+  // unordered-topology placement paths.
+  {
+    const mpi::CommId sub = env->comm_split(mpi::kCommWorld, me % 2, me);
+    const int sr = env->rank(sub);
+    const int sn = env->size(sub);
+    const int base = me % 2;  // world rank of sub rank j is base + 2*j
+    std::vector<int> v(4);
+    for (int i = 0; i < 4; ++i) v[static_cast<std::size_t>(i)] = me * 10 + i;
+    std::vector<int> out(static_cast<std::size_t>(sn) * 4, -1);
+    env->allgather(v.data(), 4, Datatype::Int, out.data(), 4, Datatype::Int,
+                   sub);
+    bool good = true;
+    for (int j = 0; j < sn; ++j)
+      for (int i = 0; i < 4; ++i)
+        good = good &&
+               out[static_cast<std::size_t>(j * 4 + i)] ==
+                   (base + 2 * j) * 10 + i;
+    check(good);
+
+    std::vector<int> g(static_cast<std::size_t>(sn), -1);
+    const int gv = me + 1;
+    env->gather(&gv, 1, Datatype::Int, g.data(), 1, Datatype::Int,
+                /*root=*/sn - 1, sub);
+    if (sr == sn - 1) {
+      for (int j = 0; j < sn; ++j)
+        good = good && g[static_cast<std::size_t>(j)] == base + 2 * j + 1;
+      check(good);
+    }
+
+    std::vector<int> av(static_cast<std::size_t>(sn)), ao(
+        static_cast<std::size_t>(sn), -1);
+    for (int j = 0; j < sn; ++j)
+      av[static_cast<std::size_t>(j)] = me * 100 + j;
+    env->alltoall(av.data(), 1, Datatype::Int, ao.data(), 1, Datatype::Int,
+                  sub);
+    for (int j = 0; j < sn; ++j)
+      good = good &&
+             ao[static_cast<std::size_t>(j)] == (base + 2 * j) * 100 + sr;
+    check(good);
+    env->comm_free(sub);
+  }
+
+  env->barrier();
+  return reinterpret_cast<void*>(ok);
+}
+
+}  // namespace
+
+class VectorSweep : public ::testing::TestWithParam<HierCase> {};
+
+TEST_P(VectorSweep, AllVectorCollectivesAgree) {
+  const HierCase c = GetParam();
+  const int pes = 4;
+  img::ImageBuilder b("vecsweep");
+  b.add_global<int>("unused", 0);
+  b.add_function("mpi_main", &vector_main);
+  const img::ProgramImage image = b.build();
+  mpi::RuntimeConfig cfg;
+  cfg.nodes = 1;
+  cfg.pes_per_node = pes;
+  cfg.vps = c.ranks_per_pe * pes;
+  cfg.method = core::Method::PIEglobals;
+  cfg.slot_bytes = std::size_t{8} << 20;
+  cfg.options.set("coll.algo", c.hier ? "hier" : "naive");
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+  for (int r = 0; r < cfg.vps; ++r) {
+    EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(r)), 1)
+        << "rank " << r;
+  }
+  const util::Counters lc = rt.locality_counters();
+  if (c.hier) {
+    // Contributions moved through shared group blocks, and leaders (not
+    // every rank) carried the inter-PE phase.
+    EXPECT_GT(lc.get("coll_vec_bytes"), 0u);
+    EXPECT_GT(lc.get("coll_leader_msgs"), 0u);
+  } else {
+    EXPECT_EQ(lc.get("coll_vec_bytes"), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, VectorSweep,
+    ::testing::Values(HierCase{1, true}, HierCase{1, false},
+                      HierCase{4, true}, HierCase{4, false},
+                      HierCase{16, true}, HierCase{16, false}),
+    [](const ::testing::TestParamInfo<HierCase>& info) {
+      return std::string("rpp") + std::to_string(info.param.ranks_per_pe) +
+             (info.param.hier ? "_hier" : "_naive");
+    });
+
+// ---------------------------------------------------------------------------
+// Mid-collective PE failure: a rank killed between vector collectives must
+// recover from its buddy checkpoint and the re-run must still produce
+// bit-identical gathers (no stale group block or half-staged slot survives).
+
+namespace {
+
+void* vector_ft_main(void* arg) {
+  auto* env = static_cast<Env*>(arg);
+  const int me = env->rank();
+  const int n = env->size();
+  std::intptr_t ok = 1;
+  for (int it = 0; it < 3; ++it) {
+    std::vector<int> v(8);
+    for (int i = 0; i < 8; ++i)
+      v[static_cast<std::size_t>(i)] = me * 100 + i + it;
+    std::vector<int> out(static_cast<std::size_t>(n) * 8, -1);
+    env->allgather(v.data(), 8, Datatype::Int, out.data(), 8, Datatype::Int);
+    for (int r = 0; r < n; ++r)
+      for (int i = 0; i < 8; ++i)
+        if (out[static_cast<std::size_t>(r * 8 + i)] != r * 100 + i + it)
+          ok = 0;
+    env->checkpoint_all();  // epoch it+1; PE 1 dies at epoch 2
+    std::vector<int> a2a(static_cast<std::size_t>(n)), a2o(
+        static_cast<std::size_t>(n), -1);
+    for (int r = 0; r < n; ++r)
+      a2a[static_cast<std::size_t>(r)] = me * 1000 + r + it;
+    env->alltoall(a2a.data(), 1, Datatype::Int, a2o.data(), 1, Datatype::Int);
+    for (int r = 0; r < n; ++r)
+      if (a2o[static_cast<std::size_t>(r)] != r * 1000 + me + it) ok = 0;
+  }
+  env->barrier();
+  return reinterpret_cast<void*>(ok);
+}
+
+}  // namespace
+
+TEST(VectorFaultTolerance, KillBetweenVectorCollectivesRecovers) {
+  img::ImageBuilder b("vecft");
+  b.add_global<int>("unused", 0);
+  b.add_function("mpi_main", &vector_ft_main);
+  const img::ProgramImage image = b.build();
+  mpi::RuntimeConfig cfg;
+  cfg.nodes = 4;  // one PE per node: buddy copies live off-node
+  cfg.pes_per_node = 1;
+  cfg.vps = 4;
+  cfg.method = core::Method::PIEglobals;
+  cfg.slot_bytes = std::size_t{16} << 20;
+  cfg.options.set("fs.latency_us", "0");
+  cfg.options.set("check.mode", "abort");
+  cfg.options.set("ft.policy", "epoch");
+  cfg.options.set("ft.pe", "1");
+  cfg.options.set("ft.epoch", "2");
+  mpi::Runtime rt(image, cfg);
+  rt.run();
+  for (int r = 0; r < 4; ++r)
+    EXPECT_EQ(reinterpret_cast<std::intptr_t>(rt.rank_return(r)), 1)
+        << "rank " << r;
+  EXPECT_GT(rt.recovery_count(), 0u);
+  ASSERT_NE(rt.checker(), nullptr);
+  EXPECT_EQ(rt.checker()->diagnosis_count(), 0u);
+}
